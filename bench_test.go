@@ -1,0 +1,407 @@
+// Benchmarks, one per experiment of the reproduction (see DESIGN.md §4 and
+// EXPERIMENTS.md). Each benchmark measures the hot operation of its
+// experiment; the correctness side of every experiment lives in the test
+// suites and in cmd/dwbench, which also prints the paper-vs-measured
+// tables.
+package dwc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dwcomplement/internal/aggregate"
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/core"
+	"dwcomplement/internal/maintain"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/star"
+	"dwcomplement/internal/view"
+	"dwcomplement/internal/warehouse"
+	"dwcomplement/internal/workload"
+)
+
+func mustWarehouse(b *testing.B, sc workload.Scenario, opts core.Options, st *catalog.State) (*warehouse.Warehouse, *core.Complement) {
+	b.Helper()
+	comp, err := core.Compute(sc.DB, sc.Views, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := warehouse.New(comp)
+	if err := w.Initialize(st); err != nil {
+		b.Fatal(err)
+	}
+	return w, comp
+}
+
+// BenchmarkE1Figure1Maintenance measures the paper's driving update: one
+// tuple inserted into Sale, maintained warehouse-only (Figure 1, Ex 1.1).
+func BenchmarkE1Figure1Maintenance(b *testing.B) {
+	sc := workload.Figure1(false)
+	st := workload.Figure1State(sc.DB)
+	w, comp := mustWarehouse(b, sc, core.Proposition22(), st)
+	snapshot := w.CloneState()
+	m := maintain.NewMaintainer(comp)
+	u := catalog.NewUpdate().MustInsert("Sale", sc.DB,
+		relation.String_("Computer"), relation.String_("Paula"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.LoadState(cloneMapState(snapshot))
+		if _, err := m.Refresh(w, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2QueryTranslation measures the rewriting Q ↦ Q̂ (Ex 1.2).
+func BenchmarkE2QueryTranslation(b *testing.B) {
+	sc := workload.Figure1(false)
+	w, _ := mustWarehouse(b, sc, core.Proposition22(), workload.Figure1State(sc.DB))
+	q := algebra.NewUnion(
+		algebra.NewProject(algebra.NewBase("Sale"), "clerk"),
+		algebra.NewProject(algebra.NewBase("Emp"), "clerk"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.TranslateQuery(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3InjectivityCheck measures one W(d) materialization plus
+// fingerprinting — the unit of the Proposition 2.1 experiment.
+func BenchmarkE3InjectivityCheck(b *testing.B) {
+	sc := workload.Figure1(true)
+	comp, err := core.Compute(sc.DB, sc.Views, core.Theorem22())
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := workload.NewGen(sc.DB, 1).State(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws, err := comp.MaterializeWarehouse(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range ws {
+			_ = r.Fingerprint()
+		}
+	}
+}
+
+// BenchmarkE4ComplementRST measures complement computation for Example
+// 2.1's R ⋈ S ⋈ T warehouse, with and without V2 = S.
+func BenchmarkE4ComplementRST(b *testing.B) {
+	for _, withV2 := range []bool{false, true} {
+		sc := workload.Example21(withV2)
+		b.Run(fmt.Sprintf("withV2=%v", withV2), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compute(sc.DB, sc.Views, core.Proposition22()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5NonMinimalPSJ measures evaluating Prop 2.2's C_R against the
+// paper's smaller C'_R on the Example 2.2 schema.
+func BenchmarkE5NonMinimalPSJ(b *testing.B) {
+	sc := workload.Example22()
+	comp, err := core.Compute(sc.DB, sc.Views, core.Proposition22())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eR, _ := comp.Entry("R")
+	v1 := algebra.NewProject(algebra.NewBase("R"), "A", "B")
+	v2 := algebra.NewProject(algebra.NewBase("R"), "B", "C")
+	v3 := algebra.NewProject(algebra.NewSelect(algebra.NewBase("R"),
+		algebra.AttrEqConst("B", relation.Int(0))), "A", "B", "C")
+	cPrime := algebra.NewDiff(
+		algebra.NewJoin(algebra.NewBase("R"),
+			algebra.NewProject(algebra.NewDiff(algebra.NewJoin(v1, v2), algebra.NewBase("R")), "A", "B")),
+		v3)
+	st := workload.NewGen(sc.DB, 2).State(60)
+	for name, def := range map[string]algebra.Expr{"Prop22": eR.Def, "PaperCPrime": cPrime} {
+		def := def
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := algebra.Eval(def, st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6ConstraintComplement measures Theorem 2.2 computation —
+// covers, pseudo-views, emptiness analysis — on Example 2.3.
+func BenchmarkE6ConstraintComplement(b *testing.B) {
+	sc := workload.Example23(workload.E23AllKeysAndINDs, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compute(sc.DB, sc.Views, core.Theorem22()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7RefIntegrityEmpty measures the emptiness-detecting complement
+// computation of Example 2.4.
+func BenchmarkE7RefIntegrityEmpty(b *testing.B) {
+	sc := workload.Figure1(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp, err := core.Compute(sc.DB, sc.Views, core.Theorem22())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(comp.StoredEntries()) != 1 {
+			b.Fatal("emptiness proof lost")
+		}
+	}
+}
+
+// BenchmarkE8QueryIndependence measures answering a translated query at
+// the warehouse vs evaluating the original at the source (Theorem 3.1).
+func BenchmarkE8QueryIndependence(b *testing.B) {
+	sc := workload.Figure1(true)
+	st := workload.NewGen(sc.DB, 3).State(200)
+	w, _ := mustWarehouse(b, sc, core.Theorem22(), st)
+	q := algebra.NewProject(
+		algebra.NewSelect(
+			algebra.NewJoin(algebra.NewBase("Sale"), algebra.NewBase("Emp")),
+			algebra.AttrCmpConst("age", algebra.OpLt, relation.Int(40))),
+		"item", "clerk")
+	qHat, err := w.TranslateQuery(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("AtSource", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := algebra.Eval(q, st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("AtWarehouse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := algebra.Eval(qHat, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE9UpdateIndependence measures a full incremental refresh round
+// under a mixed random update (Theorem 4.1).
+func BenchmarkE9UpdateIndependence(b *testing.B) {
+	sc := workload.Figure1(false)
+	gen := workload.NewGen(sc.DB, 4)
+	st := gen.State(100)
+	w, comp := mustWarehouse(b, sc, core.Proposition22(), st)
+	snapshot := w.CloneState()
+	u := gen.Update(st, 5, 3)
+	m := maintain.NewMaintainer(comp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.LoadState(cloneMapState(snapshot))
+		if _, err := m.Refresh(w, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10SigmaViewUpdates measures the complement-free σ-view
+// translator (Section 4, closing observation).
+func BenchmarkE10SigmaViewUpdates(b *testing.B) {
+	db := catalog.NewDatabase().
+		MustAddSchema(relation.NewSchema("Emp", "clerk:string", "age:int").WithKey("clerk"))
+	vs := view.MustNewSet(db, view.NewPSJ("Old", []string{"clerk", "age"},
+		algebra.AttrCmpConst("age", algebra.OpGt, relation.Int(30)), "Emp"))
+	m, err := maintain.NewSigmaMaintainer(db, vs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGen(db, 5)
+	st := gen.State(100)
+	w, err := m.Materialize(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := gen.Update(st, 5, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Refresh(w, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11StarSchema measures one warehouse-only refresh of the
+// union-integrated fact table (Section 5).
+func BenchmarkE11StarSchema(b *testing.B) {
+	for _, slim := range []bool{false, true} {
+		b.Run(fmt.Sprintf("slim=%v", slim), func(b *testing.B) {
+			biz, err := star.NewBusiness([]string{"paris", "tokyo", "austin"}, slim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := biz.Populate(100, 500, 6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w, err := biz.BuildWarehouse(st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cur := st.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				u := biz.RandomOrderUpdate(cur, 5, 3, int64(i))
+				b.StartTimer()
+				if err := w.Refresh(u); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := u.Apply(cur); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkE12IncrementalVsRecompute is the crossover sweep: refresh cost
+// by route, base size and update size.
+func BenchmarkE12IncrementalVsRecompute(b *testing.B) {
+	sc := workload.Figure1(true)
+	comp, err := core.Compute(sc.DB, sc.Views, core.Theorem22())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, baseSize := range []int{100, 400} {
+		gen := workload.NewGen(sc.DB, 8)
+		gen.Domain = baseSize
+		st := gen.State(baseSize)
+		w := warehouse.New(comp)
+		if err := w.Initialize(st); err != nil {
+			b.Fatal(err)
+		}
+		snapshot := w.CloneState()
+		for _, deltaSize := range []int{1, 20} {
+			u := gen.Update(st, deltaSize, deltaSize/2)
+			m := maintain.NewMaintainer(comp)
+			b.Run(fmt.Sprintf("Incremental/base=%d/delta=%d", baseSize, u.Size()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					w.LoadState(cloneMapState(snapshot))
+					if _, err := m.Refresh(w, u); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("Recompute/base=%d/delta=%d", baseSize, u.Size()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					w.LoadState(cloneMapState(snapshot))
+					if err := m.RefreshByRecompute(w, u); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE13ComplementScaling measures Compute over growing chain
+// schemata (cover enumeration is the combinatorial part).
+func BenchmarkE13ComplementScaling(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		db, views := workload.ChainSchema(n)
+		b.Run(fmt.Sprintf("relations=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compute(db, views, core.Theorem22()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE14ComplementSizeSweep measures the stored-size evaluation that
+// powers the storage-fraction experiment.
+func BenchmarkE14ComplementSizeSweep(b *testing.B) {
+	sc := workload.Example23(workload.E23AllKeysAndINDs, true)
+	st := workload.NewGen(sc.DB, 9).State(100)
+	for _, opts := range []struct {
+		name string
+		o    core.Options
+	}{
+		{"Prop22", core.Proposition22()},
+		{"Thm22", core.Theorem22()},
+	} {
+		comp, err := core.Compute(sc.DB, sc.Views, opts.o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(opts.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := comp.StoredSize(st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE15Aggregates measures maintaining four summary tables from one
+// fact-table refresh (the Section 5 OLAP layer).
+func BenchmarkE15Aggregates(b *testing.B) {
+	biz, err := star.NewBusiness([]string{"paris", "tokyo", "austin"}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := biz.Populate(100, 400, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := biz.BuildWarehouse(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	views := []*aggregate.View{
+		aggregate.New("QtyPerSite", "Orders", []string{"loc"}, aggregate.Sum, "qty"),
+		aggregate.New("OrdersPerSite", "Orders", []string{"loc"}, aggregate.Count, "qty"),
+		aggregate.New("MaxQtyPerSite", "Orders", []string{"loc"}, aggregate.Max, "qty"),
+		aggregate.New("QtyPerCustomer", "Orders", []string{"ckey"}, aggregate.Sum, "qty"),
+	}
+	orders, _ := w.Relation("Orders")
+	for _, v := range views {
+		if err := v.Initialize(orders); err != nil {
+			b.Fatal(err)
+		}
+		w.AddConsumer(v)
+	}
+	cur := st.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := biz.RandomOrderUpdate(cur, 4, 2, int64(i))
+		if err := w.Refresh(u); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := u.Apply(cur); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func cloneMapState(ms algebra.MapState) algebra.MapState {
+	out := make(algebra.MapState, len(ms))
+	for name, r := range ms {
+		out[name] = r.Clone()
+	}
+	return out
+}

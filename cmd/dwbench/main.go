@@ -1,0 +1,125 @@
+// Command dwbench regenerates every evaluation artifact of the paper —
+// Figures 1–3, Examples 1.1–2.4 and 4.1, and the Section 4/5 claims — as
+// named experiments E1..E14 (see DESIGN.md's experiment index and
+// EXPERIMENTS.md for the recorded outcomes). Each experiment prints the
+// paper's expectation next to what this implementation measures.
+//
+// Usage:
+//
+//	dwbench [-run E1,E5,E12] [-quick] [-seed 42]
+//
+// With -quick the sweeps use smaller sizes (useful in CI); the default
+// sizes match the numbers recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// experiment is one named reproduction unit.
+type experiment struct {
+	id    string
+	title string
+	paper string // the paper artifact it reproduces
+	run   func(*config) error
+}
+
+// config carries the shared knobs.
+type config struct {
+	quick bool
+	seed  int64
+	out   io.Writer
+}
+
+func (c *config) printf(format string, args ...interface{}) {
+	fmt.Fprintf(c.out, format, args...)
+}
+
+// table prints an aligned table with a header row.
+func (c *config) table(headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = cell + strings.Repeat(" ", widths[i]-len(cell))
+		}
+		fmt.Fprintln(c.out, "  "+strings.Join(parts, "  "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment ids to run (default: all)")
+	quick := flag.Bool("quick", false, "smaller sweep sizes")
+	seed := flag.Int64("seed", 42, "random seed for generated workloads")
+	flag.Parse()
+
+	cfg := &config{quick: *quick, seed: *seed, out: os.Stdout}
+
+	all := experiments()
+	selected := map[string]bool{}
+	if *runFlag != "" {
+		for _, id := range strings.Split(*runFlag, ",") {
+			selected[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	failed := 0
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		cfg.printf("\n%s — %s\n", e.id, e.title)
+		cfg.printf("reproduces: %s\n", e.paper)
+		if err := e.run(cfg); err != nil {
+			cfg.printf("  FAILED: %v\n", err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}
+
+// experiments returns all experiments in id order.
+func experiments() []experiment {
+	exps := []experiment{
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(),
+		e8(), e9(), e10(), e11(), e12(), e13(), e14(), e15(),
+	}
+	sort.Slice(exps, func(i, j int) bool {
+		// E1..E9 sort before E10 numerically.
+		return expNum(exps[i].id) < expNum(exps[j].id)
+	})
+	return exps
+}
+
+func expNum(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment end to end in quick mode:
+// each one both exercises its code path and asserts its paper expectation
+// internally (experiments return an error when the reproduction fails).
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	for _, e := range experiments() {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			var b strings.Builder
+			cfg := &config{quick: true, seed: 42, out: &b}
+			if err := e.run(cfg); err != nil {
+				t.Fatalf("%s (%s): %v\noutput:\n%s", e.id, e.title, err, b.String())
+			}
+			if b.Len() == 0 {
+				t.Errorf("%s produced no output", e.id)
+			}
+		})
+	}
+}
+
+func TestExperimentInventory(t *testing.T) {
+	exps := experiments()
+	if len(exps) != 15 {
+		t.Fatalf("%d experiments, want 15", len(exps))
+	}
+	for i, e := range exps {
+		want := i + 1
+		if expNum(e.id) != want {
+			t.Errorf("experiment %d has id %s", want, e.id)
+		}
+		if e.title == "" || e.paper == "" {
+			t.Errorf("%s lacks title or paper reference", e.id)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var b strings.Builder
+	cfg := &config{out: &b}
+	cfg.table([]string{"col", "longer header"}, [][]string{
+		{"a", "b"},
+		{"wide cell", "c"},
+	})
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+}

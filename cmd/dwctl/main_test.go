@@ -1,0 +1,177 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testSpec = `
+relation Sale(item string, clerk string)
+relation Emp(clerk string, age int) key(clerk)
+view Sold = pi{item, clerk, age}(Sale join Emp)
+insert Sale('TV set', 'Mary')
+insert Sale('PC', 'John')
+insert Emp('Mary', 23)
+insert Emp('John', 25)
+insert Emp('Paula', 32)
+`
+
+func writeSpec(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wh.dw")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestCheck(t *testing.T) {
+	spec := writeSpec(t, testSpec)
+	out, err := runCmd(t, "-spec", spec, "check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ok: 2 relation(s), 1 view(s)") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestDump(t *testing.T) {
+	spec := writeSpec(t, testSpec)
+	out, err := runCmd(t, "-spec", spec, "dump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"relation Sale", "key(clerk)", "Sold = ", "Paula"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComplementCommand(t *testing.T) {
+	spec := writeSpec(t, testSpec)
+	out, err := runCmd(t, "-spec", spec, "complement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"C_Sale", "C_Emp", "covers(Emp)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("complement missing %q:\n%s", want, out)
+		}
+	}
+	// Custom prefix.
+	out, err = runCmd(t, "-spec", spec, "-prefix", "Aux", "complement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "AuxSale") {
+		t.Errorf("prefix ignored:\n%s", out)
+	}
+}
+
+func TestTranslateCommand(t *testing.T) {
+	spec := writeSpec(t, testSpec)
+	out, err := runCmd(t, "-spec", spec, "translate", "pi{clerk}(Sale) union pi{clerk}(Emp)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Q̂  =", "Mary", "John", "Paula", "(3 tuples)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("translate missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := runCmd(t, "-spec", spec, "translate", "pi{clerk}(Nope)"); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, err := runCmd(t, "-spec", spec, "translate"); err == nil {
+		t.Error("missing query accepted")
+	}
+}
+
+func TestMaintainCommand(t *testing.T) {
+	spec := writeSpec(t, testSpec)
+	out, err := runCmd(t, "-spec", spec, "maintain",
+		"insert Sale('Computer', 'Paula')", "delete Emp('John', 25)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"applied 2 source change(s)", "Computer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("maintain missing %q:\n%s", want, out)
+		}
+	}
+	// John's sale must have moved into C_Sale after his Emp tuple left.
+	if !strings.Contains(out, "C_Sale") {
+		t.Errorf("maintain output lacks complements:\n%s", out)
+	}
+	if _, err := runCmd(t, "-spec", spec, "maintain", "bogus stuff"); err == nil {
+		t.Error("malformed ops accepted")
+	}
+	if _, err := runCmd(t, "-spec", spec, "maintain"); err == nil {
+		t.Error("missing ops accepted")
+	}
+}
+
+func TestReconstructCommand(t *testing.T) {
+	spec := writeSpec(t, testSpec)
+	out, err := runCmd(t, "-spec", spec, "reconstruct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Sale:", "Emp:", "Paula"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("reconstruct missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	spec := writeSpec(t, testSpec)
+	cases := [][]string{
+		{},
+		{"-spec", spec},
+		{"-spec", spec, "frobnicate"},
+		{"-spec", "/nonexistent.dw", "check"},
+		{"check"},
+	}
+	for _, args := range cases {
+		if _, err := runCmd(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	bad := writeSpec(t, "relation R(a decimal)")
+	if _, err := runCmd(t, "-spec", bad, "check"); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestProp22Flag(t *testing.T) {
+	// Under referential integrity, Theorem 2.2 stores one complement,
+	// Proposition 2.2 stores two.
+	withInd := testSpec + "\nind Sale[clerk] <= Emp[clerk]\n"
+	spec := writeSpec(t, withInd)
+	out, err := runCmd(t, "-spec", spec, "check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 stored complement(s)") {
+		t.Errorf("Theorem 2.2 path: %q", out)
+	}
+	out, err = runCmd(t, "-spec", spec, "-prop22", "check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 stored complement(s)") {
+		t.Errorf("Prop 2.2 path: %q", out)
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	dwc "dwcomplement"
+)
+
+// runREPL drives an interactive warehouse session: queries are translated
+// and answered, insert/delete statements are maintained incrementally, and
+// inspection commands expose the warehouse state — all against the live
+// in-memory warehouse, never the sources.
+func runREPL(w *dwc.Warehouse, db *dwc.Database, in io.Reader, out io.Writer) error {
+	m := dwc.NewMaintainer(w.Complement())
+	scanner := bufio.NewScanner(in)
+	fmt.Fprintln(out, "dwctl repl — type 'help' for commands, 'quit' to exit")
+	prompt := func() { fmt.Fprint(out, "dw> ") }
+	prompt()
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+
+		case line == "quit" || line == "exit":
+			return nil
+
+		case line == "help":
+			fmt.Fprint(out, `commands:
+  query <expr>        translate a source query and answer it
+  insert R(...)       apply an insertion (incremental maintenance)
+  delete R(...)       apply a deletion
+  update R set a = v where cond    apply a modification (delete+insert)
+  show <relation>     print a warehouse relation
+  relations           list warehouse relations and sizes
+  bases               reconstruct and print all base relations
+  complement          print the complement definitions
+  quit                leave
+`)
+
+		case strings.HasPrefix(line, "query "):
+			src := strings.TrimPrefix(line, "query ")
+			q, err := dwc.ParseExpr(src)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			qHat, err := w.TranslateQuery(q)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintln(out, "Q̂ =", qHat)
+			ans, err := w.Answer(q)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprint(out, ans)
+
+		case strings.HasPrefix(line, "insert ") || strings.HasPrefix(line, "delete ") ||
+			strings.HasPrefix(line, "update "):
+			u, err := dwc.ParseUpdateOpsAt(db, dwc.NewVirtualState(w.Complement(), w), line)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			stats, err := m.Refresh(w, u)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintf(out, "ok: %d source change(s), %d warehouse tuple change(s)\n",
+				stats.UpdateSize, stats.Total())
+
+		case strings.HasPrefix(line, "show "):
+			name := strings.TrimSpace(strings.TrimPrefix(line, "show "))
+			r, ok := w.Relation(name)
+			if !ok {
+				fmt.Fprintf(out, "error: no warehouse relation %q\n", name)
+				break
+			}
+			fmt.Fprint(out, r)
+
+		case line == "relations":
+			for _, name := range w.Names() {
+				r, _ := w.Relation(name)
+				fmt.Fprintf(out, "%-20s %d tuple(s)\n", name, r.Len())
+			}
+
+		case line == "bases":
+			bases, err := w.ReconstructBases()
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			for _, name := range db.Names() {
+				fmt.Fprintf(out, "%s:\n%s", name, bases[name])
+			}
+
+		case line == "complement":
+			fmt.Fprintln(out, w.Complement())
+
+		default:
+			fmt.Fprintf(out, "unknown command %q (try 'help')\n", line)
+		}
+		prompt()
+	}
+	return scanner.Err()
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	dwc "dwcomplement"
+)
+
+func replSession(t *testing.T, script string) string {
+	t.Helper()
+	spec, err := dwc.ParseSpec(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := dwc.BuildWarehouse(spec.DB, spec.Views, dwc.Theorem22(), spec.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runREPL(w, spec.DB, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestREPLQueryAndMaintain(t *testing.T) {
+	out := replSession(t, `
+help
+query pi{clerk}(Sale) union pi{clerk}(Emp)
+insert Sale('Computer', 'Paula')
+query sigma{clerk = 'Paula'}(Sale join Emp)
+show Sold
+relations
+bases
+complement
+quit
+`)
+	for _, want := range []string{
+		"commands:",
+		"Q̂ =",
+		"Paula",
+		"ok: 1 source change(s)",
+		"Computer",
+		"Sold",
+		"C_Emp",
+		"Sale:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repl output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLErrors(t *testing.T) {
+	out := replSession(t, `
+query pi{zz}(Nope)
+insert Nope(1)
+show Nope
+frobnicate
+# a comment line
+
+exit
+`)
+	if got := strings.Count(out, "error:"); got != 3 {
+		t.Errorf("expected 3 errors, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "unknown command") {
+		t.Errorf("unknown command not reported:\n%s", out)
+	}
+}
+
+func TestREPLEOFTerminates(t *testing.T) {
+	// A script without quit ends at EOF without error.
+	out := replSession(t, "relations\n")
+	if !strings.Contains(out, "Sold") {
+		t.Errorf("output: %s", out)
+	}
+}

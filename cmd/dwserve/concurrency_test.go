@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesAndUpdates hammers the server with interleaved
+// readers and writers; the RWMutex must keep every response internally
+// consistent and the final state must reflect exactly the accepted
+// updates.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	ts := newTestServer(t, "", "")
+	var wg sync.WaitGroup
+
+	// Writers: 4 goroutines × 20 distinct inserts each.
+	for wr := 0; wr < 4; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				op := fmt.Sprintf("insert Sale('item-%d-%d', 'Mary')", wr, i)
+				resp, err := http.Post(ts.URL+"/update", "text/plain", strings.NewReader(op))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("update status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(wr)
+	}
+	// Readers: 4 goroutines × 30 queries each.
+	for rd := 0; rd < 4; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				resp, err := http.Get(ts.URL + "/query?q=" + escape("pi{clerk}(Sale join Emp)"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var body struct {
+					Result struct {
+						Count int `json:"count"`
+					} `json:"result"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+					t.Error(err)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// 80 distinct inserts + the initial TV set sale, all by Mary.
+	var q struct {
+		Result struct {
+			Count int `json:"count"`
+		} `json:"result"`
+	}
+	getJSON(t, ts.URL+"/query?q="+escape("Sale"), &q)
+	if q.Result.Count != 81 {
+		t.Errorf("|Sale| = %d, want 81", q.Result.Count)
+	}
+	// And the warehouse is still exactly reconstructable.
+	var emp struct {
+		Count int `json:"count"`
+	}
+	getJSON(t, ts.URL+"/reconstruct/Emp", &emp)
+	if emp.Count != 2 {
+		t.Errorf("|Emp| = %d, want 2", emp.Count)
+	}
+}

@@ -1,0 +1,67 @@
+// Command dwserve runs an independent warehouse as an HTTP service: it
+// materializes the warehouse (views + complement) from a .dw spec or a
+// snapshot, answers arbitrary source queries through the Theorem 3.1
+// translation, and applies reported source updates with warehouse-only
+// incremental maintenance — the deployment shape of Figure 1 with the
+// integrator exposed over HTTP.
+//
+// Usage:
+//
+//	dwserve -spec warehouse.dw [-addr :8080] [-prop22]
+//	        [-state snap.gob] [-save snap.gob]
+//
+// With -save, every successful update persists the warehouse state, so a
+// restarted server (-state) resumes exactly where it stopped — without
+// ever contacting a source.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	dwc "dwcomplement"
+)
+
+func main() {
+	fs := flag.NewFlagSet("dwserve", flag.ExitOnError)
+	specPath := fs.String("spec", "", "path to the .dw warehouse specification (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	prop22 := fs.Bool("prop22", false, "ignore integrity constraints (Proposition 2.2)")
+	statePath := fs.String("state", "", "restore the warehouse state from this snapshot")
+	savePath := fs.String("save", "", "persist the warehouse state here after every update")
+	_ = fs.Parse(os.Args[1:])
+
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "dwserve: -spec is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwserve:", err)
+		os.Exit(1)
+	}
+	spec, err := dwc.ParseSpec(string(raw))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwserve:", err)
+		os.Exit(1)
+	}
+	opts := dwc.Theorem22()
+	if *prop22 {
+		opts = dwc.Proposition22()
+	}
+	srv, err := newServer(spec, opts, *statePath, *savePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dwserve: %d relation(s), %d view(s), %d stored complement(s)\n",
+		len(spec.DB.Names()), spec.Views.Len(), len(srv.comp.StoredEntries()))
+	fmt.Printf("listening on %s\n%s\n", *addr, describeRoutes())
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "dwserve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	dwc "dwcomplement"
+	"dwcomplement/internal/relation"
+)
+
+// server wraps a materialized warehouse behind an HTTP API. All state
+// mutations flow through the incremental maintainer; queries are
+// translated and answered warehouse-only — the server never holds a
+// connection to any source, which is exactly the deployment the paper
+// argues for.
+type server struct {
+	spec     *dwc.Spec
+	comp     *dwc.Complement
+	maintain *dwc.Maintainer
+
+	mu        sync.RWMutex
+	w         *dwc.Warehouse
+	refreshes int
+	snapshot  string // path for persistence after updates ("" = off)
+}
+
+// newServer builds the warehouse from the parsed spec (or a snapshot).
+func newServer(spec *dwc.Spec, opts dwc.Options, statePath, savePath string) (*server, error) {
+	comp, err := dwc.ComputeComplement(spec.DB, spec.Views, opts)
+	if err != nil {
+		return nil, err
+	}
+	w := dwc.NewWarehouse(comp)
+	if statePath != "" {
+		ms, err := dwc.LoadSnapshot(statePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := dwc.VerifySnapshot(ms, comp.Resolver()); err != nil {
+			return nil, err
+		}
+		w.LoadState(ms)
+	} else if err := w.Initialize(spec.State); err != nil {
+		return nil, err
+	}
+	return &server{
+		spec:     spec,
+		comp:     comp,
+		maintain: dwc.NewMaintainer(comp),
+		w:        w,
+		snapshot: savePath,
+	}, nil
+}
+
+// handler returns the HTTP routing table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /schema", s.handleSchema)
+	mux.HandleFunc("GET /complement", s.handleComplement)
+	mux.HandleFunc("GET /relations", s.handleRelations)
+	mux.HandleFunc("GET /relations/{name}", s.handleRelation)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("GET /reconstruct/{base}", s.handleReconstruct)
+	return mux
+}
+
+// jsonValue shapes a relation.Value for JSON: numbers, strings, bools and
+// null map to their native JSON forms.
+func jsonValue(v relation.Value) interface{} {
+	switch v.Kind() {
+	case relation.KindBool:
+		return v.AsBool()
+	case relation.KindInt:
+		return v.AsInt()
+	case relation.KindFloat:
+		return v.AsFloat()
+	case relation.KindString:
+		return v.AsString()
+	default:
+		return nil
+	}
+}
+
+// jsonRelation shapes a relation for JSON responses.
+func jsonRelation(r *relation.Relation) map[string]interface{} {
+	rows := make([][]interface{}, 0, r.Len())
+	for _, t := range r.SortedTuples() {
+		row := make([]interface{}, len(t))
+		for i, v := range t {
+			row[i] = jsonValue(v)
+		}
+		rows = append(rows, row)
+	}
+	return map[string]interface{}{
+		"attributes": r.Attrs(),
+		"tuples":     rows,
+		"count":      r.Len(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":    "ok",
+		"relations": len(s.w.Names()),
+		"tuples":    s.w.Size(),
+		"refreshes": s.refreshes,
+	})
+}
+
+func (s *server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	views := map[string]string{}
+	for _, v := range s.spec.Views.Views() {
+		views[v.Name] = v.Expr().String()
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"database": s.spec.DB.String(),
+		"views":    views,
+	})
+}
+
+func (s *server) handleComplement(w http.ResponseWriter, _ *http.Request) {
+	entries := make([]map[string]interface{}, 0)
+	for _, e := range s.comp.Entries() {
+		entries = append(entries, map[string]interface{}{
+			"base":        e.Base,
+			"name":        e.Name,
+			"alwaysEmpty": e.AlwaysEmpty,
+			"definition":  e.Def.String(),
+			"inverse":     e.Inverse.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"entries": entries})
+}
+
+func (s *server) handleRelations(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := map[string]int{}
+	for _, name := range s.w.Names() {
+		r, _ := s.w.Relation(name)
+		out[name] = r.Len()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleRelation(w http.ResponseWriter, req *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	name := req.PathValue("name")
+	r, ok := s.w.Relation(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no warehouse relation %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, jsonRelation(r))
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
+	src := req.URL.Query().Get("q")
+	if src == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	q, err := dwc.ParseExpr(src)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	qHat, err := s.w.TranslateQuery(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ans, err := dwc.EvalExpr(qHat, s.w)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"query":      q.String(),
+		"translated": qHat.String(),
+		"result":     jsonRelation(ans),
+	})
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	u, err := dwc.ParseUpdateOps(s.spec.DB, string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats, err := s.maintain.Refresh(s.w, u)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.refreshes++
+	if s.snapshot != "" {
+		if err := dwc.SaveSnapshot(s.snapshot, s.w.State()); err != nil {
+			writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("update applied but snapshot failed: %w", err))
+			return
+		}
+	}
+	changed := map[string]int{}
+	for name, n := range stats.Changed {
+		if n > 0 {
+			changed[name] = n
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"sourceChanges":    stats.UpdateSize,
+		"warehouseChanges": stats.Total(),
+		"changedRelations": changed,
+	})
+}
+
+func (s *server) handleReconstruct(w http.ResponseWriter, req *http.Request) {
+	base := req.PathValue("base")
+	if _, ok := s.spec.DB.Schema(base); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no base relation %q", base))
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bases, err := s.w.ReconstructBases()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jsonRelation(bases[base]))
+}
+
+// describeRoutes lists the API for the startup banner.
+func describeRoutes() string {
+	return strings.Join([]string{
+		"GET  /healthz                 server and warehouse status",
+		"GET  /schema                  database and view definitions",
+		"GET  /complement              complement entries and inverses",
+		"GET  /relations               warehouse relation sizes",
+		"GET  /relations/{name}        one materialized relation",
+		"GET  /query?q=<expr>          translate + answer a source query",
+		"POST /update                  apply update ops (insert R(...)/delete R(...))",
+		"GET  /reconstruct/{base}      recompute a base relation via W⁻¹",
+	}, "\n")
+}

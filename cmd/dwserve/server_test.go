@@ -1,0 +1,214 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	dwc "dwcomplement"
+)
+
+const testSpec = `
+relation Sale(item string, clerk string)
+relation Emp(clerk string, age int) key(clerk)
+ind Sale[clerk] <= Emp[clerk]
+view Sold = pi{item, clerk, age}(Sale join Emp)
+insert Emp('Mary', 23)
+insert Emp('Paula', 32)
+insert Sale('TV set', 'Mary')
+`
+
+func newTestServer(t *testing.T, statePath, savePath string) *httptest.Server {
+	t.Helper()
+	spec, err := dwc.ParseSpec(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(spec, dwc.Theorem22(), statePath, savePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func postText(t *testing.T, url, body string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func TestHealthAndSchema(t *testing.T) {
+	ts := newTestServer(t, "", "")
+	var health map[string]interface{}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("health = %v", health)
+	}
+	var schema map[string]interface{}
+	getJSON(t, ts.URL+"/schema", &schema)
+	if !strings.Contains(schema["database"].(string), "relation Sale") {
+		t.Errorf("schema = %v", schema)
+	}
+}
+
+func TestComplementEndpoint(t *testing.T) {
+	ts := newTestServer(t, "", "")
+	var body struct {
+		Entries []map[string]interface{} `json:"entries"`
+	}
+	getJSON(t, ts.URL+"/complement", &body)
+	if len(body.Entries) != 2 {
+		t.Fatalf("entries = %v", body.Entries)
+	}
+	// With the IND, C_Sale is proved empty.
+	for _, e := range body.Entries {
+		if e["base"] == "Sale" && e["alwaysEmpty"] != true {
+			t.Errorf("C_Sale not proved empty: %v", e)
+		}
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := newTestServer(t, "", "")
+	var body struct {
+		Translated string `json:"translated"`
+		Result     struct {
+			Count  int             `json:"count"`
+			Tuples [][]interface{} `json:"tuples"`
+		} `json:"result"`
+	}
+	code := getJSON(t, ts.URL+"/query?q="+escape("pi{clerk}(Emp) minus pi{clerk}(Sale)"), &body)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if body.Result.Count != 1 || body.Result.Tuples[0][0] != "Paula" {
+		t.Errorf("result = %+v", body.Result)
+	}
+	if !strings.Contains(body.Translated, "Sold") {
+		t.Errorf("translated = %q", body.Translated)
+	}
+	// Errors.
+	var e map[string]string
+	if code := getJSON(t, ts.URL+"/query", &e); code != 400 {
+		t.Errorf("missing q: %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/query?q="+escape("pi{zz}(Nope)"), &e); code != 400 {
+		t.Errorf("bad query: %d", code)
+	}
+}
+
+func TestUpdateEndpoint(t *testing.T) {
+	ts := newTestServer(t, "", "")
+	var res map[string]interface{}
+	code := postText(t, ts.URL+"/update", "insert Sale('Computer', 'Paula')", &res)
+	if code != 200 {
+		t.Fatalf("update status %d: %v", code, res)
+	}
+	if res["sourceChanges"].(float64) != 1 {
+		t.Errorf("res = %v", res)
+	}
+	// The new join tuple is visible immediately.
+	var q struct {
+		Result struct {
+			Count int `json:"count"`
+		} `json:"result"`
+	}
+	getJSON(t, ts.URL+"/query?q="+escape("sigma{clerk = 'Paula'}(Sale join Emp)"), &q)
+	if q.Result.Count != 1 {
+		t.Errorf("Paula's sale not visible: %+v", q)
+	}
+	// Malformed ops.
+	var e map[string]string
+	if code := postText(t, ts.URL+"/update", "garbage", &e); code != 400 {
+		t.Errorf("garbage update: %d", code)
+	}
+}
+
+func TestRelationEndpoints(t *testing.T) {
+	ts := newTestServer(t, "", "")
+	var sizes map[string]int
+	getJSON(t, ts.URL+"/relations", &sizes)
+	if sizes["Sold"] != 1 || sizes["C_Emp"] != 1 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	var rel struct {
+		Attributes []string `json:"attributes"`
+		Count      int      `json:"count"`
+	}
+	if code := getJSON(t, ts.URL+"/relations/Sold", &rel); code != 200 || rel.Count != 1 {
+		t.Errorf("Sold = %+v (%d)", rel, code)
+	}
+	var e map[string]string
+	if code := getJSON(t, ts.URL+"/relations/Nope", &e); code != 404 {
+		t.Errorf("unknown relation: %d", code)
+	}
+}
+
+func TestReconstructEndpoint(t *testing.T) {
+	ts := newTestServer(t, "", "")
+	var rel struct {
+		Count int `json:"count"`
+	}
+	if code := getJSON(t, ts.URL+"/reconstruct/Emp", &rel); code != 200 || rel.Count != 2 {
+		t.Errorf("Emp = %+v (%d)", rel, code)
+	}
+	var e map[string]string
+	if code := getJSON(t, ts.URL+"/reconstruct/Nope", &e); code != 404 {
+		t.Errorf("unknown base: %d", code)
+	}
+}
+
+func TestPersistenceAcrossRestarts(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "wh.gob")
+	ts := newTestServer(t, "", snap)
+	var res map[string]interface{}
+	if code := postText(t, ts.URL+"/update", "insert Sale('Radio', 'Paula')", &res); code != 200 {
+		t.Fatalf("update failed: %v", res)
+	}
+	ts.Close()
+
+	// Restart from the snapshot: Paula's radio sale must be there.
+	ts2 := newTestServer(t, snap, "")
+	var q struct {
+		Result struct {
+			Count int `json:"count"`
+		} `json:"result"`
+	}
+	getJSON(t, ts2.URL+"/query?q="+escape("sigma{item = 'Radio'}(Sale)"), &q)
+	if q.Result.Count != 1 {
+		t.Errorf("state lost across restart: %+v", q)
+	}
+}
+
+func escape(q string) string {
+	r := strings.NewReplacer(
+		" ", "%20", "{", "%7B", "}", "%7D", "'", "%27", "=", "%3D", "+", "%2B")
+	return r.Replace(q)
+}

@@ -1,0 +1,97 @@
+// Selfmaint demonstrates how complements shrink as the warehouse grows
+// (Example 2.1 — the multiple-view self-maintenance situation of Huyn's
+// VLDB'97 setting) and prints the symbolic maintenance expressions of
+// Example 4.1, first over the sources and then in warehouse-only form.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dwc "dwcomplement"
+)
+
+func main() {
+	// Example 2.1: D = {R(X,Y), S(Y,Z), T(Z)}, V1 = R ⋈ S ⋈ T.
+	db := dwc.NewDatabase()
+	db.MustAddSchema(dwc.NewSchema("R", "X:int", "Y:int"))
+	db.MustAddSchema(dwc.NewSchema("S", "Y:int", "Z:int"))
+	db.MustAddSchema(dwc.NewSchema("T", "Z:int"))
+
+	v1 := dwc.NewView("V1", []string{"X", "Y", "Z"}, nil, "R", "S", "T")
+	v2 := dwc.NewView("V2", []string{"Y", "Z"}, nil, "S")
+
+	st := db.NewState().
+		MustInsert("R", dwc.Int(1), dwc.Int(10)).
+		MustInsert("R", dwc.Int(2), dwc.Int(20)).
+		MustInsert("S", dwc.Int(10), dwc.Int(100)).
+		MustInsert("S", dwc.Int(30), dwc.Int(300)).
+		MustInsert("T", dwc.Int(100)).
+		MustInsert("T", dwc.Int(400))
+
+	fmt.Println("== Warehouse {V1} (Example 2.1, first part) ==")
+	only1, err := dwc.ComputeComplement(db, dwc.MustNewViewSet(db, v1), dwc.Proposition22())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(only1)
+	printComplementSizes(only1, st)
+
+	fmt.Println("\n== Warehouse {V1, V2 = S} (Example 2.1, second part) ==")
+	opts := dwc.Proposition22()
+	opts.DetectEmpty = true
+	both, err := dwc.ComputeComplement(db, dwc.MustNewViewSet(db, v1, v2.Clone()), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(both)
+	printComplementSizes(both, st)
+	fmt.Println("\nWith V2 = S in the warehouse, the S-complement is provably empty:")
+	fmt.Println("all of S is available for computing incremental changes, which is")
+	fmt.Println("exactly why {V1, V2} is self-maintainable although V1 alone is not.")
+
+	// Example 4.1: symbolic maintenance expressions for insertions into R.
+	fmt.Println("\n== Symbolic maintenance expressions (in the spirit of Example 4.1) ==")
+	shape := dwc.InsertionsInto("R")
+	m, err := dwc.DeriveMaintenance("V1", v1.Expr(), shape, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("over the sources:")
+	fmt.Println("  ", m)
+	wm := dwc.TranslateMaintenance(m, both)
+	fmt.Println("warehouse-only (every base relation replaced by its inverse):")
+	fmt.Println("  ", wm)
+
+	// And show the maintenance actually working: insert ⟨3, 30⟩ into R,
+	// which joins with the previously dangling S tuple ⟨30, 300⟩... but T
+	// lacks 300, so V1 is unchanged while the complements shrink/grow.
+	w, err := dwc.BuildWarehouse(db, dwc.MustNewViewSet(db, v1.Clone(), v2.Clone()), opts, st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := dwc.NewUpdate().
+		MustInsert("R", db, dwc.Int(3), dwc.Int(30)).
+		MustInsert("T", db, dwc.Int(300))
+	stats, err := dwc.NewMaintainer(w.Complement()).Refresh(w, u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== Incremental refresh of {V1, V2} under %v ==\n", u)
+	fmt.Printf("%d warehouse tuple change(s)\n", stats.Total())
+	r, _ := w.Relation("V1")
+	fmt.Printf("V1 now (⟨3,30,300⟩ joined through the new T tuple):\n%s\n", r)
+}
+
+func printComplementSizes(c *dwc.Complement, st *dwc.State) {
+	total := 0
+	for _, e := range c.StoredEntries() {
+		r, err := dwc.EvalExpr(e.Def, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  stored %-4s: %d tuple(s)\n", e.Name, r.Len())
+		total += r.Len()
+	}
+	fmt.Printf("  total complement storage on this state: %d tuple(s)\n", total)
+}

@@ -1,0 +1,3 @@
+module dwcomplement
+
+go 1.22

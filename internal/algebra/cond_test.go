@@ -1,0 +1,90 @@
+package algebra
+
+import (
+	"testing"
+
+	"dwcomplement/internal/relation"
+)
+
+func TestCondStringForms(t *testing.T) {
+	tests := []struct {
+		c    Cond
+		want string
+	}{
+		{True{}, "true"},
+		{AttrEqConst("a", relation.Int(1)), "a = 1"},
+		{
+			&Or{L: AttrEqConst("a", relation.Int(1)), R: AttrEqConst("b", relation.Int(2))},
+			"a = 1 or b = 2",
+		},
+		{&Not{C: AttrEqConst("a", relation.Int(1))}, "not a = 1"},
+		{
+			&Not{C: &And{L: True{}, R: AttrEqConst("a", relation.Int(1))}},
+			"not (true and a = 1)",
+		},
+		{
+			&And{L: &Or{L: True{}, R: True{}}, R: True{}},
+			"(true or true) and true",
+		},
+		{AttrCmpAttr("x", OpGe, "y"), "x >= y"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	a := AttrEqConst("a", relation.Int(1))
+	b := AttrEqConst("b", relation.Int(2))
+	c := AttrEqConst("c", relation.Int(3))
+	nested := &And{L: &And{L: a, R: b}, R: c}
+	got := Conjuncts(nested)
+	if len(got) != 3 {
+		t.Fatalf("conjuncts = %v", got)
+	}
+	if len(Conjuncts(True{})) != 0 {
+		t.Error("True must flatten to nothing")
+	}
+	or := &Or{L: a, R: b}
+	if len(Conjuncts(or)) != 1 {
+		t.Error("disjunction is a single conjunct")
+	}
+	if len(Conjuncts(&Not{C: a})) != 1 {
+		t.Error("negation is a single conjunct")
+	}
+}
+
+func TestCmpOpStringUnknown(t *testing.T) {
+	if CmpOp(99).String() != "?" {
+		t.Error("unknown op spelling")
+	}
+	if CmpOp(99).Negate() != CmpOp(99) {
+		t.Error("unknown op negation")
+	}
+}
+
+func TestRenameCondAttrsAllShapes(t *testing.T) {
+	m := map[string]string{"a": "x"}
+	cases := []Cond{
+		True{},
+		&Or{L: AttrEqConst("a", relation.Int(1)), R: AttrCmpAttr("a", OpLt, "b")},
+		&Not{C: AttrEqConst("a", relation.Int(1))},
+	}
+	for _, c := range cases {
+		r := RenameCondAttrs(c, m)
+		if CondAttrs(r).Has("a") {
+			t.Errorf("rename left %s", r)
+		}
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	if AttrOperand("x").String() != "x" {
+		t.Error("attr operand")
+	}
+	if ConstOperand(relation.String_("v")).String() != "'v'" {
+		t.Error("const operand")
+	}
+}

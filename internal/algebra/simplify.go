@@ -1,0 +1,181 @@
+package algebra
+
+import (
+	"fmt"
+
+	"dwcomplement/internal/relation"
+)
+
+// Simplify rewrites e into an equivalent, usually smaller expression. The
+// rules are purely algebraic identities — no statistics, no constraints:
+//
+//	σ_true(E)            → E
+//	π_Z(π_Y(E))          → π_Z(E)            (Z ⊆ Y; else Empty over Z)
+//	π over all attrs     → E                 (identity projection)
+//	E ⋈ Empty            → Empty over joint attrs
+//	E ∪ Empty            → E,   Empty ∪ E → E
+//	E ∖ Empty            → E,   Empty ∖ E → Empty
+//	σ/π/ρ over Empty     → Empty
+//	ρ with empty mapping → E
+//	single-input join    → E
+//	σ_c(σ_d(E))          → σ_{c∧d}(E)
+//
+// Translated queries (Theorem 3.1) run through Simplify so the warehouse
+// evaluates compact plans. The resolver is needed to decide identity
+// projections; pass nil to skip resolver-dependent rules.
+func Simplify(e Expr, res Resolver) Expr {
+	switch n := e.(type) {
+	case *Base, *Empty:
+		return Clone(e)
+
+	case *Select:
+		in := Simplify(n.Input, res)
+		if IsTrivial(n.Cond) {
+			return in
+		}
+		if em, ok := in.(*Empty); ok {
+			return Clone(em)
+		}
+		if inner, ok := in.(*Select); ok {
+			return &Select{Input: inner.Input, Cond: AndAll(inner.Cond, CloneCond(n.Cond))}
+		}
+		return &Select{Input: in, Cond: CloneCond(n.Cond)}
+
+	case *Project:
+		in := Simplify(n.Input, res)
+		z := relation.NewAttrSet(n.Attrs...)
+		if _, ok := in.(*Empty); ok {
+			return NewEmptySet(z)
+		}
+		var inAttrs relation.AttrSet
+		if res != nil {
+			if a, err := Attrs(in, res); err == nil {
+				inAttrs = a
+			}
+		}
+		if inAttrs != nil {
+			if !z.SubsetOf(inAttrs) {
+				// Z ⊄ attr(input): the paper's convention makes this the
+				// empty relation over Z.
+				return NewEmptySet(z)
+			}
+			if inAttrs.Equal(z) {
+				return in // identity projection
+			}
+		}
+		if inner, ok := in.(*Project); ok {
+			y := relation.NewAttrSet(inner.Attrs...)
+			if !z.SubsetOf(y) {
+				return NewEmptySet(z)
+			}
+			// π_Z(π_Y(E)) → π_Z(E) is sound only when the inner projection
+			// is genuine (Y ⊆ attr(E)); otherwise the inner is empty by
+			// convention and so is the whole expression. Without a
+			// resolver genuineness cannot be checked, so the nesting is
+			// kept.
+			if res != nil {
+				if ia, err := Attrs(inner.Input, res); err == nil {
+					if y.SubsetOf(ia) {
+						return &Project{Input: inner.Input, Attrs: append([]string(nil), n.Attrs...)}
+					}
+					return NewEmptySet(z)
+				}
+			}
+		}
+		return &Project{Input: in, Attrs: append([]string(nil), n.Attrs...)}
+
+	case *Join:
+		ins := make([]Expr, 0, len(n.Inputs))
+		for _, in := range n.Inputs {
+			ins = append(ins, Simplify(in, res))
+		}
+		// Flatten nested joins produced by inner simplifications.
+		flat := make([]Expr, 0, len(ins))
+		for _, in := range ins {
+			if j, ok := in.(*Join); ok {
+				flat = append(flat, j.Inputs...)
+			} else {
+				flat = append(flat, in)
+			}
+		}
+		for _, in := range flat {
+			if _, ok := in.(*Empty); ok {
+				// Join with the empty relation is empty over the joint
+				// attribute set (when resolvable; otherwise keep the join).
+				if res != nil {
+					if attrs, err := Attrs(&Join{Inputs: flat}, res); err == nil {
+						return NewEmptySet(attrs)
+					}
+				}
+			}
+		}
+		if len(flat) == 1 {
+			return flat[0]
+		}
+		return &Join{Inputs: flat}
+
+	case *Union:
+		l := Simplify(n.L, res)
+		r := Simplify(n.R, res)
+		if _, ok := l.(*Empty); ok {
+			return r
+		}
+		if _, ok := r.(*Empty); ok {
+			return l
+		}
+		if Equal(l, r) {
+			return l
+		}
+		return &Union{L: l, R: r}
+
+	case *Diff:
+		l := Simplify(n.L, res)
+		r := Simplify(n.R, res)
+		if em, ok := l.(*Empty); ok {
+			return Clone(em)
+		}
+		if _, ok := r.(*Empty); ok {
+			return l
+		}
+		if Equal(l, r) {
+			if res != nil {
+				if attrs, err := Attrs(l, res); err == nil {
+					return NewEmptySet(attrs)
+				}
+			}
+		}
+		return &Diff{L: l, R: r}
+
+	case *Rename:
+		in := Simplify(n.Input, res)
+		ident := true
+		for k, v := range n.Mapping {
+			if k != v {
+				ident = false
+				break
+			}
+		}
+		if ident {
+			return in
+		}
+		if em, ok := in.(*Empty); ok {
+			attrs := make([]string, 0, len(em.Attrs))
+			for _, a := range em.Attrs {
+				if nn, ok := n.Mapping[a]; ok {
+					attrs = append(attrs, nn)
+				} else {
+					attrs = append(attrs, a)
+				}
+			}
+			return NewEmpty(attrs...)
+		}
+		m := make(map[string]string, len(n.Mapping))
+		for k, v := range n.Mapping {
+			m[k] = v
+		}
+		return &Rename{Input: in, Mapping: m}
+
+	default:
+		panic(fmt.Sprintf("algebra: unknown node %T", e))
+	}
+}

@@ -1,0 +1,180 @@
+// Package core implements the paper's central contribution: computation of
+// warehouse complements for sets of PSJ views, without constraints
+// (Proposition 2.2) and exploiting key constraints and acyclic inclusion
+// dependencies (Theorem 2.2), together with the inverse expressions of
+// Equations (2) and (4), static detection of always-empty complements
+// (Example 2.4), and empirical verification of the complement property via
+// the injectivity characterization of Proposition 2.1.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/view"
+)
+
+// Element is a member of VK^ind_j (Section 2): either a warehouse view
+// whose schema contains the key K_j, or an IND-derived pseudo-view π_X(Ri)
+// for an inclusion dependency π_X(Ri) ⊆ π_X(Rj) with K_j ⊆ X.
+type Element struct {
+	// View is the warehouse view, nil for IND pseudo-views.
+	View *view.PSJ
+	// INDSource is Ri for the pseudo-view π_X(Ri); empty for views.
+	INDSource string
+	// X is the pseudo-view's attribute set (nil for views).
+	X relation.AttrSet
+	// Contrib is the element's contribution to covering attr(Rj):
+	// Z ∩ attr(Rj) for views, X for pseudo-views.
+	Contrib relation.AttrSet
+}
+
+// IsIND reports whether the element is an IND-derived pseudo-view.
+func (e Element) IsIND() bool { return e.View == nil }
+
+// String renders the element as the paper writes it: the view name, or
+// "π{X}(Ri)".
+func (e Element) String() string {
+	if e.View != nil {
+		return e.View.Name
+	}
+	return "π{" + strings.Join(e.X.Sorted(), ",") + "}(" + e.INDSource + ")"
+}
+
+// exprOverD returns the element's defining expression over the base
+// schemata D.
+func (e Element) exprOverD() algebra.Expr {
+	if e.View != nil {
+		return e.View.Expr()
+	}
+	return algebra.NewProjectSet(algebra.NewBase(e.INDSource), e.X)
+}
+
+// exprOverW returns the element's expression over warehouse names: views
+// become base references to their materialized relations, pseudo-views
+// project the source relation's inverse expression (Theorem 2.2's
+// footnote: "Instead of using Ri directly, we use its representation in
+// terms of views and complements").
+func (e Element) exprOverW(inverses map[string]algebra.Expr) (algebra.Expr, error) {
+	if e.View != nil {
+		return algebra.NewBase(e.View.Name), nil
+	}
+	inv, ok := inverses[e.INDSource]
+	if !ok {
+		return nil, fmt.Errorf("core: inverse of %s not yet available for pseudo-view %s (IND graph not in topological order?)", e.INDSource, e)
+	}
+	return algebra.NewProjectSet(algebra.Clone(inv), e.X), nil
+}
+
+// Cover is a minimal subset of VK^ind_j whose contributions jointly cover
+// attr(Rj) (Section 2's covers; the set of all covers is C^ind_{Rj}).
+type Cover struct {
+	Elems []Element
+}
+
+// String renders the cover as "{V3, π{A,C}(R2)}", elements sorted for
+// deterministic output.
+func (c Cover) String() string {
+	parts := make([]string, len(c.Elems))
+	for i, e := range c.Elems {
+		parts[i] = e.String()
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// key returns a canonical identity for deduplication and sorting.
+func (c Cover) key() string {
+	parts := make([]string, len(c.Elems))
+	for i, e := range c.Elems {
+		parts[i] = e.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// maxCoverElements bounds the subset enumeration; covers are enumerated
+// over at most this many VK^ind elements (2^16 subsets). Warehouses with
+// more key-covering views over a single base relation are out of scope for
+// exhaustive cover enumeration and yield an error rather than silently
+// dropped covers.
+const maxCoverElements = 16
+
+// enumerateCovers returns all minimal covers of target by the elements'
+// contributions, sorted by size then lexicographically for determinism.
+// Elements contributing nothing are dropped up front.
+func enumerateCovers(elems []Element, target relation.AttrSet) ([]Cover, error) {
+	useful := make([]Element, 0, len(elems))
+	for _, e := range elems {
+		if !e.Contrib.Intersect(target).IsEmpty() {
+			useful = append(useful, e)
+		}
+	}
+	if len(useful) > maxCoverElements {
+		return nil, fmt.Errorf("core: %d candidate views/pseudo-views for one relation exceeds the cover-enumeration bound %d",
+			len(useful), maxCoverElements)
+	}
+	n := len(useful)
+	var all []struct {
+		mask  uint32
+		attrs relation.AttrSet
+	}
+	for mask := uint32(1); mask < 1<<n; mask++ {
+		attrs := relation.NewAttrSet()
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				attrs = attrs.Union(useful[i].Contrib)
+			}
+		}
+		if target.SubsetOf(attrs) {
+			all = append(all, struct {
+				mask  uint32
+				attrs relation.AttrSet
+			}{mask, attrs})
+		}
+	}
+	// Minimality: keep masks with no covering proper subset. Sorting by
+	// popcount lets each candidate be checked against smaller covers only.
+	sort.Slice(all, func(i, j int) bool { return popcount(all[i].mask) < popcount(all[j].mask) })
+	var minimal []uint32
+	for _, c := range all {
+		isMin := true
+		for _, m := range minimal {
+			if m&c.mask == m {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			minimal = append(minimal, c.mask)
+		}
+	}
+	covers := make([]Cover, 0, len(minimal))
+	for _, mask := range minimal {
+		var cv Cover
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cv.Elems = append(cv.Elems, useful[i])
+			}
+		}
+		covers = append(covers, cv)
+	}
+	sort.Slice(covers, func(i, j int) bool {
+		if len(covers[i].Elems) != len(covers[j].Elems) {
+			return len(covers[i].Elems) < len(covers[j].Elems)
+		}
+		return covers[i].key() < covers[j].key()
+	})
+	return covers, nil
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

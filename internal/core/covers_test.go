@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/view"
+)
+
+func TestEnumerateCoversMinimality(t *testing.T) {
+	mk := func(name string, attrs ...string) Element {
+		return Element{
+			View:    view.NewPSJ(name, attrs, nil, "R"),
+			Contrib: relation.NewAttrSet(attrs...),
+		}
+	}
+	target := relation.NewAttrSet("a", "b", "c")
+	elems := []Element{
+		mk("Vab", "a", "b"),
+		mk("Vbc", "b", "c"),
+		mk("Vabc", "a", "b", "c"),
+		mk("Vc", "c"),
+		mk("Vz", "z"), // contributes nothing
+	}
+	covers, err := enumerateCovers(elems, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"{Vabc}":     true,
+		"{Vab, Vbc}": true,
+		"{Vab, Vc}":  true,
+	}
+	got := map[string]bool{}
+	for _, cv := range covers {
+		got[cv.String()] = true
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("missing cover %s; got %v", w, covers)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("covers = %v, want exactly %v", covers, want)
+	}
+	// No non-minimal cover (e.g. {Vabc, Vc}) may appear.
+	for c := range got {
+		if strings.Contains(c, "Vabc") && strings.Contains(c, ",") {
+			t.Errorf("non-minimal cover %s", c)
+		}
+	}
+}
+
+func TestEnumerateCoversNoSolution(t *testing.T) {
+	covers, err := enumerateCovers(nil, relation.NewAttrSet("a"))
+	if err != nil || len(covers) != 0 {
+		t.Errorf("covers = %v, %v", covers, err)
+	}
+}
+
+// TestCoverEnumerationCap verifies the guard against combinatorial
+// explosion: more than maxCoverElements candidate views for one relation
+// is an explicit error, not a silent truncation.
+func TestCoverEnumerationCap(t *testing.T) {
+	db := catalog.NewDatabase().
+		MustAddSchema(relation.NewSchema("R", "k:int", "a:int", "b:int").WithKey("k"))
+	var views []*view.PSJ
+	// 17 distinct key-covering views of R: each projects the key plus a
+	// different selection, all contributing {k, a}.
+	for i := 0; i < maxCoverElements+1; i++ {
+		views = append(views, view.NewPSJ(
+			fmt.Sprintf("V%02d", i),
+			[]string{"k", "a"},
+			// Distinct conditions keep the views from being deduplicated.
+			condEq(i),
+			"R"))
+	}
+	vs := view.MustNewSet(db, views...)
+	_, err := Compute(db, vs, Theorem22())
+	if err == nil || !strings.Contains(err.Error(), "cover-enumeration bound") {
+		t.Errorf("cap not enforced: %v", err)
+	}
+}
+
+func condEq(i int) *algebra.Cmp {
+	return algebra.AttrCmpConst("b", algebra.OpNe, relation.Int(int64(i)))
+}

@@ -1,0 +1,304 @@
+package maintain
+
+import (
+	"fmt"
+	"sync"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/core"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/warehouse"
+)
+
+// VirtualState resolves base-relation references by evaluating their
+// inverse expressions against a warehouse state — the mechanical form of
+// the paper's instruction to "replace any reference to a base relation
+// occurring in the maintenance expression by its inverse" (Section 4).
+// Reconstructed relations are cached for the lifetime of the VirtualState,
+// which is one refresh round.
+type VirtualState struct {
+	inverses map[string]algebra.Expr
+	w        algebra.State
+
+	mu    sync.Mutex
+	cache map[string]*relation.Relation
+}
+
+// NewVirtualState builds a virtual pre-state over the warehouse state.
+func NewVirtualState(comp *core.Complement, w algebra.State) *VirtualState {
+	return &VirtualState{
+		inverses: comp.InverseMap(),
+		w:        w,
+		cache:    make(map[string]*relation.Relation),
+	}
+}
+
+// Relation implements algebra.State: base names resolve through W⁻¹.
+// Safe for concurrent use; reconstruction of each base happens once and
+// the cached relations are treated as read-only.
+func (v *VirtualState) Relation(name string) (*relation.Relation, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if r, ok := v.cache[name]; ok {
+		return r, true
+	}
+	inv, ok := v.inverses[name]
+	if !ok {
+		return nil, false
+	}
+	r, err := algebra.Eval(inv, v.w)
+	if err != nil {
+		return nil, false
+	}
+	v.cache[name] = r
+	return r, true
+}
+
+// RefreshStats reports what a refresh did, for benchmarks and logs.
+type RefreshStats struct {
+	// Changed maps each warehouse relation to the number of tuples its
+	// delta touched (insertions + deletions).
+	Changed map[string]int
+	// UpdateSize is the size of the normalized source update.
+	UpdateSize int
+}
+
+// Total returns the total number of warehouse tuple changes.
+func (s RefreshStats) Total() int {
+	n := 0
+	for _, c := range s.Changed {
+		n += c
+	}
+	return n
+}
+
+// DeltaConsumer receives the exact per-relation delta of every refresh,
+// after it has been applied. Downstream materializations — the aggregate
+// summary tables of Section 5 (package aggregate) — hook in here.
+type DeltaConsumer interface {
+	// Consume is called once per refreshed warehouse relation with the
+	// exact delta and the post-state relation.
+	Consume(target string, d Delta, post *relation.Relation) error
+}
+
+// Maintainer applies source updates to a warehouse incrementally and
+// update-independently: all information comes from the warehouse state and
+// the reported update, never from the sources (Theorem 4.1).
+type Maintainer struct {
+	comp      *core.Complement
+	consumers []DeltaConsumer
+	parallel  bool
+}
+
+// NewMaintainer returns a maintainer for warehouses built from the
+// complement.
+func NewMaintainer(comp *core.Complement) *Maintainer {
+	return &Maintainer{comp: comp}
+}
+
+// AddConsumer registers a downstream delta consumer (e.g. an aggregate
+// view over one of the maintained relations).
+func (m *Maintainer) AddConsumer(c DeltaConsumer) {
+	m.consumers = append(m.consumers, c)
+}
+
+// SetParallel toggles concurrent delta computation: the per-relation
+// deltas of one refresh are independent (they read the shared pre-state
+// but write nothing), so wide warehouses can propagate them on separate
+// goroutines. Application remains serialized.
+func (m *Maintainer) SetParallel(p bool) {
+	m.parallel = p
+}
+
+// Refresh computes w' = W(u(W⁻¹(w))) incrementally and applies it to the
+// warehouse in place. Every view and stored complement gets its delta from
+// Propagate, with all pre-state reads answered by the VirtualState. The
+// deltas for all relations are computed against the same pre-state before
+// any of them is applied.
+func (m *Maintainer) Refresh(w *warehouse.Warehouse, u *catalog.Update) (RefreshStats, error) {
+	stats := RefreshStats{Changed: make(map[string]int)}
+	vst := NewVirtualState(m.comp, w)
+	nu, err := NormalizeUpdate(u, vst, m.comp)
+	if err != nil {
+		return stats, err
+	}
+	stats.UpdateSize = nu.Size()
+
+	type target struct {
+		name string
+		def  algebra.Expr
+	}
+	var targets []target
+	for _, v := range m.comp.Views().Views() {
+		targets = append(targets, target{v.Name, v.Expr()})
+	}
+	for _, e := range m.comp.StoredEntries() {
+		targets = append(targets, target{e.Name, e.Def})
+	}
+
+	type pending struct {
+		name string
+		d    Delta
+	}
+	deltas := make([]pending, len(targets))
+	if m.parallel && len(targets) > 1 {
+		// Prime the virtual pre-state for the touched relations so the
+		// goroutines share reconstructions instead of racing to build them
+		// (the cache itself is mutex-guarded either way).
+		for _, name := range nu.Touched() {
+			vst.Relation(name)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(targets))
+		for i, tg := range targets {
+			wg.Add(1)
+			go func(i int, tg target) {
+				defer wg.Done()
+				d, err := Propagate(tg.def, vst, nu)
+				if err != nil {
+					errs[i] = fmt.Errorf("maintain: %s: %w", tg.name, err)
+					return
+				}
+				deltas[i] = pending{tg.name, d}
+			}(i, tg)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return stats, err
+			}
+		}
+	} else {
+		for i, tg := range targets {
+			d, err := Propagate(tg.def, vst, nu)
+			if err != nil {
+				return stats, fmt.Errorf("maintain: %s: %w", tg.name, err)
+			}
+			deltas[i] = pending{tg.name, d}
+		}
+	}
+	for _, p := range deltas {
+		r, ok := w.Relation(p.name)
+		if !ok {
+			return stats, fmt.Errorf("maintain: warehouse has no relation %q", p.name)
+		}
+		exact := p.d.Exact(r)
+		exact.ApplyTo(r)
+		stats.Changed[p.name] = exact.Size()
+		for _, consumer := range m.consumers {
+			if err := consumer.Consume(p.name, exact, r); err != nil {
+				return stats, fmt.Errorf("maintain: consumer for %s: %w", p.name, err)
+			}
+		}
+	}
+	return stats, nil
+}
+
+// RefreshByRecompute is the semantic reference implementation of Theorem
+// 4.1: reconstruct all base relations through W⁻¹, apply the update, and
+// re-materialize every warehouse relation from scratch. It is
+// update-independent too (no source access) but pays full recomputation;
+// experiment E12 benchmarks the two against each other, and the test suite
+// checks they agree tuple-for-tuple.
+func (m *Maintainer) RefreshByRecompute(w *warehouse.Warehouse, u *catalog.Update) error {
+	bases, err := w.ReconstructBases()
+	if err != nil {
+		return err
+	}
+	db := m.comp.Database()
+	st := db.NewState()
+	for name, r := range bases {
+		var insertErr error
+		r.Each(func(t relation.Tuple) {
+			if insertErr != nil {
+				return
+			}
+			cur, _ := st.Relation(name)
+			if _, err := st.Insert(name, alignTuple(r, cur, t)); err != nil {
+				insertErr = err
+			}
+		})
+		if insertErr != nil {
+			return insertErr
+		}
+	}
+	if err := u.Apply(st); err != nil {
+		return err
+	}
+	return w.Initialize(st)
+}
+
+// NormalizeUpdate normalizes the update against the virtual pre-state
+// (inserts already present are dropped, deletes of absent tuples are
+// dropped, insert+delete pairs become no-ops) without ever touching the
+// real sources. Star warehouses and other callers with their own refresh
+// loops use it before Propagate. Only membership checks against the
+// reconstructed relations are performed — no state copies.
+func NormalizeUpdate(u *catalog.Update, vst *VirtualState, comp *core.Complement) (*catalog.Update, error) {
+	db := comp.Database()
+	out := catalog.NewUpdate()
+	for _, name := range u.Touched() {
+		cur, ok := vst.Relation(name)
+		if !ok {
+			return nil, fmt.Errorf("maintain: no inverse for updated relation %q", name)
+		}
+		sc, ok := db.Schema(name)
+		if !ok {
+			return nil, fmt.Errorf("maintain: update references unknown relation %q", name)
+		}
+		schemaAttrs := sc.AttrNames()
+		ins, del := u.Inserts(name), u.Deletes(name)
+		if ins != nil {
+			var insertErr error
+			ins.Each(func(t relation.Tuple) {
+				if insertErr != nil {
+					return
+				}
+				if cur.ContainsAligned(t, ins) {
+					return // already present (covers delete+re-insert too)
+				}
+				if del != nil && del.ContainsAligned(t, ins) {
+					return // insert+delete of an absent tuple: no-op
+				}
+				insertErr = out.Insert(name, db, alignToAttrs(ins, schemaAttrs, t))
+			})
+			if insertErr != nil {
+				return nil, insertErr
+			}
+		}
+		if del != nil {
+			var delErr error
+			del.Each(func(t relation.Tuple) {
+				if delErr != nil {
+					return
+				}
+				if !cur.ContainsAligned(t, del) {
+					return // absent: nothing to delete
+				}
+				if ins != nil && ins.ContainsAligned(t, del) {
+					return // delete+re-insert of a present tuple: no-op
+				}
+				delErr = out.Delete(name, db, alignToAttrs(del, schemaAttrs, t))
+			})
+			if delErr != nil {
+				return nil, delErr
+			}
+		}
+	}
+	return out, nil
+}
+
+// alignToAttrs lays out tuple t (in src's column order) according to the
+// given attribute-name order.
+func alignToAttrs(src *relation.Relation, attrs []string, t relation.Tuple) relation.Tuple {
+	out := make(relation.Tuple, len(attrs))
+	for i, a := range attrs {
+		p, ok := src.Pos(a)
+		if !ok {
+			panic(fmt.Sprintf("maintain: attribute %q missing while aligning tuple", a))
+		}
+		out[i] = t[p]
+	}
+	return out
+}

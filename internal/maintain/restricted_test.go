@@ -1,0 +1,138 @@
+package maintain
+
+import (
+	"math/rand"
+	"testing"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/workload"
+)
+
+// TestRestrictedContract verifies the restricted-value invariant on every
+// node type: for any probe, the restricted value agrees with the full
+// value exactly on probe-matching tuples (both directions), under both
+// valKinds, across random states and updates.
+func TestRestrictedContract(t *testing.T) {
+	sc := workload.Figure1(false)
+	exprs := []algebra.Expr{
+		algebra.NewBase("Sale"),
+		algebra.NewSelect(algebra.NewBase("Emp"), algebra.AttrCmpConst("age", algebra.OpGt, relation.Int(24))),
+		algebra.NewProject(algebra.NewJoin(algebra.NewBase("Sale"), algebra.NewBase("Emp")), "clerk", "age"),
+		algebra.NewJoin(algebra.NewBase("Sale"), algebra.NewBase("Emp")),
+		algebra.NewUnion(
+			algebra.NewProject(algebra.NewBase("Sale"), "clerk"),
+			algebra.NewProject(algebra.NewBase("Emp"), "clerk")),
+		algebra.NewDiff(
+			algebra.NewProject(algebra.NewBase("Emp"), "clerk"),
+			algebra.NewProject(algebra.NewBase("Sale"), "clerk")),
+		algebra.NewDiff(algebra.NewBase("Emp"),
+			algebra.NewProject(algebra.NewJoin(algebra.NewBase("Sale"), algebra.NewBase("Emp")), "clerk", "age")),
+		algebra.NewRename(algebra.NewBase("Emp"), map[string]string{"clerk": "person"}),
+	}
+	gen := workload.NewGen(sc.DB, 3)
+	rng := rand.New(rand.NewSource(8))
+
+	for round := 0; round < 25; round++ {
+		st := gen.State(8)
+		u := gen.Update(st, 2, 2)
+		for _, e := range exprs {
+			n, err := propagate(e, st, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := map[valKind]*relation.Relation{}
+			for _, which := range []valKind{oldValue, newValue} {
+				// Force fulls on a fresh node so memo shortcuts don't
+				// mask the restrictFn paths.
+				n2, err := propagate(e, st, u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				v, err := n2.value(which)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full[which] = v
+			}
+
+			// Probes: random subsets of the node's attributes with random
+			// values drawn half from the relation, half fresh.
+			attrs := n.attrs
+			probeAttrs := []string{attrs[rng.Intn(len(attrs))]}
+			if len(attrs) > 1 && rng.Intn(2) == 0 {
+				probeAttrs = append(probeAttrs, attrs[rng.Intn(len(attrs))])
+				if probeAttrs[0] == probeAttrs[1] {
+					probeAttrs = probeAttrs[:1]
+				}
+			}
+			probe := relation.New(probeAttrs...)
+			fullNew := full[newValue]
+			for _, src := range []*relation.Relation{fullNew, full[oldValue]} {
+				for _, tu := range src.SortedTuples() {
+					if rng.Intn(3) == 0 {
+						pt := make(relation.Tuple, len(probeAttrs))
+						for i, a := range probeAttrs {
+							p, _ := src.Pos(a)
+							pt[i] = tu[p]
+						}
+						probe.Insert(pt)
+					}
+				}
+			}
+			// A guaranteed-miss probe value.
+			miss := make(relation.Tuple, len(probeAttrs))
+			for i := range miss {
+				miss[i] = relation.Int(99999)
+			}
+			probe.Insert(miss)
+
+			for _, which := range []valKind{oldValue, newValue} {
+				nr, err := propagate(e, st, u) // fresh node again
+				if err != nil {
+					t.Fatal(err)
+				}
+				restricted, err := nr.restricted(which, probe)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Matching tuples must agree exactly.
+				wantMatching := relation.SemiJoin(full[which], probe)
+				gotMatching := relation.SemiJoin(restricted, probe)
+				if !gotMatching.Equal(wantMatching) {
+					t.Fatalf("restricted(%v) of %s disagrees on matching tuples:\nprobe %v\ngot  %v\nwant %v\nfull %v",
+						which, e, probe, gotMatching, wantMatching, full[which])
+				}
+			}
+		}
+	}
+}
+
+// TestRestrictedAvoidsFullJoin is the performance contract behind E12: a
+// single-tuple insertion into Sale must not force the full Sold join.
+// The test measures work indirectly — the delta must be computable even
+// when joining the full relations would be prohibitive — by checking the
+// join node's memoized values stay unforced.
+func TestRestrictedAvoidsFullJoin(t *testing.T) {
+	sc := workload.Figure1(false)
+	gen := workload.NewGen(sc.DB, 5)
+	gen.Domain = 1000
+	st := gen.State(300)
+
+	u := gen.Update(st, 1, 0)
+	if u.IsEmpty() {
+		t.Skip("generator produced empty update")
+	}
+	join := algebra.NewJoin(algebra.NewBase("Sale"), algebra.NewBase("Emp"))
+	n, err := propagate(join, st, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.d.Del.IsEmpty() {
+		t.Errorf("insert-only update produced join deletions: %v", n.d.Del)
+	}
+	// The join node's full values must not have been materialized.
+	if n.oldV != nil || n.newV != nil {
+		t.Error("single-tuple insertion forced the full join")
+	}
+}

@@ -1,0 +1,411 @@
+package parse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/relation"
+)
+
+// Expr parses a relational algebra expression. The grammar (ASCII
+// keywords; the Unicode spellings π σ ρ ⋈ ∪ ∖ ∅ are interchangeable):
+//
+//	expr    := term (("union" | "minus") term)*
+//	term    := factor ("join" factor)*
+//	factor  := "pi" "{" attrs "}" "(" expr ")"
+//	         | "sigma" "{" cond "}" "(" expr ")"
+//	         | "rho" "{" renames "}" "(" expr ")"
+//	         | "empty" "{" attrs "}"
+//	         | ident
+//	         | "(" expr ")"
+//	cond    := orcond
+//	orcond  := andcond ("or" andcond)*
+//	andcond := unary ("and" unary)*
+//	unary   := "not" unary | "true" | "(" cond ")" | operand cmpop operand
+//	operand := ident | number | string | "null"
+//	renames := ident "->" ident ("," ident "->" ident)*
+//
+// union and minus associate left and bind equally; join binds tighter.
+// Output of algebra's String methods parses back to an Equal tree.
+func Expr(src string) (algebra.Expr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("line %d: trailing input starting at %s", p.peek().line, p.peek())
+	}
+	return e, nil
+}
+
+// MustExpr is Expr that panics on error, for fixtures and examples.
+func MustExpr(src string) algebra.Expr {
+	e, err := Expr(src)
+	if err != nil {
+		panic("parse: " + err.Error())
+	}
+	return e
+}
+
+// Cond parses a selection condition on its own (used by the DSL's domain
+// constraints).
+func Cond(src string) (algebra.Cond, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("line %d: trailing input starting at %s", p.peek().line, p.peek())
+	}
+	return c, nil
+}
+
+func (p *parser) parseExpr() (algebra.Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "union"):
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = algebra.NewUnion(left, right)
+		case p.accept(tokOp, "minus"):
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = algebra.NewDiff(left, right)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (algebra.Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	inputs := []algebra.Expr{left}
+	for p.accept(tokOp, "join") {
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, right)
+	}
+	if len(inputs) == 1 {
+		return left, nil
+	}
+	return algebra.NewJoin(inputs...), nil
+}
+
+func (p *parser) parseFactor() (algebra.Expr, error) {
+	t := p.peek()
+	switch {
+	case p.accept(tokOp, "pi"):
+		attrs, err := p.parseBracedAttrs()
+		if err != nil {
+			return nil, err
+		}
+		in, err := p.parseParenExpr()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewProject(in, attrs...), nil
+
+	case p.accept(tokOp, "sigma"):
+		if _, err := p.expect(tokPunct, "{", "'{'"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "}", "'}'"); err != nil {
+			return nil, err
+		}
+		in, err := p.parseParenExpr()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewSelect(in, cond), nil
+
+	case p.accept(tokOp, "rho"):
+		mapping, err := p.parseRenames()
+		if err != nil {
+			return nil, err
+		}
+		in, err := p.parseParenExpr()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewRename(in, mapping), nil
+
+	case p.accept(tokOp, "empty"):
+		attrs, err := p.parseBracedAttrs()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewEmpty(attrs...), nil
+
+	case p.accept(tokPunct, "("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")", "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.kind == tokIdent:
+		p.advance()
+		return algebra.NewBase(t.text), nil
+
+	default:
+		return nil, fmt.Errorf("line %d: expected an expression, found %s", t.line, t)
+	}
+}
+
+func (p *parser) parseParenExpr() (algebra.Expr, error) {
+	if _, err := p.expect(tokPunct, "(", "'('"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")", "')'"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) parseBracedAttrs() ([]string, error) {
+	if _, err := p.expect(tokPunct, "{", "'{'"); err != nil {
+		return nil, err
+	}
+	var attrs []string
+	for {
+		id, err := p.expect(tokIdent, "", "an attribute name")
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, id.text)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, "}", "'}'"); err != nil {
+		return nil, err
+	}
+	return attrs, nil
+}
+
+func (p *parser) parseRenames() (map[string]string, error) {
+	if _, err := p.expect(tokPunct, "{", "'{'"); err != nil {
+		return nil, err
+	}
+	mapping := map[string]string{}
+	for {
+		from, err := p.expect(tokIdent, "", "an attribute name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "->", "'->'"); err != nil {
+			return nil, err
+		}
+		to, err := p.expect(tokIdent, "", "an attribute name")
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := mapping[from.text]; dup {
+			return nil, fmt.Errorf("line %d: attribute %q renamed twice", from.line, from.text)
+		}
+		mapping[from.text] = to.text
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, "}", "'}'"); err != nil {
+		return nil, err
+	}
+	return mapping, nil
+}
+
+// parseCond parses an or-level condition.
+func (p *parser) parseCond() (algebra.Cond, error) {
+	left, err := p.parseAndCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptIdent("or") {
+		right, err := p.parseAndCond()
+		if err != nil {
+			return nil, err
+		}
+		left = &algebra.Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAndCond() (algebra.Cond, error) {
+	left, err := p.parseUnaryCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptIdent("and") {
+		right, err := p.parseUnaryCond()
+		if err != nil {
+			return nil, err
+		}
+		left = &algebra.And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnaryCond() (algebra.Cond, error) {
+	if p.acceptIdent("not") {
+		c, err := p.parseUnaryCond()
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Not{C: c}, nil
+	}
+	if p.peekIdent("true") && !p.cmpFollows(1) {
+		p.advance()
+		return algebra.True{}, nil
+	}
+	if p.accept(tokPunct, "(") {
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")", "')'"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.peek()
+	op, ok := cmpOpFromText(opTok.text)
+	if opTok.kind != tokPunct || !ok {
+		return nil, fmt.Errorf("line %d: expected a comparison operator, found %s", opTok.line, opTok)
+	}
+	p.advance()
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &algebra.Cmp{Left: left, Op: op, Right: right}, nil
+}
+
+// cmpFollows reports whether the token at offset looks like a comparison
+// operator — used to disambiguate the bare condition "true" from a boolean
+// comparison like "true = flag".
+func (p *parser) cmpFollows(offset int) bool {
+	i := p.pos + offset
+	if i >= len(p.toks) {
+		return false
+	}
+	_, ok := cmpOpFromText(p.toks[i].text)
+	return p.toks[i].kind == tokPunct && ok
+}
+
+func cmpOpFromText(s string) (algebra.CmpOp, bool) {
+	switch s {
+	case "=":
+		return algebra.OpEq, true
+	case "!=":
+		return algebra.OpNe, true
+	case "<":
+		return algebra.OpLt, true
+	case "<=":
+		return algebra.OpLe, true
+	case ">":
+		return algebra.OpGt, true
+	case ">=":
+		return algebra.OpGe, true
+	default:
+		return 0, false
+	}
+}
+
+func (p *parser) peekIdent(text string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == text
+}
+
+func (p *parser) acceptIdent(text string) bool {
+	if p.peekIdent(text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOperand() (algebra.Operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		v, err := parseNumber(t.text)
+		if err != nil {
+			return algebra.Operand{}, fmt.Errorf("line %d: %v", t.line, err)
+		}
+		return algebra.ConstOperand(v), nil
+	case tokString:
+		p.advance()
+		return algebra.ConstOperand(relation.String_(t.text)), nil
+	case tokIdent:
+		p.advance()
+		switch t.text {
+		case "true":
+			return algebra.ConstOperand(relation.Bool(true)), nil
+		case "false":
+			return algebra.ConstOperand(relation.Bool(false)), nil
+		case "null":
+			return algebra.ConstOperand(relation.Null()), nil
+		default:
+			return algebra.AttrOperand(t.text), nil
+		}
+	default:
+		return algebra.Operand{}, fmt.Errorf("line %d: expected an operand, found %s", t.line, t)
+	}
+}
+
+// parseNumber parses an int or float literal value.
+func parseNumber(s string) (relation.Value, error) {
+	if strings.ContainsRune(s, '.') {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return relation.Value{}, fmt.Errorf("bad float literal %q", s)
+		}
+		return relation.Float(f), nil
+	}
+	i, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return relation.Value{}, fmt.Errorf("bad integer literal %q", s)
+	}
+	return relation.Int(i), nil
+}

@@ -1,0 +1,207 @@
+package parse
+
+import (
+	"math/rand"
+	"testing"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/relation"
+)
+
+func TestExprBasics(t *testing.T) {
+	tests := []struct {
+		src  string
+		want algebra.Expr
+	}{
+		{"Sale", algebra.NewBase("Sale")},
+		{"Sale join Emp", algebra.NewJoin(algebra.NewBase("Sale"), algebra.NewBase("Emp"))},
+		{"A join B join C", algebra.NewJoin(algebra.NewBase("A"), algebra.NewBase("B"), algebra.NewBase("C"))},
+		{"pi{clerk, age}(Emp)", algebra.NewProject(algebra.NewBase("Emp"), "clerk", "age")},
+		{"sigma{age > 30}(Emp)", algebra.NewSelect(algebra.NewBase("Emp"), algebra.AttrCmpConst("age", algebra.OpGt, relation.Int(30)))},
+		{"A union B", algebra.NewUnion(algebra.NewBase("A"), algebra.NewBase("B"))},
+		{"A minus B", algebra.NewDiff(algebra.NewBase("A"), algebra.NewBase("B"))},
+		{"A union B minus C", algebra.NewDiff(algebra.NewUnion(algebra.NewBase("A"), algebra.NewBase("B")), algebra.NewBase("C"))},
+		{"A union (B minus C)", algebra.NewUnion(algebra.NewBase("A"), algebra.NewDiff(algebra.NewBase("B"), algebra.NewBase("C")))},
+		{"rho{clerk -> person}(Emp)", algebra.NewRename(algebra.NewBase("Emp"), map[string]string{"clerk": "person"})},
+		{"empty{a, b}", algebra.NewEmpty("a", "b")},
+		{
+			"pi{clerk}(sigma{item = 'PC'}(Sale join Emp))",
+			algebra.NewProject(
+				algebra.NewSelect(
+					algebra.NewJoin(algebra.NewBase("Sale"), algebra.NewBase("Emp")),
+					algebra.AttrEqConst("item", relation.String_("PC"))),
+				"clerk"),
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			got, err := Expr(tt.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !algebra.Equal(got, tt.want) {
+				t.Errorf("parsed %s, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExprJoinBindsTighter(t *testing.T) {
+	got := MustExpr("A union B join C")
+	want := algebra.NewUnion(algebra.NewBase("A"),
+		algebra.NewJoin(algebra.NewBase("B"), algebra.NewBase("C")))
+	if !algebra.Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestExprConditions(t *testing.T) {
+	tests := []struct {
+		src  string
+		want algebra.Cond
+	}{
+		{"true", algebra.True{}},
+		{"a = 1", algebra.AttrEqConst("a", relation.Int(1))},
+		{"a != 1", algebra.AttrCmpConst("a", algebra.OpNe, relation.Int(1))},
+		{"a <= 2.5", algebra.AttrCmpConst("a", algebra.OpLe, relation.Float(2.5))},
+		{"a >= -3", algebra.AttrCmpConst("a", algebra.OpGe, relation.Int(-3))},
+		{"a < b", algebra.AttrCmpAttr("a", algebra.OpLt, "b")},
+		{"name = 'it\\'s'", algebra.AttrEqConst("name", relation.String_("it's"))},
+		{"flag = true", algebra.AttrEqConst("flag", relation.Bool(true))},
+		{"x = null", algebra.AttrEqConst("x", relation.Null())},
+		{
+			"a = 1 and b = 2",
+			&algebra.And{L: algebra.AttrEqConst("a", relation.Int(1)), R: algebra.AttrEqConst("b", relation.Int(2))},
+		},
+		{
+			"a = 1 or b = 2 and c = 3",
+			&algebra.Or{
+				L: algebra.AttrEqConst("a", relation.Int(1)),
+				R: &algebra.And{L: algebra.AttrEqConst("b", relation.Int(2)), R: algebra.AttrEqConst("c", relation.Int(3))},
+			},
+		},
+		{"not a = 1", &algebra.Not{C: algebra.AttrEqConst("a", relation.Int(1))}},
+		{
+			"(a = 1 or b = 2) and c = 3",
+			&algebra.And{
+				L: &algebra.Or{L: algebra.AttrEqConst("a", relation.Int(1)), R: algebra.AttrEqConst("b", relation.Int(2))},
+				R: algebra.AttrEqConst("c", relation.Int(3)),
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			got, err := Cond(tt.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !algebra.CondEqual(got, tt.want) {
+				t.Errorf("parsed %s, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExprParsesUnicodeForm(t *testing.T) {
+	// The printer's Unicode output must parse back to an Equal tree.
+	srcs := []string{
+		"π{clerk,age}(Sale ⋈ Emp)",
+		"σ{age > 30}(Emp)",
+		"A ∪ (B ∖ C)",
+		"ρ{clerk→person}(Emp)",
+		"∅{a,b}",
+	}
+	for _, src := range srcs {
+		if _, err := Expr(src); err != nil {
+			t.Errorf("Unicode form %q: %v", src, err)
+		}
+	}
+}
+
+// TestExprRoundTrip: printing a random expression and re-parsing it yields
+// an Equal tree.
+func TestExprRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var gen func(depth int) algebra.Expr
+	conds := []algebra.Cond{
+		algebra.True{},
+		algebra.AttrEqConst("x", relation.Int(3)),
+		algebra.AttrEqConst("x", relation.String_("it's a 'test'")),
+		&algebra.And{L: algebra.AttrCmpAttr("x", algebra.OpLt, "y"), R: &algebra.Not{C: algebra.AttrEqConst("y", relation.Float(1.5))}},
+		&algebra.Or{L: algebra.AttrCmpConst("x", algebra.OpGe, relation.Int(-2)), R: algebra.AttrEqConst("b", relation.Bool(false))},
+	}
+	gen = func(depth int) algebra.Expr {
+		if depth <= 0 {
+			return algebra.NewBase([]string{"A", "B", "C"}[rng.Intn(3)])
+		}
+		switch rng.Intn(7) {
+		case 0:
+			return algebra.NewSelect(gen(depth-1), algebra.CloneCond(conds[rng.Intn(len(conds))]))
+		case 1:
+			return algebra.NewProject(gen(depth-1), "x", "y")
+		case 2:
+			return algebra.NewJoin(gen(depth-1), gen(depth-1))
+		case 3:
+			return algebra.NewUnion(gen(depth-1), gen(depth-1))
+		case 4:
+			return algebra.NewDiff(gen(depth-1), gen(depth-1))
+		case 5:
+			return algebra.NewRename(gen(depth-1), map[string]string{"x": "z"})
+		default:
+			return algebra.NewEmpty("x", "y")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		e := gen(3)
+		printed := e.String()
+		parsed, err := Expr(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", printed, err)
+		}
+		if !algebra.Equal(parsed, e) {
+			t.Fatalf("round trip changed tree:\noriginal %s\nparsed   %s", e, parsed)
+		}
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"pi{}(A)",
+		"pi{a}(",
+		"sigma{a >}(A)",
+		"A join",
+		"A union",
+		"(A",
+		"rho{a}(A)",
+		"rho{a -> b, a -> c}(A)",
+		"A B",
+		"sigma{a = 1}(A) extra",
+		"'unterminated",
+		"pi{a}(A))",
+		"5",
+		"sigma{not}(A)",
+	}
+	for _, src := range bad {
+		if _, err := Expr(src); err == nil {
+			t.Errorf("accepted invalid input %q", src)
+		}
+	}
+}
+
+func TestLexerDetails(t *testing.T) {
+	// Comments and whitespace.
+	e := MustExpr("# heading\nA # trailing\n union B")
+	if !algebra.Equal(e, algebra.NewUnion(algebra.NewBase("A"), algebra.NewBase("B"))) {
+		t.Errorf("comment handling wrong: %s", e)
+	}
+	// Escapes.
+	c, err := Cond(`s = 'tab\tnewline\nquote\'backslash\\'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := c.(*algebra.Cmp)
+	if got := cmp.Right.Val.AsString(); got != "tab\tnewline\nquote'backslash\\" {
+		t.Errorf("escapes = %q", got)
+	}
+}

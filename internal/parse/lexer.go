@@ -1,0 +1,266 @@
+// Package parse implements the textual front end of the reproduction: a
+// parser for relational algebra expressions in both the ASCII form
+// (pi{a,b}(sigma{x > 3}(R join S))) and the Unicode form the printer of
+// package algebra emits (π{a,b}(σ{x > 3}(R ⋈ S))), and a parser for the
+// .dw warehouse-specification DSL consumed by cmd/dwctl and cmd/dwbench:
+// relation schemata with keys, inclusion dependencies, foreign keys,
+// domain constraints, view definitions, and initial data.
+package parse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // one of ( ) { } [ ] , : ; . -> and comparison operators
+	tokOp    // algebra operator keyword/symbol normalized: pi sigma rho join union minus empty
+)
+
+// token is one lexical token with its source position (1-based line).
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// opAliases normalizes Unicode operator spellings to their ASCII keyword.
+var opAliases = map[string]string{
+	"π": "pi", "σ": "sigma", "ρ": "rho",
+	"⋈": "join", "∪": "union", "∖": "minus", "∅": "empty",
+	"pi": "pi", "sigma": "sigma", "rho": "rho",
+	"join": "join", "union": "union", "minus": "minus", "empty": "empty",
+}
+
+// lexer turns input into tokens. It is shared by the expression and spec
+// parsers.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes the whole input up front (inputs are small).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekRune() (rune, int) {
+	if l.pos >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.pos:])
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and # comments.
+	for {
+		r, w := l.peekRune()
+		if r == 0 {
+			return token{kind: tokEOF, line: l.line}, nil
+		}
+		if r == '\n' {
+			l.line++
+			l.pos += w
+			continue
+		}
+		if unicode.IsSpace(r) {
+			l.pos += w
+			continue
+		}
+		if r == '#' {
+			for {
+				r, w := l.peekRune()
+				if r == 0 || r == '\n' {
+					break
+				}
+				l.pos += w
+			}
+			continue
+		}
+		break
+	}
+
+	start := l.pos
+	r, w := l.peekRune()
+	line := l.line
+
+	// Unicode operators.
+	if alias, ok := opAliases[string(r)]; ok && r > 127 {
+		l.pos += w
+		return token{kind: tokOp, text: alias, line: line}, nil
+	}
+
+	switch {
+	case r == '\'' || r == '"':
+		quote := r
+		l.pos += w
+		var b strings.Builder
+		for {
+			r, w := l.peekRune()
+			if r == 0 {
+				return token{}, fmt.Errorf("line %d: unterminated string literal", line)
+			}
+			l.pos += w
+			if r == '\\' {
+				esc, w2 := l.peekRune()
+				if esc == 0 {
+					return token{}, fmt.Errorf("line %d: unterminated escape", line)
+				}
+				l.pos += w2
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					b.WriteRune(esc)
+				}
+				continue
+			}
+			if r == quote {
+				return token{kind: tokString, text: b.String(), line: line}, nil
+			}
+			if r == '\n' {
+				return token{}, fmt.Errorf("line %d: newline in string literal", line)
+			}
+			b.WriteRune(r)
+		}
+
+	case unicode.IsDigit(r) || (r == '-' && l.nextIsDigit()):
+		l.pos += w
+		for {
+			r, w := l.peekRune()
+			if unicode.IsDigit(r) || r == '.' {
+				l.pos += w
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line}, nil
+
+	case unicode.IsLetter(r) || r == '_':
+		l.pos += w
+		for {
+			r, w := l.peekRune()
+			if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+				l.pos += w
+				continue
+			}
+			break
+		}
+		word := l.src[start:l.pos]
+		if alias, ok := opAliases[word]; ok {
+			return token{kind: tokOp, text: alias, line: line}, nil
+		}
+		return token{kind: tokIdent, text: word, line: line}, nil
+
+	default:
+		// Punctuation, including multi-char operators.
+		two := ""
+		if l.pos+w < len(l.src) {
+			r2, _ := utf8.DecodeRuneInString(l.src[l.pos+w:])
+			two = string(r) + string(r2)
+		}
+		switch two {
+		case "<=", ">=", "!=", "->":
+			l.pos += len(two)
+			return token{kind: tokPunct, text: two, line: line}, nil
+		}
+		if two == "→" { // not reachable; handled below for the single rune
+		}
+		if r == '→' {
+			l.pos += w
+			return token{kind: tokPunct, text: "->", line: line}, nil
+		}
+		switch r {
+		case '(', ')', '{', '}', '[', ']', ',', ':', ';', '=', '<', '>', '-', '.':
+			l.pos += w
+			return token{kind: tokPunct, text: string(r), line: line}, nil
+		}
+		return token{}, fmt.Errorf("line %d: unexpected character %q", line, string(r))
+	}
+}
+
+func (l *lexer) nextIsDigit() bool {
+	_, w := l.peekRune()
+	if l.pos+w >= len(l.src) {
+		return false
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos+w:])
+	return unicode.IsDigit(r)
+}
+
+// parser is a token cursor with error helpers.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// accept consumes the next token when it matches kind and text (empty text
+// matches any); it reports whether it did.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	t := p.peek()
+	if t.kind == kind && (text == "" || t.text == text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// expect consumes a token of the given kind/text or fails.
+func (p *parser) expect(kind tokenKind, text, what string) (token, error) {
+	t := p.peek()
+	if t.kind == kind && (text == "" || t.text == text) {
+		return p.advance(), nil
+	}
+	return token{}, fmt.Errorf("line %d: expected %s, found %s", t.line, what, t)
+}
+
+// atEOF reports whether all input is consumed.
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }

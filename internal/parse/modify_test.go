@@ -1,0 +1,103 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"dwcomplement/internal/relation"
+)
+
+func TestUpdateOpsAtModification(t *testing.T) {
+	spec, err := SpecText(figure1Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := UpdateOpsAt(spec.DB, spec.State, "update Emp set age = 24 where clerk = 'Mary'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := u.Deletes("Emp")
+	ins := u.Inserts("Emp")
+	if del == nil || del.Len() != 1 || !del.Contains(relation.Tuple{relation.String_("Mary"), relation.Int(23)}) {
+		t.Errorf("deletes = %v", del)
+	}
+	if ins == nil || ins.Len() != 1 || !ins.Contains(relation.Tuple{relation.String_("Mary"), relation.Int(24)}) {
+		t.Errorf("inserts = %v", ins)
+	}
+	// Applying the expansion behaves as a modification.
+	if err := u.Apply(spec.State); err != nil {
+		t.Fatal(err)
+	}
+	emp := spec.State.MustRelation("Emp")
+	if emp.Len() != 3 || !emp.Contains(relation.Tuple{relation.String_("Mary"), relation.Int(24)}) {
+		t.Errorf("Emp after modification = %v", emp)
+	}
+}
+
+func TestUpdateOpsAtModifyAll(t *testing.T) {
+	spec, err := SpecText(figure1Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No where clause: every tuple is modified.
+	u, err := UpdateOpsAt(spec.DB, spec.State, "update Sale set item = 'misc'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Deletes("Sale").Len() != 3 {
+		t.Errorf("deletes = %v", u.Deletes("Sale"))
+	}
+	// Three tuples collapse to two under set semantics (Mary sold twice).
+	if u.Inserts("Sale").Len() != 2 {
+		t.Errorf("inserts = %v", u.Inserts("Sale"))
+	}
+}
+
+func TestUpdateOpsAtMixed(t *testing.T) {
+	spec, err := SpecText(figure1Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := UpdateOpsAt(spec.DB, spec.State, `
+insert Sale('Computer', 'Paula')
+update Emp set age = 26 where clerk = 'John'
+delete Sale('VCR', 'Mary')
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Size() != 4 {
+		t.Errorf("size = %d:\n%s", u.Size(), u)
+	}
+}
+
+func TestUpdateOpsAtErrors(t *testing.T) {
+	spec, err := SpecText(figure1Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown relation", "update Nope set a = 1"},
+		{"unknown attr", "update Emp set salary = 1"},
+		{"attr value", "update Emp set age = clerk"},
+		{"type mismatch", "update Emp set age = 'old'"},
+		{"dup assignment", "update Emp set age = 1, age = 2"},
+		{"missing set", "update Emp age = 1"},
+		{"where outside schema", "update Emp set age = 1 where item = 'TV'"},
+		{"bad keyword", "upsert Emp set age = 1"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UpdateOpsAt(spec.DB, spec.State, tt.src); err == nil {
+				t.Errorf("accepted %q", tt.src)
+			}
+		})
+	}
+	// Without a pre-state, modifications are rejected with a clear error.
+	_, err = UpdateOps(spec.DB, "update Emp set age = 1")
+	if err == nil || !strings.Contains(err.Error(), "pre-state") {
+		t.Errorf("nil-state modification: %v", err)
+	}
+}

@@ -1,0 +1,568 @@
+package parse
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/view"
+)
+
+// Spec is a parsed .dw warehouse specification: the database definition
+// (schemata + constraints), the warehouse view set, and the initial state.
+type Spec struct {
+	DB    *catalog.Database
+	Views *view.Set
+	State *catalog.State
+}
+
+// SpecText parses a .dw specification. The statement forms:
+//
+//	relation Emp(clerk string, age int) key(clerk)
+//	ind Sale[clerk] <= Emp[clerk]
+//	fk Sale(clerk) -> Emp
+//	domain Order_paris: loc = 'paris'
+//	view Sold = pi{item,clerk,age}(Sale join Emp)
+//	insert Emp('Mary', 23)
+//	delete Emp('Mary', 23)
+//	load Emp from 'emp.csv'
+//
+// Lines starting with # are comments. Statements may span lines; they are
+// delimited by their grammar, not by newlines. Relative load paths resolve
+// against the current working directory; use SpecTextAt to anchor them at
+// the spec file's directory.
+func SpecText(src string) (*Spec, error) {
+	return SpecTextAt(src, "")
+}
+
+// SpecTextAt parses a .dw specification with load paths resolved relative
+// to dir (empty = current working directory).
+func SpecTextAt(src, dir string) (*Spec, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	spec := &Spec{DB: catalog.NewDatabase()}
+	var views []*view.PSJ
+	type pendingInsert struct {
+		rel  string
+		t    relation.Tuple
+		line int
+	}
+	var inserts, deletes []pendingInsert
+	type pendingLoad struct {
+		rel  string
+		path string
+		line int
+	}
+	var loads []pendingLoad
+
+	for !p.atEOF() {
+		kw, err := p.expect(tokIdent, "", "a statement keyword")
+		if err != nil {
+			return nil, err
+		}
+		switch kw.text {
+		case "relation":
+			sc, err := p.parseRelationStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := spec.DB.AddSchema(sc); err != nil {
+				return nil, fmt.Errorf("line %d: %w", kw.line, err)
+			}
+
+		case "ind":
+			from, x, to, err := p.parseINDStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := spec.DB.AddIND(from, to, x...); err != nil {
+				return nil, fmt.Errorf("line %d: %w", kw.line, err)
+			}
+
+		case "fk":
+			from, attrs, to, err := p.parseFKStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := spec.DB.AddForeignKey(from, attrs, to); err != nil {
+				return nil, fmt.Errorf("line %d: %w", kw.line, err)
+			}
+
+		case "domain":
+			rel, cond, err := p.parseDomainStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := spec.DB.AddDomain(rel, cond); err != nil {
+				return nil, fmt.Errorf("line %d: %w", kw.line, err)
+			}
+
+		case "view":
+			name, err := p.expect(tokIdent, "", "a view name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "=", "'='"); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			v, err := view.FromExpr(name.text, e, spec.DB)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", name.line, err)
+			}
+			views = append(views, v)
+
+		case "load":
+			rel, err := p.expect(tokIdent, "", "a relation name")
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptIdent("from") {
+				return nil, fmt.Errorf("line %d: expected 'from'", rel.line)
+			}
+			path, err := p.expect(tokString, "", "a quoted file path")
+			if err != nil {
+				return nil, err
+			}
+			loads = append(loads, pendingLoad{rel: rel.text, path: path.text, line: rel.line})
+
+		case "insert", "delete":
+			rel, tup, err := p.parseTupleStmt()
+			if err != nil {
+				return nil, err
+			}
+			pi := pendingInsert{rel: rel, t: tup, line: kw.line}
+			if kw.text == "insert" {
+				inserts = append(inserts, pi)
+			} else {
+				deletes = append(deletes, pi)
+			}
+
+		default:
+			return nil, fmt.Errorf("line %d: unknown statement %q", kw.line, kw.text)
+		}
+	}
+
+	vs, err := view.NewSet(spec.DB, views...)
+	if err != nil {
+		return nil, err
+	}
+	spec.Views = vs
+	spec.State = spec.DB.NewState()
+	for _, ld := range loads {
+		path := ld.path
+		if dir != "" && !filepath.IsAbs(path) {
+			path = filepath.Join(dir, path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ld.line, err)
+		}
+		rel, err := relation.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ld.line, err)
+		}
+		sc, ok := spec.DB.Schema(ld.rel)
+		if !ok {
+			return nil, fmt.Errorf("line %d: load into unknown relation %q", ld.line, ld.rel)
+		}
+		if !rel.AttrSet().Equal(sc.AttrSet()) {
+			return nil, fmt.Errorf("line %d: %s has attributes %v, want %v",
+				ld.line, path, rel.AttrSet(), sc.AttrSet())
+		}
+		names := sc.AttrNames()
+		var insertErr error
+		rel.Each(func(t relation.Tuple) {
+			if insertErr != nil {
+				return
+			}
+			aligned := make(relation.Tuple, len(names))
+			for i, a := range names {
+				pos, _ := rel.Pos(a)
+				aligned[i] = t[pos]
+			}
+			if _, err := spec.State.Insert(ld.rel, aligned); err != nil {
+				insertErr = fmt.Errorf("line %d: %w", ld.line, err)
+			}
+		})
+		if insertErr != nil {
+			return nil, insertErr
+		}
+	}
+	for _, ins := range inserts {
+		if _, err := spec.State.Insert(ins.rel, ins.t); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ins.line, err)
+		}
+	}
+	for _, del := range deletes {
+		if _, err := spec.State.Delete(del.rel, del.t); err != nil {
+			return nil, fmt.Errorf("line %d: %w", del.line, err)
+		}
+	}
+	if err := spec.State.Check(); err != nil {
+		return nil, fmt.Errorf("initial state: %w", err)
+	}
+	return spec, nil
+}
+
+// UpdateOps parses a sequence of "insert R(...)" / "delete R(...)"
+// statements into an Update against the database — the textual update
+// syntax cmd/dwctl's maintain command takes. Modification statements
+// require a pre-state; use UpdateOpsAt.
+func UpdateOps(db *catalog.Database, src string) (*catalog.Update, error) {
+	return UpdateOpsAt(db, nil, src)
+}
+
+// UpdateOpsAt parses insert/delete/update statements. The update form
+//
+//	update Emp set age = 24 where clerk = 'Mary'
+//
+// is the paper's modification case, expanded per footnote 1 into
+// delete+insert pairs against the pre-state st (which may be the real
+// sources or a warehouse-backed virtual state — the expansion never needs
+// anything beyond reading the affected relation). With a nil st,
+// modification statements are rejected.
+func UpdateOpsAt(db *catalog.Database, st algebra.State, src string) (*catalog.Update, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	u := catalog.NewUpdate()
+	for !p.atEOF() {
+		kw, err := p.expect(tokIdent, "", "insert, delete or update")
+		if err != nil {
+			return nil, err
+		}
+		switch kw.text {
+		case "insert", "delete":
+			rel, tup, err := p.parseTupleStmt()
+			if err != nil {
+				return nil, err
+			}
+			if kw.text == "insert" {
+				err = u.Insert(rel, db, tup)
+			} else {
+				err = u.Delete(rel, db, tup)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", kw.line, err)
+			}
+		case "update":
+			if st == nil {
+				return nil, fmt.Errorf("line %d: modifications need a pre-state (use UpdateOpsAt)", kw.line)
+			}
+			if err := p.parseModifyStmt(db, st, u, kw.line); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("line %d: expected insert, delete or update, found %q", kw.line, kw.text)
+		}
+	}
+	return u, nil
+}
+
+// parseModifyStmt parses "R set a = 1, b = 'x' where cond" after the
+// update keyword and expands it against the pre-state.
+func (p *parser) parseModifyStmt(db *catalog.Database, st algebra.State, u *catalog.Update, line int) error {
+	relTok, err := p.expect(tokIdent, "", "a relation name")
+	if err != nil {
+		return err
+	}
+	sc, ok := db.Schema(relTok.text)
+	if !ok {
+		return fmt.Errorf("line %d: update of unknown relation %q", line, relTok.text)
+	}
+	if !p.acceptIdent("set") {
+		return fmt.Errorf("line %d: expected 'set'", line)
+	}
+	assignments := map[string]relation.Value{}
+	for {
+		attr, err := p.expect(tokIdent, "", "an attribute name")
+		if err != nil {
+			return err
+		}
+		if !sc.HasAttr(attr.text) {
+			return fmt.Errorf("line %d: %s has no attribute %q", line, sc.Name, attr.text)
+		}
+		if _, err := p.expect(tokPunct, "=", "'='"); err != nil {
+			return err
+		}
+		op, err := p.parseOperand()
+		if err != nil {
+			return err
+		}
+		if op.IsAttr {
+			return fmt.Errorf("line %d: set %s needs a literal value", line, attr.text)
+		}
+		if !op.Val.CheckKind(sc.AttrType(attr.text)) {
+			return fmt.Errorf("line %d: value %s not valid for %s.%s", line, op.Val, sc.Name, attr.text)
+		}
+		if _, dup := assignments[attr.text]; dup {
+			return fmt.Errorf("line %d: attribute %q set twice", line, attr.text)
+		}
+		assignments[attr.text] = op.Val
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	var cond algebra.Cond = algebra.True{}
+	if p.acceptIdent("where") {
+		cond, err = p.parseCond()
+		if err != nil {
+			return err
+		}
+		if ca := algebra.CondAttrs(cond); !ca.SubsetOf(sc.AttrSet()) {
+			return fmt.Errorf("line %d: where clause references %v outside %s", line, ca.Minus(sc.AttrSet()), sc.Name)
+		}
+	}
+
+	cur, ok := st.Relation(sc.Name)
+	if !ok {
+		return fmt.Errorf("line %d: pre-state lacks relation %q", line, sc.Name)
+	}
+	affected := relation.Select(cur, func(row relation.Row) bool {
+		return algebra.EvalCond(cond, row)
+	})
+	var expandErr error
+	affected.Each(func(t relation.Tuple) {
+		if expandErr != nil {
+			return
+		}
+		oldTuple := make(relation.Tuple, len(sc.Attrs))
+		newTuple := make(relation.Tuple, len(sc.Attrs))
+		for i, a := range sc.Attrs {
+			pos, _ := affected.Pos(a.Name)
+			oldTuple[i] = t[pos]
+			if v, set := assignments[a.Name]; set {
+				newTuple[i] = v
+			} else {
+				newTuple[i] = t[pos]
+			}
+		}
+		if err := u.Delete(sc.Name, db, oldTuple); err != nil {
+			expandErr = err
+			return
+		}
+		if err := u.Insert(sc.Name, db, newTuple); err != nil {
+			expandErr = err
+		}
+	})
+	if expandErr != nil {
+		return fmt.Errorf("line %d: %w", line, expandErr)
+	}
+	return nil
+}
+
+// parseRelationStmt parses "Emp(clerk string, age int) key(clerk)" after
+// the keyword.
+func (p *parser) parseRelationStmt() (*relation.Schema, error) {
+	name, err := p.expect(tokIdent, "", "a relation name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "(", "'('"); err != nil {
+		return nil, err
+	}
+	sc := &relation.Schema{Name: name.text}
+	for {
+		attr, err := p.expect(tokIdent, "", "an attribute name")
+		if err != nil {
+			return nil, err
+		}
+		a := relation.Attribute{Name: attr.text}
+		if t := p.peek(); t.kind == tokIdent {
+			kind, ok := relation.KindFromName(t.text)
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown attribute type %q", t.line, t.text)
+			}
+			p.advance()
+			a.Type = kind
+		}
+		sc.Attrs = append(sc.Attrs, a)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")", "')'"); err != nil {
+		return nil, err
+	}
+	if p.acceptIdent("key") {
+		if _, err := p.expect(tokPunct, "(", "'('"); err != nil {
+			return nil, err
+		}
+		for {
+			attr, err := p.expect(tokIdent, "", "a key attribute")
+			if err != nil {
+				return nil, err
+			}
+			sc.Key = append(sc.Key, attr.text)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokPunct, ")", "')'"); err != nil {
+			return nil, err
+		}
+	}
+	return sc, sc.Validate()
+}
+
+// parseINDStmt parses "Sale[clerk] <= Emp[clerk]" after the keyword.
+func (p *parser) parseINDStmt() (from string, attrs []string, to string, err error) {
+	f, err := p.expect(tokIdent, "", "a relation name")
+	if err != nil {
+		return "", nil, "", err
+	}
+	lhs, err := p.parseBracketAttrs()
+	if err != nil {
+		return "", nil, "", err
+	}
+	if _, err := p.expect(tokPunct, "<=", "'<='"); err != nil {
+		return "", nil, "", err
+	}
+	t, err := p.expect(tokIdent, "", "a relation name")
+	if err != nil {
+		return "", nil, "", err
+	}
+	rhs, err := p.parseBracketAttrs()
+	if err != nil {
+		return "", nil, "", err
+	}
+	if !relation.NewAttrSet(lhs...).Equal(relation.NewAttrSet(rhs...)) {
+		return "", nil, "", fmt.Errorf("line %d: inclusion dependency attribute sets differ: %v vs %v", f.line, lhs, rhs)
+	}
+	return f.text, lhs, t.text, nil
+}
+
+func (p *parser) parseBracketAttrs() ([]string, error) {
+	if _, err := p.expect(tokPunct, "[", "'['"); err != nil {
+		return nil, err
+	}
+	var attrs []string
+	for {
+		a, err := p.expect(tokIdent, "", "an attribute name")
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a.text)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, "]", "']'"); err != nil {
+		return nil, err
+	}
+	return attrs, nil
+}
+
+// parseFKStmt parses "Sale(clerk) -> Emp" after the keyword.
+func (p *parser) parseFKStmt() (from string, attrs []string, to string, err error) {
+	f, err := p.expect(tokIdent, "", "a relation name")
+	if err != nil {
+		return "", nil, "", err
+	}
+	if _, err := p.expect(tokPunct, "(", "'('"); err != nil {
+		return "", nil, "", err
+	}
+	for {
+		a, err := p.expect(tokIdent, "", "an attribute name")
+		if err != nil {
+			return "", nil, "", err
+		}
+		attrs = append(attrs, a.text)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")", "')'"); err != nil {
+		return "", nil, "", err
+	}
+	if _, err := p.expect(tokPunct, "->", "'->'"); err != nil {
+		return "", nil, "", err
+	}
+	t, err := p.expect(tokIdent, "", "a relation name")
+	if err != nil {
+		return "", nil, "", err
+	}
+	return f.text, attrs, t.text, nil
+}
+
+// parseDomainStmt parses "Order_paris: loc = 'paris'" after the keyword.
+// The condition extends to the end of the enclosing condition grammar.
+func (p *parser) parseDomainStmt() (string, algebra.Cond, error) {
+	rel, err := p.expect(tokIdent, "", "a relation name")
+	if err != nil {
+		return "", nil, err
+	}
+	if _, err := p.expect(tokPunct, ":", "':'"); err != nil {
+		return "", nil, err
+	}
+	cond, err := p.parseCond()
+	if err != nil {
+		return "", nil, err
+	}
+	return rel.text, cond, nil
+}
+
+// parseTupleStmt parses "Emp('Mary', 23)" after insert/delete.
+func (p *parser) parseTupleStmt() (string, relation.Tuple, error) {
+	rel, err := p.expect(tokIdent, "", "a relation name")
+	if err != nil {
+		return "", nil, err
+	}
+	if _, err := p.expect(tokPunct, "(", "'('"); err != nil {
+		return "", nil, err
+	}
+	var t relation.Tuple
+	for {
+		tok := p.peek()
+		switch tok.kind {
+		case tokNumber:
+			p.advance()
+			v, err := parseNumber(tok.text)
+			if err != nil {
+				return "", nil, fmt.Errorf("line %d: %v", tok.line, err)
+			}
+			t = append(t, v)
+		case tokString:
+			p.advance()
+			t = append(t, relation.String_(tok.text))
+		case tokIdent:
+			p.advance()
+			switch tok.text {
+			case "true":
+				t = append(t, relation.Bool(true))
+			case "false":
+				t = append(t, relation.Bool(false))
+			case "null":
+				t = append(t, relation.Null())
+			default:
+				return "", nil, fmt.Errorf("line %d: unexpected identifier %q in tuple (quote strings)", tok.line, tok.text)
+			}
+		default:
+			return "", nil, fmt.Errorf("line %d: expected a literal, found %s", tok.line, tok)
+		}
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")", "')'"); err != nil {
+		return "", nil, err
+	}
+	return rel.text, t, nil
+}

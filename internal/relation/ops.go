@@ -1,0 +1,314 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row gives predicate callbacks named access to the current tuple during
+// Select without exposing column positions.
+type Row struct {
+	rel *Relation
+	t   Tuple
+}
+
+// Get returns the value of the named attribute in the current row.
+func (w Row) Get(attr string) Value { return w.rel.Get(w.t, attr) }
+
+// Has reports whether the row's relation has the named attribute.
+func (w Row) Has(attr string) bool { return w.rel.HasAttr(attr) }
+
+// Select returns σ_pred(r): the tuples of r satisfying pred.
+func Select(r *Relation, pred func(Row) bool) *Relation {
+	out := New(r.attrs...)
+	for _, t := range r.rows {
+		if pred(Row{rel: r, t: t}) {
+			out.Insert(t)
+		}
+	}
+	return out
+}
+
+// Project returns π_attrs(r) with set semantics. Following the paper's
+// notational convention ("π_Z(R) will denote the usual projection of R
+// onto attribute set Z if Z ⊆ attr(R), or the empty relation over Z
+// otherwise"), projecting onto attributes not all present in r yields the
+// empty relation over attrs rather than an error.
+func Project(r *Relation, attrs ...string) *Relation {
+	out := New(attrs...)
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, ok := r.pos[a]
+		if !ok {
+			return out // Z ⊄ attr(R): empty relation over Z.
+		}
+		idx[i] = p
+	}
+	for _, t := range r.rows {
+		pt := make(Tuple, len(idx))
+		for i, p := range idx {
+			pt[i] = t[p]
+		}
+		out.Insert(pt)
+	}
+	return out
+}
+
+// NaturalJoin returns l ⋈ r: tuples agreeing on all shared attributes,
+// concatenated over the union of attributes. With no shared attributes it
+// degenerates to the Cartesian product, as usual. The implementation is a
+// hash join on the shared attributes, building on the smaller input.
+func NaturalJoin(l, r *Relation) *Relation {
+	if r.Len() < l.Len() {
+		// Keep the build side small; fix up column order afterwards so
+		// the caller-visible attribute set is identical either way.
+		swapped := naturalJoin(r, l)
+		return swapped
+	}
+	return naturalJoin(l, r)
+}
+
+func naturalJoin(l, r *Relation) *Relation {
+	shared := l.AttrSet().Intersect(r.AttrSet()).Sorted()
+	rOnly := make([]string, 0, len(r.attrs))
+	for _, a := range r.attrs {
+		if !l.HasAttr(a) {
+			rOnly = append(rOnly, a)
+		}
+	}
+	outAttrs := append(append([]string(nil), l.attrs...), rOnly...)
+	out := New(outAttrs...)
+
+	lShared := make([]int, len(shared))
+	rShared := make([]int, len(shared))
+	for i, a := range shared {
+		lShared[i], _ = l.pos[a]
+		rShared[i], _ = r.pos[a]
+	}
+	rOnlyPos := make([]int, len(rOnly))
+	for i, a := range rOnly {
+		rOnlyPos[i], _ = r.pos[a]
+	}
+
+	joinKey := func(t Tuple, idx []int) string {
+		var b strings.Builder
+		for _, p := range idx {
+			t[p].appendKey(&b)
+			b.WriteByte('|')
+		}
+		return b.String()
+	}
+
+	build := make(map[string][]Tuple, l.Len())
+	for _, t := range l.rows {
+		k := joinKey(t, lShared)
+		build[k] = append(build[k], t)
+	}
+	for _, rt := range r.rows {
+		k := joinKey(rt, rShared)
+		for _, lt := range build[k] {
+			jt := make(Tuple, 0, len(outAttrs))
+			jt = append(jt, lt...)
+			for _, p := range rOnlyPos {
+				jt = append(jt, rt[p])
+			}
+			out.Insert(jt)
+		}
+	}
+	return out
+}
+
+// JoinAll natural-joins all inputs left to right; with no inputs it panics
+// (the algebra layer never produces empty joins).
+func JoinAll(rels ...*Relation) *Relation {
+	if len(rels) == 0 {
+		panic("relation: JoinAll of zero relations")
+	}
+	out := rels[0]
+	for _, r := range rels[1:] {
+		out = NaturalJoin(out, r)
+	}
+	return out
+}
+
+// ExtensionJoin returns l ⋈ r where the shared attributes contain a key of
+// r, so each l-tuple has at most one join partner (Honeyman's extension
+// joins, which Theorem 2.2 relies on when recomposing base relations from
+// covers). Functionally it equals NaturalJoin; operationally it probes a
+// unique index and is what the warehouse uses on cover joins. It returns
+// an error if rKey is not part of the shared attributes or if r violates
+// uniqueness on rKey.
+func ExtensionJoin(l, r *Relation, rKey AttrSet) (*Relation, error) {
+	shared := l.AttrSet().Intersect(r.AttrSet())
+	if !rKey.SubsetOf(shared) {
+		return nil, fmt.Errorf("relation: extension join: key %v not contained in shared attributes %v", rKey, shared)
+	}
+	keyAttrs := rKey.Sorted()
+	rKeyPos := make([]int, len(keyAttrs))
+	lKeyPos := make([]int, len(keyAttrs))
+	for i, a := range keyAttrs {
+		rKeyPos[i], _ = r.pos[a]
+		lKeyPos[i], _ = l.pos[a]
+	}
+	idx := make(map[string]Tuple, r.Len())
+	for _, t := range r.rows {
+		var b strings.Builder
+		for _, p := range rKeyPos {
+			t[p].appendKey(&b)
+			b.WriteByte('|')
+		}
+		k := b.String()
+		if prev, dup := idx[k]; dup {
+			return nil, fmt.Errorf("relation: extension join: %v is not a key of the right input (tuples %v and %v agree on it)", rKey, prev, t)
+		}
+		idx[k] = t
+	}
+
+	sharedNonKey := shared.Minus(rKey).Sorted()
+	rOnly := make([]string, 0, len(r.attrs))
+	for _, a := range r.attrs {
+		if !l.HasAttr(a) {
+			rOnly = append(rOnly, a)
+		}
+	}
+	out := New(append(append([]string(nil), l.attrs...), rOnly...)...)
+	rOnlyPos := make([]int, len(rOnly))
+	for i, a := range rOnly {
+		rOnlyPos[i], _ = r.pos[a]
+	}
+	for _, lt := range l.rows {
+		var b strings.Builder
+		for _, p := range lKeyPos {
+			lt[p].appendKey(&b)
+			b.WriteByte('|')
+		}
+		rt, ok := idx[b.String()]
+		if !ok {
+			continue
+		}
+		agree := true
+		for _, a := range sharedNonKey {
+			lp, _ := l.pos[a]
+			rp, _ := r.pos[a]
+			if !lt[lp].Equal(rt[rp]) {
+				agree = false
+				break
+			}
+		}
+		if !agree {
+			continue
+		}
+		jt := make(Tuple, 0, out.Arity())
+		jt = append(jt, lt...)
+		for _, p := range rOnlyPos {
+			jt = append(jt, rt[p])
+		}
+		out.Insert(jt)
+	}
+	return out, nil
+}
+
+// SemiJoin returns the tuples of r whose projection onto probe's
+// attributes occurs in probe (r ⋉ probe). The probe's attribute set must
+// be contained in r's; otherwise the result is empty (no tuple can match
+// a probe over foreign attributes).
+func SemiJoin(r, probe *Relation) *Relation {
+	out := New(r.attrs...)
+	idx := make([]int, 0, probe.Arity())
+	for _, a := range probe.attrs {
+		p, ok := r.pos[a]
+		if !ok {
+			return out
+		}
+		idx = append(idx, p)
+	}
+	for _, t := range r.rows {
+		pt := make(Tuple, len(idx))
+		for i, p := range idx {
+			pt[i] = t[p]
+		}
+		if probe.Contains(pt) {
+			out.Insert(t)
+		}
+	}
+	return out
+}
+
+// sameAttrsOrErr validates union/difference compatibility.
+func sameAttrsOrErr(op string, l, r *Relation) error {
+	if !l.AttrSet().Equal(r.AttrSet()) {
+		return fmt.Errorf("relation: %s requires equal attribute sets, got %v and %v", op, l.AttrSet(), r.AttrSet())
+	}
+	return nil
+}
+
+// Union returns l ∪ r. The inputs must have equal attribute sets.
+func Union(l, r *Relation) (*Relation, error) {
+	if err := sameAttrsOrErr("union", l, r); err != nil {
+		return nil, err
+	}
+	out := l.Clone()
+	out.InsertAll(r)
+	return out, nil
+}
+
+// Diff returns l ∖ r. The inputs must have equal attribute sets.
+func Diff(l, r *Relation) (*Relation, error) {
+	if err := sameAttrsOrErr("difference", l, r); err != nil {
+		return nil, err
+	}
+	out := New(l.attrs...)
+	perm := alignment(l, r)
+	for _, t := range l.rows {
+		if !r.Contains(permute(t, perm)) {
+			out.Insert(t)
+		}
+	}
+	return out, nil
+}
+
+// Intersect returns l ∩ r. The inputs must have equal attribute sets.
+func Intersect(l, r *Relation) (*Relation, error) {
+	if err := sameAttrsOrErr("intersection", l, r); err != nil {
+		return nil, err
+	}
+	out := New(l.attrs...)
+	perm := alignment(l, r)
+	for _, t := range l.rows {
+		if r.Contains(permute(t, perm)) {
+			out.Insert(t)
+		}
+	}
+	return out, nil
+}
+
+// Rename returns ρ_mapping(r), renaming attributes per the old→new map.
+// Attributes not mentioned keep their names. It returns an error if a
+// source attribute is unknown or the renaming would create duplicates.
+func Rename(r *Relation, mapping map[string]string) (*Relation, error) {
+	newAttrs := make([]string, len(r.attrs))
+	for i, a := range r.attrs {
+		if n, ok := mapping[a]; ok {
+			newAttrs[i] = n
+		} else {
+			newAttrs[i] = a
+		}
+	}
+	for old := range mapping {
+		if !r.HasAttr(old) {
+			return nil, fmt.Errorf("relation: rename of unknown attribute %q", old)
+		}
+	}
+	seen := make(map[string]bool, len(newAttrs))
+	for _, a := range newAttrs {
+		if seen[a] {
+			return nil, fmt.Errorf("relation: rename produces duplicate attribute %q", a)
+		}
+		seen[a] = true
+	}
+	out := New(newAttrs...)
+	for _, t := range r.rows {
+		out.Insert(t)
+	}
+	return out, nil
+}

@@ -1,0 +1,355 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is a row of values, positionally aligned with the attribute order
+// of the Relation that owns it.
+type Tuple []Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// key returns the canonical injective encoding of the tuple used for set
+// membership.
+func (t Tuple) key() string {
+	var b strings.Builder
+	for _, v := range t {
+		v.appendKey(&b)
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// Relation is an in-memory relation with set semantics: inserting a
+// duplicate tuple is a no-op, as in the set-based relational algebra the
+// paper uses. Attribute order is fixed at construction and is purely
+// presentational; all algebra operators match attributes by name.
+type Relation struct {
+	attrs []string
+	pos   map[string]int
+	rows  []Tuple
+	set   map[string]int // tuple key -> index into rows
+}
+
+// New creates an empty relation over the given attribute names. It panics
+// on duplicate or empty names (programming errors, not data errors).
+func New(attrs ...string) *Relation {
+	r := &Relation{
+		attrs: append([]string(nil), attrs...),
+		pos:   make(map[string]int, len(attrs)),
+		set:   make(map[string]int),
+	}
+	for i, a := range attrs {
+		if a == "" {
+			panic("relation: empty attribute name")
+		}
+		if _, dup := r.pos[a]; dup {
+			panic(fmt.Sprintf("relation: duplicate attribute %q", a))
+		}
+		r.pos[a] = i
+	}
+	return r
+}
+
+// NewFromSchema creates an empty relation with the schema's attribute order.
+func NewFromSchema(s *Schema) *Relation { return New(s.AttrNames()...) }
+
+// Attrs returns the attribute names in column order. The caller must not
+// modify the returned slice.
+func (r *Relation) Attrs() []string { return r.attrs }
+
+// AttrSet returns the relation's attribute names as a set.
+func (r *Relation) AttrSet() AttrSet { return NewAttrSet(r.attrs...) }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// IsEmpty reports whether the relation has no tuples.
+func (r *Relation) IsEmpty() bool { return len(r.rows) == 0 }
+
+// Pos returns the column index of the named attribute and whether it exists.
+func (r *Relation) Pos(attr string) (int, bool) {
+	i, ok := r.pos[attr]
+	return i, ok
+}
+
+// HasAttr reports whether the relation has the named attribute.
+func (r *Relation) HasAttr(attr string) bool {
+	_, ok := r.pos[attr]
+	return ok
+}
+
+// Insert adds a tuple and reports whether it was new. It panics if the
+// tuple arity does not match the relation (a programming error). The
+// relation keeps its own copy of the tuple.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != len(r.attrs) {
+		panic(fmt.Sprintf("relation: arity mismatch: tuple has %d values, relation has %d attributes", len(t), len(r.attrs)))
+	}
+	k := t.key()
+	if _, dup := r.set[k]; dup {
+		return false
+	}
+	r.set[k] = len(r.rows)
+	r.rows = append(r.rows, t.Clone())
+	return true
+}
+
+// InsertValues is Insert with variadic values, convenient in tests and
+// examples: r.InsertValues(String_("TV set"), String_("Mary")).
+func (r *Relation) InsertValues(vals ...Value) bool { return r.Insert(Tuple(vals)) }
+
+// InsertAll inserts every tuple of o (which must have the same attribute
+// set) into r, aligning columns by name. It returns the number of tuples
+// actually added.
+func (r *Relation) InsertAll(o *Relation) int {
+	perm := alignment(o, r)
+	added := 0
+	for _, t := range o.rows {
+		if r.Insert(permute(t, perm)) {
+			added++
+		}
+	}
+	return added
+}
+
+// Contains reports whether the relation contains the tuple.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != len(r.attrs) {
+		return false
+	}
+	_, ok := r.set[t.key()]
+	return ok
+}
+
+// ContainsAligned reports whether r contains the tuple t that is laid out
+// in o's attribute order; o must have the same attribute set as r.
+func (r *Relation) ContainsAligned(t Tuple, o *Relation) bool {
+	return r.Contains(permute(t, alignment(o, r)))
+}
+
+// Delete removes a tuple and reports whether it was present. Deletion is
+// O(1) via swap-with-last.
+func (r *Relation) Delete(t Tuple) bool {
+	if len(t) != len(r.attrs) {
+		return false
+	}
+	k := t.key()
+	i, ok := r.set[k]
+	if !ok {
+		return false
+	}
+	last := len(r.rows) - 1
+	if i != last {
+		r.rows[i] = r.rows[last]
+		r.set[r.rows[i].key()] = i
+	}
+	r.rows = r.rows[:last]
+	delete(r.set, k)
+	return true
+}
+
+// Each calls fn for every tuple. The callback must not retain or modify
+// the tuple, and must not mutate the relation.
+func (r *Relation) Each(fn func(Tuple)) {
+	for _, t := range r.rows {
+		fn(t)
+	}
+}
+
+// Tuples returns a copy of all tuples, in no particular order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, len(r.rows))
+	for i, t := range r.rows {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// SortedTuples returns all tuples sorted by the total value order, column
+// by column — a deterministic order for printing and golden tests.
+func (r *Relation) SortedTuples() []Tuple {
+	out := r.Tuples()
+	sort.Slice(out, func(i, j int) bool { return tupleLess(out[i], out[j]) })
+	return out
+}
+
+func tupleLess(a, b Tuple) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i].Less(b[i]) {
+			return true
+		}
+		if b[i].Less(a[i]) {
+			return false
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Get returns the value of the named attribute in tuple t (owned by r).
+// It panics on unknown attributes.
+func (r *Relation) Get(t Tuple, attr string) Value {
+	i, ok := r.pos[attr]
+	if !ok {
+		panic(fmt.Sprintf("relation: unknown attribute %q", attr))
+	}
+	return t[i]
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := New(r.attrs...)
+	for _, t := range r.rows {
+		c.Insert(t)
+	}
+	return c
+}
+
+// Equal reports whether r and o have the same attribute set and the same
+// set of tuples (column order is irrelevant).
+func (r *Relation) Equal(o *Relation) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	if len(r.attrs) != len(o.attrs) || len(r.rows) != len(o.rows) {
+		return false
+	}
+	if !r.AttrSet().Equal(o.AttrSet()) {
+		return false
+	}
+	perm := alignment(o, r)
+	for _, t := range o.rows {
+		if !r.Contains(permute(t, perm)) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every tuple of r occurs in o (same attribute
+// set required; otherwise false).
+func (r *Relation) SubsetOf(o *Relation) bool {
+	if !r.AttrSet().Equal(o.AttrSet()) {
+		return false
+	}
+	perm := alignment(r, o)
+	for _, t := range r.rows {
+		if !o.Contains(permute(t, perm)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns an order-independent canonical encoding of the
+// relation's content (attribute set + tuple set). Two relations are Equal
+// iff their fingerprints agree, which gives states a cheap identity for
+// the injectivity experiments (Proposition 2.1).
+func (r *Relation) Fingerprint() string {
+	var b strings.Builder
+	attrs := append([]string(nil), r.attrs...)
+	sort.Strings(attrs)
+	b.WriteString(strings.Join(attrs, ","))
+	b.WriteByte(';')
+	perm := make([]int, len(attrs))
+	for i, a := range attrs {
+		perm[i] = r.pos[a]
+	}
+	keys := make([]string, 0, len(r.rows))
+	for _, t := range r.rows {
+		st := make(Tuple, len(perm))
+		for i, p := range perm {
+			st[i] = t[p]
+		}
+		keys = append(keys, st.key())
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders the relation as an aligned text table with sorted rows.
+func (r *Relation) String() string {
+	widths := make([]int, len(r.attrs))
+	for i, a := range r.attrs {
+		widths[i] = len(a)
+	}
+	rows := r.SortedTuples()
+	cells := make([][]string, len(rows))
+	for i, t := range rows {
+		cells[i] = make([]string, len(t))
+		for j, v := range t {
+			cells[i][j] = v.String()
+			if len(cells[i][j]) > widths[j] {
+				widths[j] = len(cells[i][j])
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for j, s := range vals {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(s)
+			if j < len(vals)-1 { // no trailing padding on the last column
+				b.WriteString(strings.Repeat(" ", widths[j]-len(s)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.attrs)
+	for j := range r.attrs {
+		if j > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[j]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	b.WriteString(fmt.Sprintf("(%d tuple", len(rows)))
+	if len(rows) != 1 {
+		b.WriteByte('s')
+	}
+	b.WriteString(")\n")
+	return b.String()
+}
+
+// alignment returns, for each column of dst, the column index in src
+// holding the same attribute. Both relations must have equal attribute
+// sets; it panics otherwise (operator-level code validates first).
+func alignment(src, dst *Relation) []int {
+	perm := make([]int, len(dst.attrs))
+	for i, a := range dst.attrs {
+		p, ok := src.pos[a]
+		if !ok {
+			panic(fmt.Sprintf("relation: attribute sets differ: %q missing from source", a))
+		}
+		perm[i] = p
+	}
+	return perm
+}
+
+// permute lays out tuple t (in source order) according to perm (dst order).
+func permute(t Tuple, perm []int) Tuple {
+	out := make(Tuple, len(perm))
+	for i, p := range perm {
+		out[i] = t[p]
+	}
+	return out
+}

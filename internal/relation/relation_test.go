@@ -1,0 +1,265 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkRel(t *testing.T, attrs []string, rows ...[]Value) *Relation {
+	t.Helper()
+	r := New(attrs...)
+	for _, row := range rows {
+		r.Insert(Tuple(row))
+	}
+	return r
+}
+
+func TestSchemaConstruction(t *testing.T) {
+	s := NewSchema("Emp", "clerk:string", "age:int").WithKey("clerk")
+	if s.Name != "Emp" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if got := s.String(); got != "Emp(clerk string, age int) key(clerk)" {
+		t.Errorf("String() = %q", got)
+	}
+	if s.AttrType("age") != KindInt || s.AttrType("clerk") != KindString {
+		t.Error("attribute types lost")
+	}
+	if s.AttrType("nope") != KindNull {
+		t.Error("unknown attr type should be KindNull")
+	}
+	if !s.HasKey() || !s.KeySet().Equal(NewAttrSet("clerk")) {
+		t.Error("key lost")
+	}
+	if !s.AttrSet().Equal(NewAttrSet("clerk", "age")) {
+		t.Error("attr set wrong")
+	}
+	c := s.Clone()
+	c.Attrs[0].Name = "x"
+	c.Key[0] = "x"
+	if s.Attrs[0].Name != "clerk" || s.Key[0] != "clerk" {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	bad := []*Schema{
+		{Name: "", Attrs: []Attribute{{Name: "a"}}},
+		{Name: "R"},
+		{Name: "R", Attrs: []Attribute{{Name: "a"}, {Name: "a"}}},
+		{Name: "R", Attrs: []Attribute{{Name: ""}}},
+		{Name: "R", Attrs: []Attribute{{Name: "a"}}, Key: []string{"b"}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid schema %+v", i, s)
+		}
+	}
+	if err := (&Schema{Name: "R", Attrs: []Attribute{{Name: "a"}}, Key: []string{"a"}}).Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+}
+
+func TestSchemaPanics(t *testing.T) {
+	assertPanics(t, func() { NewSchema("R", "a:decimal") }, "unknown type")
+	assertPanics(t, func() { NewSchema("R", "a").WithKey("b") }, "key not in schema")
+}
+
+func assertPanics(t *testing.T, fn func(), msg string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic: %s", msg)
+		}
+	}()
+	fn()
+}
+
+func TestAttrSetOps(t *testing.T) {
+	a := NewAttrSet("x", "y")
+	b := NewAttrSet("y", "z")
+	if !a.Union(b).Equal(NewAttrSet("x", "y", "z")) {
+		t.Error("union")
+	}
+	if !a.Intersect(b).Equal(NewAttrSet("y")) {
+		t.Error("intersect")
+	}
+	if !a.Minus(b).Equal(NewAttrSet("x")) {
+		t.Error("minus")
+	}
+	if !NewAttrSet("x").SubsetOf(a) || a.SubsetOf(b) {
+		t.Error("subset")
+	}
+	if a.String() != "{x, y}" {
+		t.Errorf("String = %q", a.String())
+	}
+	if !a.Clone().Equal(a) {
+		t.Error("clone")
+	}
+	if NewAttrSet().Len() != 0 || !NewAttrSet().IsEmpty() {
+		t.Error("empty set")
+	}
+}
+
+func TestInsertSetSemantics(t *testing.T) {
+	r := New("a", "b")
+	if !r.InsertValues(Int(1), String_("x")) {
+		t.Error("first insert reported duplicate")
+	}
+	if r.InsertValues(Int(1), String_("x")) {
+		t.Error("duplicate insert reported new")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	// Numeric coercion: Float(1) duplicates Int(1).
+	if r.InsertValues(Float(1), String_("x")) {
+		t.Error("Float(1),x should duplicate Int(1),x under set semantics")
+	}
+	if !r.Contains(Tuple{Int(1), String_("x")}) {
+		t.Error("Contains lost the tuple")
+	}
+	if r.Contains(Tuple{Int(2), String_("x")}) {
+		t.Error("Contains invented a tuple")
+	}
+	if r.Contains(Tuple{Int(1)}) {
+		t.Error("arity-mismatched Contains must be false")
+	}
+}
+
+func TestInsertArityPanic(t *testing.T) {
+	r := New("a", "b")
+	assertPanics(t, func() { r.InsertValues(Int(1)) }, "arity mismatch")
+}
+
+func TestDelete(t *testing.T) {
+	r := mkRel(t, []string{"a"}, []Value{Int(1)}, []Value{Int(2)}, []Value{Int(3)})
+	if !r.Delete(Tuple{Int(2)}) {
+		t.Error("delete of present tuple failed")
+	}
+	if r.Delete(Tuple{Int(2)}) {
+		t.Error("delete of absent tuple succeeded")
+	}
+	if r.Len() != 2 || !r.Contains(Tuple{Int(1)}) || !r.Contains(Tuple{Int(3)}) {
+		t.Error("wrong survivors after delete")
+	}
+	// Delete first element exercises the swap-with-last path.
+	if !r.Delete(Tuple{Int(1)}) || !r.Contains(Tuple{Int(3)}) || r.Len() != 1 {
+		t.Error("swap-with-last delete broken")
+	}
+}
+
+func TestEqualIgnoresColumnOrder(t *testing.T) {
+	a := mkRel(t, []string{"x", "y"}, []Value{Int(1), String_("u")}, []Value{Int(2), String_("v")})
+	b := mkRel(t, []string{"y", "x"}, []Value{String_("u"), Int(1)}, []Value{String_("v"), Int(2)})
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("Equal must ignore column order")
+	}
+	b.InsertValues(String_("w"), Int(3))
+	if a.Equal(b) {
+		t.Error("Equal ignored extra tuple")
+	}
+	c := mkRel(t, []string{"x", "z"}, []Value{Int(1), String_("u")})
+	if a.Equal(c) {
+		t.Error("Equal across different attribute sets")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := mkRel(t, []string{"x"}, []Value{Int(1)})
+	b := mkRel(t, []string{"x"}, []Value{Int(1)}, []Value{Int(2)})
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Error("SubsetOf broken")
+	}
+	c := mkRel(t, []string{"y"}, []Value{Int(1)})
+	if a.SubsetOf(c) {
+		t.Error("SubsetOf across attribute sets")
+	}
+}
+
+func TestInsertAllAligns(t *testing.T) {
+	a := mkRel(t, []string{"x", "y"}, []Value{Int(1), Int(10)})
+	b := mkRel(t, []string{"y", "x"}, []Value{Int(10), Int(1)}, []Value{Int(20), Int(2)})
+	added := a.InsertAll(b)
+	if added != 1 {
+		t.Errorf("added = %d, want 1", added)
+	}
+	if !a.Contains(Tuple{Int(2), Int(20)}) {
+		t.Error("aligned insert lost tuple")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a := mkRel(t, []string{"x", "y"}, []Value{Int(1), Int(2)}, []Value{Int(3), Int(4)})
+	b := mkRel(t, []string{"y", "x"}, []Value{Int(4), Int(3)}, []Value{Int(2), Int(1)})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprints must ignore column and row order")
+	}
+	b.InsertValues(Int(9), Int(9))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("fingerprints must differ on content change")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := mkRel(t, []string{"x"}, []Value{Int(1)})
+	c := a.Clone()
+	c.InsertValues(Int(2))
+	if a.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone shares tuple storage")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := mkRel(t, []string{"item", "clerk"},
+		[]Value{String_("TV set"), String_("Mary")},
+		[]Value{String_("PC"), String_("John")})
+	s := r.String()
+	for _, want := range []string{"item", "clerk", "TV set", "Mary", "PC", "(2 tuples)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	one := mkRel(t, []string{"a"}, []Value{Int(1)})
+	if !strings.Contains(one.String(), "(1 tuple)") {
+		t.Error("singular tuple count")
+	}
+}
+
+func TestSortedTuplesDeterministic(t *testing.T) {
+	r := mkRel(t, []string{"a", "b"},
+		[]Value{Int(2), String_("x")},
+		[]Value{Int(1), String_("z")},
+		[]Value{Int(1), String_("a")})
+	got := r.SortedTuples()
+	want := []Tuple{
+		{Int(1), String_("a")},
+		{Int(1), String_("z")},
+		{Int(2), String_("x")},
+	}
+	for i := range want {
+		if !got[i][0].Equal(want[i][0]) || !got[i][1].Equal(want[i][1]) {
+			t.Fatalf("sorted order wrong at %d: got %v", i, got)
+		}
+	}
+}
+
+func TestGetAndPos(t *testing.T) {
+	r := mkRel(t, []string{"a", "b"}, []Value{Int(1), Int(2)})
+	tu := r.Tuples()[0]
+	if r.Get(tu, "b").AsInt() != 2 {
+		t.Error("Get by name")
+	}
+	if p, ok := r.Pos("a"); !ok || p != 0 {
+		t.Error("Pos")
+	}
+	if _, ok := r.Pos("zz"); ok {
+		t.Error("Pos of unknown attr")
+	}
+	assertPanics(t, func() { r.Get(tu, "zz") }, "Get unknown attribute")
+}
+
+func TestNewPanics(t *testing.T) {
+	assertPanics(t, func() { New("a", "a") }, "duplicate attribute")
+	assertPanics(t, func() { New("") }, "empty attribute")
+}

@@ -1,0 +1,258 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attribute is a named, optionally typed column of a relation schema.
+// A Type of KindNull means "any".
+type Attribute struct {
+	Name string
+	Type Kind
+}
+
+// Schema describes a base relation schema R ∈ D: a name, an ordered list
+// of attributes, and at most one key (the paper's standing assumption:
+// "we assume that at most one key is declared for every relation schema").
+// An empty Key means no key is declared.
+type Schema struct {
+	Name  string
+	Attrs []Attribute
+	Key   []string
+}
+
+// NewSchema builds a schema from "name:type" or plain "name" attribute
+// specifications (plain names are untyped). It panics on malformed input;
+// use Validate for checked construction from external input.
+func NewSchema(name string, attrSpecs ...string) *Schema {
+	s := &Schema{Name: name}
+	for _, spec := range attrSpecs {
+		attrName, typeName, hasType := strings.Cut(spec, ":")
+		a := Attribute{Name: attrName}
+		if hasType {
+			k, ok := KindFromName(typeName)
+			if !ok {
+				panic(fmt.Sprintf("relation: unknown attribute type %q in schema %s", typeName, name))
+			}
+			a.Type = k
+		}
+		s.Attrs = append(s.Attrs, a)
+	}
+	if err := s.Validate(); err != nil {
+		panic("relation: " + err.Error())
+	}
+	return s
+}
+
+// WithKey declares key attributes on the schema and returns it, enabling
+// fluent construction: NewSchema("Emp", "clerk", "age").WithKey("clerk").
+// It panics if a key attribute is not part of the schema.
+func (s *Schema) WithKey(attrs ...string) *Schema {
+	for _, a := range attrs {
+		if !s.HasAttr(a) {
+			panic(fmt.Sprintf("relation: key attribute %q not in schema %s", a, s.Name))
+		}
+	}
+	s.Key = append([]string(nil), attrs...)
+	return s
+}
+
+// Validate checks structural well-formedness: non-empty name, at least one
+// attribute, no duplicate attribute names, and key ⊆ attributes.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("schema without a name")
+	}
+	if len(s.Attrs) == 0 {
+		return fmt.Errorf("schema %s has no attributes", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Attrs))
+	for _, a := range s.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("schema %s has an unnamed attribute", s.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("schema %s declares attribute %q twice", s.Name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, k := range s.Key {
+		if !seen[k] {
+			return fmt.Errorf("schema %s declares key attribute %q that is not an attribute", s.Name, k)
+		}
+	}
+	return nil
+}
+
+// AttrNames returns the attribute names in declaration order.
+func (s *Schema) AttrNames() []string {
+	names := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// AttrSet returns the attribute names as an AttrSet.
+func (s *Schema) AttrSet() AttrSet { return NewAttrSet(s.AttrNames()...) }
+
+// HasAttr reports whether the schema declares the named attribute.
+func (s *Schema) HasAttr(name string) bool {
+	for _, a := range s.Attrs {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AttrType returns the declared type of the named attribute (KindNull if
+// untyped or unknown).
+func (s *Schema) AttrType(name string) Kind {
+	for _, a := range s.Attrs {
+		if a.Name == name {
+			return a.Type
+		}
+	}
+	return KindNull
+}
+
+// HasKey reports whether a key is declared.
+func (s *Schema) HasKey() bool { return len(s.Key) > 0 }
+
+// KeySet returns the key attributes as an AttrSet (empty when no key).
+func (s *Schema) KeySet() AttrSet { return NewAttrSet(s.Key...) }
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{Name: s.Name}
+	c.Attrs = append([]Attribute(nil), s.Attrs...)
+	c.Key = append([]string(nil), s.Key...)
+	return c
+}
+
+// String renders the schema in DSL form, e.g.
+// "Emp(clerk string, age int) key(clerk)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('(')
+	for i, a := range s.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+		if a.Type != KindNull {
+			b.WriteByte(' ')
+			b.WriteString(a.Type.String())
+		}
+	}
+	b.WriteByte(')')
+	if len(s.Key) > 0 {
+		b.WriteString(" key(")
+		b.WriteString(strings.Join(s.Key, ", "))
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// AttrSet is an immutable-by-convention set of attribute names. The nil
+// AttrSet is the empty set. Sets print and iterate in sorted order so that
+// all derived expressions are deterministic.
+type AttrSet map[string]struct{}
+
+// NewAttrSet builds a set from the given names.
+func NewAttrSet(names ...string) AttrSet {
+	s := make(AttrSet, len(names))
+	for _, n := range names {
+		s[n] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s AttrSet) Has(name string) bool {
+	_, ok := s[name]
+	return ok
+}
+
+// Len returns the cardinality.
+func (s AttrSet) Len() int { return len(s) }
+
+// IsEmpty reports whether the set is empty.
+func (s AttrSet) IsEmpty() bool { return len(s) == 0 }
+
+// Sorted returns the member names in sorted order.
+func (s AttrSet) Sorted() []string {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Union returns s ∪ o as a new set.
+func (s AttrSet) Union(o AttrSet) AttrSet {
+	u := make(AttrSet, len(s)+len(o))
+	for n := range s {
+		u[n] = struct{}{}
+	}
+	for n := range o {
+		u[n] = struct{}{}
+	}
+	return u
+}
+
+// Intersect returns s ∩ o as a new set.
+func (s AttrSet) Intersect(o AttrSet) AttrSet {
+	u := make(AttrSet)
+	for n := range s {
+		if o.Has(n) {
+			u[n] = struct{}{}
+		}
+	}
+	return u
+}
+
+// Minus returns s ∖ o as a new set.
+func (s AttrSet) Minus(o AttrSet) AttrSet {
+	u := make(AttrSet)
+	for n := range s {
+		if !o.Has(n) {
+			u[n] = struct{}{}
+		}
+	}
+	return u
+}
+
+// SubsetOf reports s ⊆ o.
+func (s AttrSet) SubsetOf(o AttrSet) bool {
+	for n := range s {
+		if !o.Has(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (s AttrSet) Equal(o AttrSet) bool {
+	return len(s) == len(o) && s.SubsetOf(o)
+}
+
+// Clone returns a copy of the set.
+func (s AttrSet) Clone() AttrSet {
+	u := make(AttrSet, len(s))
+	for n := range s {
+		u[n] = struct{}{}
+	}
+	return u
+}
+
+// String renders the set as "{a, b, c}" in sorted order.
+func (s AttrSet) String() string {
+	return "{" + strings.Join(s.Sorted(), ", ") + "}"
+}

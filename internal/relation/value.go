@@ -1,0 +1,285 @@
+// Package relation implements the data model underlying the reproduction of
+// "Complements for Data Warehouses" (Laurent, Lechtenbörger, Spyratos,
+// Vossen; ICDE 1999): typed attribute values, relation schemata with
+// optional keys, and in-memory relations with set semantics together with
+// the physical relational operators (selection, projection, natural join,
+// extension join, union, difference, rename) that the symbolic algebra of
+// package algebra evaluates against.
+//
+// The paper works with set-based relational algebra over relations drawn
+// from several autonomous source databases; this package is the common
+// substrate for sources, the warehouse, and complements alike.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value types supported by the engine. KindNull doubles
+// as the "untyped" marker on attribute declarations: an attribute declared
+// with KindNull accepts values of any kind.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the lowercase name of the kind as used by the .dw DSL.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "any"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// KindFromName parses a kind name from the DSL ("int", "float", "string",
+// "bool", "any"). It reports whether the name was recognized.
+func KindFromName(name string) (Kind, bool) {
+	switch name {
+	case "any":
+		return KindNull, true
+	case "bool":
+		return KindBool, true
+	case "int":
+		return KindInt, true
+	case "float":
+		return KindFloat, true
+	case "string":
+		return KindString, true
+	default:
+		return KindNull, false
+	}
+}
+
+// Value is an immutable typed attribute value. The zero Value is SQL-style
+// NULL. Values are small and passed by value throughout the engine.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String_ returns a string value. The trailing underscore avoids a clash
+// with the fmt.Stringer method on Value.
+func String_(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean payload; it is only meaningful for KindBool.
+func (v Value) AsBool() bool { return v.b }
+
+// AsInt returns the integer payload; it is only meaningful for KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the numeric payload as a float64 for KindInt and
+// KindFloat values.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string payload; it is only meaningful for KindString.
+func (v Value) AsString() string { return v.s }
+
+// numeric reports whether the value is of a numeric kind.
+func (v Value) numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports value equality. Integers and floats compare numerically
+// (Int(2) equals Float(2.0)); NULL equals only NULL.
+func (v Value) Equal(o Value) bool {
+	c, ok := v.Compare(o)
+	return ok && c == 0
+}
+
+// Compare orders two values. It returns -1, 0 or +1 and true when the
+// values are comparable (same kind, or both numeric); otherwise it returns
+// 0 and false. NULL is comparable only to NULL (and equal to it), which
+// matches the engine's set semantics where NULL is a plain domain element.
+func (v Value) Compare(o Value) (int, bool) {
+	if v.kind == KindNull || o.kind == KindNull {
+		if v.kind == o.kind {
+			return 0, true
+		}
+		return 0, false
+	}
+	if v.numeric() && o.numeric() {
+		if v.kind == KindInt && o.kind == KindInt {
+			switch {
+			case v.i < o.i:
+				return -1, true
+			case v.i > o.i:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.kind != o.kind {
+		return 0, false
+	}
+	switch v.kind {
+	case KindBool:
+		switch {
+		case !v.b && o.b:
+			return -1, true
+		case v.b && !o.b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	case KindString:
+		return strings.Compare(v.s, o.s), true
+	default:
+		return 0, false
+	}
+}
+
+// Less is a total order over all values, used only for deterministic
+// output ordering: values are ordered first by kind, then by payload
+// (numeric kinds share one numeric order).
+func (v Value) Less(o Value) bool {
+	if v.numeric() && o.numeric() {
+		c, _ := v.Compare(o)
+		if c != 0 {
+			return c < 0
+		}
+		return v.kind < o.kind
+	}
+	if v.kind != o.kind {
+		return v.kind < o.kind
+	}
+	c, _ := v.Compare(o)
+	return c < 0
+}
+
+// String renders the value for human-readable output.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	default:
+		return "?"
+	}
+}
+
+// Literal renders the value as a literal re-parseable by package parse:
+// strings are single-quoted with backslash escaping, other kinds match
+// their String form.
+func (v Value) Literal() string {
+	if v.kind != KindString {
+		return v.String()
+	}
+	var b strings.Builder
+	b.WriteByte('\'')
+	for _, r := range v.s {
+		if r == '\'' || r == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteRune(r)
+	}
+	b.WriteByte('\'')
+	return b.String()
+}
+
+// appendKey appends a canonical, injective encoding of the value to b.
+// Numerically equal int/float values encode identically so that set
+// semantics agree with Equal.
+func (v Value) appendKey(b *strings.Builder) {
+	switch v.kind {
+	case KindNull:
+		b.WriteByte('n')
+	case KindBool:
+		if v.b {
+			b.WriteString("b1")
+		} else {
+			b.WriteString("b0")
+		}
+	case KindInt:
+		f := float64(v.i)
+		if int64(f) == v.i {
+			// Encode as float when exactly representable so that
+			// Int(2) and Float(2) collapse to one set element.
+			b.WriteByte('f')
+			b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+		} else {
+			b.WriteByte('i')
+			b.WriteString(strconv.FormatInt(v.i, 10))
+		}
+	case KindFloat:
+		b.WriteByte('f')
+		b.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+	case KindString:
+		b.WriteByte('s')
+		b.WriteString(strconv.Itoa(len(v.s)))
+		b.WriteByte(':')
+		b.WriteString(v.s)
+	}
+}
+
+// CheckKind reports whether the value may populate an attribute declared
+// with kind want. KindNull-declared attributes accept everything; NULL
+// values are accepted everywhere; integers are accepted by float
+// attributes (widening).
+func (v Value) CheckKind(want Kind) bool {
+	if want == KindNull || v.kind == KindNull {
+		return true
+	}
+	if want == KindFloat && v.kind == KindInt {
+		return true
+	}
+	return v.kind == want
+}

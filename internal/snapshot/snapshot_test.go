@@ -1,0 +1,154 @@
+package snapshot
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dwcomplement/internal/core"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/warehouse"
+	"dwcomplement/internal/workload"
+)
+
+func sampleState(t *testing.T) map[string]*relation.Relation {
+	t.Helper()
+	r := relation.New("a", "b", "c", "d", "e")
+	r.InsertValues(relation.Int(1), relation.Float(2.5), relation.String_("x|y'z"), relation.Bool(true), relation.Null())
+	r.InsertValues(relation.Int(-9), relation.Float(0), relation.String_(""), relation.Bool(false), relation.Int(7))
+	empty := relation.New("q")
+	return map[string]*relation.Relation{"R": r, "Empty": empty}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ms := sampleState(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("relations = %d", len(got))
+	}
+	for name, want := range ms {
+		if !got[name].Equal(want) {
+			t.Errorf("%s differs:\ngot  %v\nwant %v", name, got[name], want)
+		}
+	}
+	// Attribute order survives too.
+	if strings.Join(got["R"].Attrs(), ",") != "a,b,c,d,e" {
+		t.Errorf("attribute order lost: %v", got["R"].Attrs())
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.gob")
+	ms := sampleState(t)
+	if err := SaveFile(path, ms); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["R"].Equal(ms["R"]) {
+		t.Error("file round trip lost data")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a snapshot")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	if err := Save(&buf, map[string]*relation.Relation{}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// A crude but effective way to produce a valid gob with another
+	// version: re-encode with the struct hacked via Save is not possible;
+	// instead decode-check is covered by the garbage case above and the
+	// Verify tests below.
+	_ = data
+}
+
+func TestVerify(t *testing.T) {
+	ms := sampleState(t)
+	expected := map[string]relation.AttrSet{
+		"R":     relation.NewAttrSet("a", "b", "c", "d", "e"),
+		"Empty": relation.NewAttrSet("q"),
+	}
+	if err := Verify(ms, expected); err != nil {
+		t.Errorf("valid state rejected: %v", err)
+	}
+	// Missing relation.
+	if err := Verify(map[string]*relation.Relation{"R": ms["R"]}, expected); err == nil {
+		t.Error("missing relation accepted")
+	}
+	// Wrong schema.
+	bad := map[string]*relation.Relation{"R": relation.New("z"), "Empty": ms["Empty"]}
+	if err := Verify(bad, expected); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	// Extra relation.
+	extra := sampleState(t)
+	extra["Ghost"] = relation.New("g")
+	if err := Verify(extra, expected); err == nil {
+		t.Error("extra relation accepted")
+	}
+}
+
+// TestWarehouseSnapshotCycle is the operational scenario: materialize,
+// snapshot, restart from disk, keep maintaining — the restored warehouse
+// answers queries and reconstructs bases exactly like the original.
+func TestWarehouseSnapshotCycle(t *testing.T) {
+	sc := workload.Figure1(true)
+	comp, err := core.Compute(sc.DB, sc.Views, core.Theorem22())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := workload.Figure1State(sc.DB)
+	w := warehouse.New(comp)
+	if err := w.Initialize(st); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "wh.gob")
+	if err := SaveFile(path, w.State()); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := map[string]relation.AttrSet{}
+	for name, attrs := range comp.Resolver() {
+		if _, ok := comp.Views().ByName(name); ok || strings.HasPrefix(name, "C_") {
+			expected[name] = attrs
+		}
+	}
+	if err := Verify(restored, expected); err != nil {
+		t.Fatal(err)
+	}
+	w2 := warehouse.New(comp)
+	w2.LoadState(restored)
+	bases, err := w2.ReconstructBases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range sc.DB.Names() {
+		orig, _ := st.Relation(name)
+		if !bases[name].Equal(orig) {
+			t.Errorf("restored warehouse reconstructs %s wrongly", name)
+		}
+	}
+}

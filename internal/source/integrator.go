@@ -1,0 +1,188 @@
+package source
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/core"
+	"dwcomplement/internal/maintain"
+	"dwcomplement/internal/warehouse"
+)
+
+// Integrator is the component between sources and warehouse in Figure 1:
+// it receives change notifications, serializes them, and maintains the
+// warehouse incrementally and update-independently. It holds no source
+// connection beyond the notification channel — by construction it cannot
+// issue the dashed-arrow queries.
+type Integrator struct {
+	w *warehouse.Warehouse
+	m *maintain.Maintainer
+
+	mu       sync.Mutex
+	applied  map[string]uint64 // last sequence number applied per source
+	pending  map[string][]Notification
+	refreshs int
+	changed  int
+}
+
+// NewIntegrator wires an integrator to the warehouse. Registration with
+// sources is the caller's job (src.OnUpdate(integ.Receive)).
+func NewIntegrator(w *warehouse.Warehouse, comp *core.Complement) *Integrator {
+	return &Integrator{
+		w:       w,
+		m:       maintain.NewMaintainer(comp),
+		applied: make(map[string]uint64),
+		pending: make(map[string][]Notification),
+	}
+}
+
+// Receive accepts a notification and applies it — immediately when it is
+// the next in the source's sequence, otherwise it is buffered until the
+// gap closes (sources deliver in order, but concurrent sources interleave
+// arbitrarily; per-source order is all the maintenance needs, since
+// updates from different sources touch disjoint relations).
+func (g *Integrator) Receive(n Notification) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pending[n.Source] = append(g.pending[n.Source], n)
+	g.drainLocked(n.Source)
+}
+
+func (g *Integrator) drainLocked(src string) {
+	queue := g.pending[src]
+	sort.Slice(queue, func(i, j int) bool { return queue[i].Seq < queue[j].Seq })
+	next := g.applied[src] + 1
+	i := 0
+	for ; i < len(queue) && queue[i].Seq == next; i++ {
+		if _, err := g.m.Refresh(g.w, queue[i].Update); err != nil {
+			// Maintenance failures indicate a corrupted warehouse state;
+			// surface loudly rather than silently dropping updates.
+			panic(fmt.Sprintf("source: integrator refresh failed: %v", err))
+		}
+		g.applied[src] = next
+		g.refreshs++
+		g.changed += queue[i].Update.Size()
+		next++
+	}
+	g.pending[src] = queue[i:]
+}
+
+// Flush reports whether all received notifications have been applied (no
+// sequence gaps outstanding).
+func (g *Integrator) Flush() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, q := range g.pending {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns the number of refreshes applied and source tuple changes
+// integrated.
+func (g *Integrator) Stats() (refreshes, changes int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.refreshs, g.changed
+}
+
+// Warehouse returns the maintained warehouse.
+func (g *Integrator) Warehouse() *warehouse.Warehouse { return g.w }
+
+// Environment bundles a complete Figure 1 deployment: sources partitioning
+// the schema set, the integrator, and the warehouse.
+type Environment struct {
+	Sources    []*Source
+	Integrator *Integrator
+}
+
+// NewEnvironment builds sources owning the given relation partitions (one
+// slice per source, jointly covering all of D), seals them, computes the
+// warehouse from the complement, and wires notifications. The warehouse is
+// initialized from the empty state; drive it by applying transactions to
+// the sources.
+func NewEnvironment(comp *core.Complement, partitions map[string][]string) (*Environment, error) {
+	db := comp.Database()
+	owned := map[string]string{}
+	for srcName, rels := range partitions {
+		for _, r := range rels {
+			if prev, dup := owned[r]; dup {
+				return nil, fmt.Errorf("source: relation %q owned by both %s and %s", r, prev, srcName)
+			}
+			owned[r] = srcName
+		}
+	}
+	for _, r := range db.Names() {
+		if _, ok := owned[r]; !ok {
+			return nil, fmt.Errorf("source: relation %q not owned by any source", r)
+		}
+	}
+
+	w := warehouse.New(comp)
+	if err := w.Initialize(db.NewState()); err != nil {
+		return nil, err
+	}
+	integ := NewIntegrator(w, comp)
+
+	env := &Environment{Integrator: integ}
+	names := make([]string, 0, len(partitions))
+	for n := range partitions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s, err := NewSource(n, db, true, partitions[n]...)
+		if err != nil {
+			return nil, err
+		}
+		s.OnUpdate(integ.Receive)
+		env.Sources = append(env.Sources, s)
+	}
+	return env, nil
+}
+
+// Source returns the named source.
+func (e *Environment) Source(name string) (*Source, bool) {
+	for _, s := range e.Sources {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// TotalQueryAttempts sums ad-hoc query attempts across all sources; an
+// update-independent deployment keeps this at zero.
+func (e *Environment) TotalQueryAttempts() int64 {
+	var n int64
+	for _, s := range e.Sources {
+		n += s.QueryAttempts()
+	}
+	return n
+}
+
+// CombinedState merges all sources' snapshots into one database state, for
+// end-to-end verification in tests.
+func (e *Environment) CombinedState() (*catalog.State, error) {
+	if len(e.Sources) == 0 {
+		return nil, fmt.Errorf("source: environment has no sources")
+	}
+	db := e.Sources[0].db
+	st := db.NewState()
+	for _, s := range e.Sources {
+		snap := s.Snapshot()
+		for _, name := range db.Names() {
+			if !s.Owns(name) {
+				continue
+			}
+			r, _ := snap.Relation(name)
+			cur, _ := st.Relation(name)
+			cur.InsertAll(r)
+		}
+	}
+	return st, nil
+}

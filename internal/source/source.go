@@ -1,0 +1,162 @@
+// Package source simulates the decoupled warehousing architecture of
+// Figure 1: autonomous source databases that apply local transactions and
+// merely *report* their changes to an integrator, which maintains the
+// warehouse from those reports and the warehouse's own state alone. The
+// defining property of the architecture — the integrator cannot query the
+// sources — is enforced, not just assumed: a sealed source rejects ad-hoc
+// queries and counts the attempts, and the test suite asserts the counter
+// stays at zero through arbitrary maintenance schedules.
+package source
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/constraint"
+	"dwcomplement/internal/relation"
+)
+
+// Notification is a change report from a source: the update applied, with
+// a per-source sequence number for ordered delivery.
+type Notification struct {
+	Source string
+	Seq    uint64
+	Update *catalog.Update
+}
+
+// Source is one autonomous operational database. It owns a subset of the
+// schema set D (its local relations), applies transactions locally, and
+// reports each applied update. When sealed, ad-hoc queries are rejected —
+// the paper's "highly secure or legacy systems" case.
+type Source struct {
+	name   string
+	db     *catalog.Database
+	local  relation.AttrSet // relation names owned by this source
+	sealed bool
+
+	mu      sync.Mutex
+	state   *catalog.State
+	seq     uint64
+	notify  func(Notification)
+	queries atomic.Int64 // ad-hoc query attempts, sealed or not
+}
+
+// NewSource creates a source owning the given relations of db. The state
+// starts empty; sealed sources reject Query calls.
+func NewSource(name string, db *catalog.Database, sealed bool, owned ...string) (*Source, error) {
+	for _, r := range owned {
+		if _, ok := db.Schema(r); !ok {
+			return nil, fmt.Errorf("source: %s claims unknown relation %q", name, r)
+		}
+	}
+	return &Source{
+		name:   name,
+		db:     db,
+		local:  relation.NewAttrSet(owned...),
+		sealed: sealed,
+		state:  db.NewState(),
+	}, nil
+}
+
+// Name returns the source's name.
+func (s *Source) Name() string { return s.name }
+
+// Owns reports whether the source owns the named relation.
+func (s *Source) Owns(rel string) bool { return s.local.Has(rel) }
+
+// OnUpdate registers the integrator's notification callback. Reports are
+// delivered synchronously in apply order (per source); the integrator
+// decides its own queueing.
+func (s *Source) OnUpdate(fn func(Notification)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notify = fn
+}
+
+// Apply runs a local transaction: the update may only touch owned
+// relations, is applied under the database's constraints, and is then
+// reported. It returns the assigned sequence number.
+func (s *Source) Apply(u *catalog.Update) (uint64, error) {
+	for _, name := range u.Touched() {
+		if !s.Owns(name) {
+			return 0, fmt.Errorf("source: %s cannot update foreign relation %q", s.name, name)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nu := u.Normalize(s.state)
+	trial := s.state.Clone()
+	if err := nu.Apply(trial); err != nil {
+		return 0, fmt.Errorf("source: %s rejected transaction: %w", s.name, err)
+	}
+	// Autonomous sources can only check constraints they can see: keys of
+	// owned relations and INDs whose both sides are local. Cross-source
+	// constraints are the deployment's responsibility (as in the paper,
+	// which assumes the global state consistent).
+	if err := s.checkLocal(trial); err != nil {
+		return 0, fmt.Errorf("source: %s rejected transaction: %w", s.name, err)
+	}
+	s.state = trial
+	s.seq++
+	n := Notification{Source: s.name, Seq: s.seq, Update: nu}
+	if s.notify != nil {
+		s.notify(n)
+	}
+	return s.seq, nil
+}
+
+// checkLocal verifies the locally visible constraints on a trial state.
+func (s *Source) checkLocal(st *catalog.State) error {
+	for name := range s.local {
+		sc, _ := s.db.Schema(name)
+		r, _ := st.Relation(name)
+		if err := constraint.CheckKey(sc, r); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.db.Constraints().INDs() {
+		if !s.Owns(d.From) || !s.Owns(d.To) {
+			continue
+		}
+		from, _ := st.Relation(d.From)
+		to, _ := st.Relation(d.To)
+		attrs := d.X.Sorted()
+		if !relation.Project(from, attrs...).SubsetOf(relation.Project(to, attrs...)) {
+			return fmt.Errorf("local constraint %s violated", d)
+		}
+	}
+	return nil
+}
+
+// Query evaluates an ad-hoc query against the source — the dashed arrow of
+// Figure 1. Sealed sources refuse; every attempt is counted either way, so
+// tests can assert the integrator never relies on this path.
+func (s *Source) Query(e algebra.Expr) (*relation.Relation, error) {
+	s.queries.Add(1)
+	if s.sealed {
+		return nil, fmt.Errorf("source: %s does not permit ad-hoc queries", s.name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, err := algebra.Eval(e, s.state)
+	if err != nil {
+		return nil, err
+	}
+	return r.Clone(), nil
+}
+
+// QueryAttempts returns how many ad-hoc queries were attempted against the
+// source.
+func (s *Source) QueryAttempts() int64 { return s.queries.Load() }
+
+// Snapshot returns a deep copy of the source's current local state, for
+// test assertions only (a real integrator never calls this; the test suite
+// uses it to compare end states).
+func (s *Source) Snapshot() *catalog.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.Clone()
+}

@@ -1,0 +1,247 @@
+package star
+
+import (
+	"strings"
+	"testing"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/core"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/view"
+)
+
+func buildBusiness(t *testing.T, slim bool) (*Business, *Warehouse) {
+	t.Helper()
+	b, err := NewBusiness([]string{"paris", "tokyo", "austin"}, slim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := b.Populate(20, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := b.BuildWarehouse(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, w
+}
+
+func TestBusinessFullFactZeroComplement(t *testing.T) {
+	// With the full fact table (all order attributes) and foreign keys,
+	// every complement is proved empty: dimensions are copied, and each
+	// order relation is exactly recoverable from its fact-table slice.
+	_, w := buildBusiness(t, false)
+	if n := len(w.Complement().StoredEntries()); n != 0 {
+		t.Errorf("stored complements = %d, want 0:\n%s", n, w.Complement())
+	}
+}
+
+func TestBusinessSlimFactNeedsComplement(t *testing.T) {
+	// Dropping the qty measure from the fact table makes the per-site
+	// order complements non-empty.
+	b, w := buildBusiness(t, true)
+	stored := w.Complement().StoredEntries()
+	if len(stored) != len(b.Sites) {
+		t.Errorf("stored complements = %d, want one per site", len(stored))
+	}
+}
+
+func TestOriginDetermination(t *testing.T) {
+	// σ_{loc='paris'}(Orders) must equal the paris site's order relation
+	// (projected onto the fact schema).
+	b, err := NewBusiness([]string{"paris", "tokyo"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := b.Populate(10, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := b.BuildWarehouse(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, ok := w.Relation("Orders@paris")
+	if !ok {
+		t.Fatal("part view not derivable")
+	}
+	want, _ := st.Relation(OrderRelation("paris"))
+	if !part.Equal(want) {
+		t.Errorf("origin selection wrong:\ngot  %v\nwant %v", part, want)
+	}
+}
+
+func TestStarReconstruction(t *testing.T) {
+	for _, slim := range []bool{false, true} {
+		b, err := NewBusiness([]string{"paris", "tokyo"}, slim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := b.Populate(12, 20, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := b.BuildWarehouse(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases, err := w.ReconstructBases()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range b.DB.Names() {
+			orig, _ := st.Relation(name)
+			if !bases[name].Equal(orig) {
+				t.Errorf("slim=%v: reconstruction of %s wrong", slim, name)
+			}
+		}
+	}
+}
+
+func TestStarQueryTranslation(t *testing.T) {
+	b, err := NewBusiness([]string{"paris", "tokyo"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := b.Populate(10, 25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := b.BuildWarehouse(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source query: names of customers with a paris order of ≥ 10 units.
+	q := algebra.NewProject(
+		algebra.NewJoin(
+			algebra.NewSelect(algebra.NewBase(OrderRelation("paris")),
+				algebra.AttrCmpConst("qty", algebra.OpGe, relation.Int(10))),
+			algebra.NewBase("Customer")),
+		"cname")
+	qHat, err := w.TranslateQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Translated query must only mention warehouse names.
+	for base := range algebra.Bases(qHat) {
+		switch base {
+		case "Orders", "DimCustomer", "DimPart", "DimSite":
+		default:
+			t.Errorf("translated query references %q: %s", base, qHat)
+		}
+	}
+	got, err := w.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algebra.Eval(q, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("star answer = %v, want %v", got, want)
+	}
+}
+
+func TestStarRefresh(t *testing.T) {
+	for _, slim := range []bool{false, true} {
+		b, err := NewBusiness([]string{"paris", "tokyo"}, slim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := b.Populate(10, 20, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := b.BuildWarehouse(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := st.Clone()
+		for round := 0; round < 8; round++ {
+			u := b.RandomOrderUpdate(cur, 3, 2, int64(round))
+			if err := w.Refresh(u); err != nil {
+				t.Fatal(err)
+			}
+			if err := u.Apply(cur); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The refreshed warehouse equals a fresh build from the final state.
+		fresh, err := b.BuildWarehouse(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range fresh.Names() {
+			got, _ := w.Relation(name)
+			wantRel, _ := fresh.Relation(name)
+			if !got.Equal(wantRel) {
+				t.Errorf("slim=%v: %s diverged after refreshes", slim, name)
+			}
+		}
+	}
+}
+
+func TestFactSpecValidation(t *testing.T) {
+	b, err := NewBusiness([]string{"paris"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.DB.NewState()
+
+	// Part missing the origin attribute.
+	badFact := &FactSpec{Name: "F", OriginAttr: "loc", Parts: []FactPart{{
+		Origin: relation.String_("paris"),
+		View:   mustPSJ(t, "p", []string{"okey", "ckey"}, "Order_paris"),
+	}}}
+	if _, err := Build(b.DB, nil, []*FactSpec{badFact}, coreOpts(), st); err == nil {
+		t.Error("part without origin attribute accepted")
+	}
+	// Duplicate origins.
+	dup := &FactSpec{Name: "F", OriginAttr: "loc", Parts: []FactPart{
+		{Origin: relation.String_("paris"), View: mustPSJ(t, "a", []string{"okey", "loc"}, "Order_paris")},
+		{Origin: relation.String_("paris"), View: mustPSJ(t, "b", []string{"okey", "loc"}, "Order_paris")},
+	}}
+	if _, err := Build(b.DB, nil, []*FactSpec{dup}, coreOpts(), st); err == nil {
+		t.Error("duplicate origins accepted")
+	}
+	// No parts.
+	if _, err := Build(b.DB, nil, []*FactSpec{{Name: "F", OriginAttr: "loc"}}, coreOpts(), st); err == nil {
+		t.Error("fact without parts accepted")
+	}
+	// Mismatched part schemas.
+	mismatch := &FactSpec{Name: "F", OriginAttr: "loc", Parts: []FactPart{
+		{Origin: relation.String_("a"), View: mustPSJ(t, "a", []string{"okey", "loc"}, "Order_paris")},
+		{Origin: relation.String_("b"), View: mustPSJ(t, "b", []string{"okey", "ckey", "loc"}, "Order_paris")},
+	}}
+	if _, err := Build(b.DB, nil, []*FactSpec{mismatch}, coreOpts(), st); err == nil {
+		t.Error("mismatched part schemas accepted")
+	}
+}
+
+func TestBusinessErrors(t *testing.T) {
+	if _, err := NewBusiness(nil, false); err == nil {
+		t.Error("business without sites accepted")
+	}
+}
+
+func mustPSJ(t *testing.T, name string, proj []string, bases ...string) *view.PSJ {
+	t.Helper()
+	return view.NewPSJ(name, proj, nil, bases...)
+}
+
+func coreOpts() core.Options { return core.Theorem22() }
+
+func TestStarSizeAndString(t *testing.T) {
+	_, w := buildBusiness(t, false)
+	if w.Size() == 0 {
+		t.Error("Size = 0")
+	}
+	s := w.String()
+	for _, want := range []string{"star warehouse", "fact Orders", "origin loc"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package view
+
+import (
+	"dwcomplement/internal/algebra"
+)
+
+// SyntacticLeq reports a *sound* sufficient condition for U ≤ V under
+// Definition 2.1 — true means the containment provably holds on every
+// database state; false means "not established by this check" (the
+// empirical ExprLeq over a state corpus remains available for the rest).
+//
+// For natural-join PSJ views the following suffices:
+//
+//  1. both views project the same attribute set Z (Definition 2.1
+//     compares only schema-equal views);
+//  2. U joins a superset of V's base relations — every joined tuple of U
+//     restricts to a consistent joined tuple of V (shared attributes of a
+//     single assignment always agree, so dropping join legs can only keep
+//     or enlarge the result);
+//  3. every conjunct of V's selection occurs among U's conjuncts, so any
+//     tuple passing U's selection passes V's.
+//
+// This is the classical containment-mapping test specialized to
+// attribute-named variables (no renaming), where the only candidate
+// homomorphism is the identity.
+func SyntacticLeq(u, v *PSJ) bool {
+	if !u.ProjSet().Equal(v.ProjSet()) {
+		return false
+	}
+	if !v.BaseSet().SubsetOf(u.BaseSet()) {
+		return false
+	}
+	uConj := algebra.Conjuncts(u.Cond)
+	for _, vc := range algebra.Conjuncts(v.Cond) {
+		found := false
+		for _, uc := range uConj {
+			if algebra.CondEqual(vc, uc) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// SyntacticEquiv reports provable equivalence: containment both ways.
+func SyntacticEquiv(u, v *PSJ) bool {
+	return SyntacticLeq(u, v) && SyntacticLeq(v, u)
+}

@@ -1,0 +1,117 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/relation"
+)
+
+func TestSyntacticLeqBasics(t *testing.T) {
+	ageCond := algebra.AttrCmpConst("age", algebra.OpGt, relation.Int(30))
+
+	joined := NewPSJ("U", []string{"clerk"}, nil, "Sale", "Emp")
+	single := NewPSJ("V", []string{"clerk"}, nil, "Emp")
+	if !SyntacticLeq(joined, single) {
+		t.Error("join ⊑ single-base projection not established")
+	}
+	if SyntacticLeq(single, joined) {
+		t.Error("unsound: single-base below join")
+	}
+
+	selective := NewPSJ("U", []string{"clerk", "age"}, ageCond, "Emp")
+	plain := NewPSJ("V", []string{"clerk", "age"}, nil, "Emp")
+	if !SyntacticLeq(selective, plain) {
+		t.Error("σ-view ⊑ plain view not established")
+	}
+	if SyntacticLeq(plain, selective) {
+		t.Error("unsound: plain below σ-view")
+	}
+
+	// Schema mismatch: never comparable.
+	other := NewPSJ("V", []string{"clerk"}, nil, "Emp")
+	if SyntacticLeq(selective, other) || SyntacticLeq(other, selective) {
+		t.Error("schema-mismatched views compared")
+	}
+
+	// Equivalence.
+	a := NewPSJ("A", []string{"clerk", "age"}, ageCond, "Emp")
+	b := NewPSJ("B", []string{"age", "clerk"}, algebra.CloneCond(ageCond), "Emp")
+	if !SyntacticEquiv(a, b) {
+		t.Error("identical views not equivalent")
+	}
+	if SyntacticEquiv(a, plain) {
+		t.Error("unsound equivalence")
+	}
+
+	// Conjunct subset: tighter condition is below looser.
+	tight := NewPSJ("T", []string{"clerk", "age"},
+		algebra.AndAll(ageCond, algebra.AttrEqConst("clerk", relation.String_("Mary"))), "Emp")
+	if !SyntacticLeq(tight, selective) {
+		t.Error("conjunct superset not below subset")
+	}
+	if SyntacticLeq(selective, tight) {
+		t.Error("unsound conjunct direction")
+	}
+}
+
+// intStates builds random states over the int-typed test schema (local
+// helper; package workload cannot be imported here without a cycle).
+func intStates(db *catalog.Database, rng *rand.Rand, n, size int) []algebra.State {
+	out := []algebra.State{db.NewState()}
+	for i := 0; i < n; i++ {
+		st := db.NewState()
+		for j := 0; j < size; j++ {
+			st.MustInsert("Sale", relation.Int(int64(rng.Intn(16))), relation.Int(int64(rng.Intn(16))))
+			st.MustInsert("Emp", relation.Int(int64(rng.Intn(16))), relation.Int(int64(rng.Intn(16))))
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// TestSyntacticLeqSound fuzzes: whenever the syntactic check says ⊑, the
+// containment must hold on every random state.
+func TestSyntacticLeqSound(t *testing.T) {
+	db := catalog.NewDatabase().
+		MustAddSchema(relation.NewSchema("Sale", "item:int", "clerk:int")).
+		MustAddSchema(relation.NewSchema("Emp", "clerk:int", "age:int"))
+	rng := rand.New(rand.NewSource(31))
+	conds := []algebra.Cond{
+		algebra.True{},
+		algebra.AttrCmpConst("clerk", algebra.OpGt, relation.Int(4)),
+		algebra.AndAll(
+			algebra.AttrCmpConst("clerk", algebra.OpGt, relation.Int(4)),
+			algebra.AttrCmpConst("clerk", algebra.OpLt, relation.Int(12))),
+	}
+	mkView := func() *PSJ {
+		bases := []string{"Emp"}
+		attrs := []string{"clerk"}
+		if rng.Intn(2) == 0 {
+			bases = append(bases, "Sale")
+		}
+		return NewPSJ("X", attrs, algebra.CloneCond(conds[rng.Intn(len(conds))]), bases...)
+	}
+	states := intStates(db, rng, 15, 8)
+	established, refutedPairs := 0, 0
+	for i := 0; i < 200; i++ {
+		u, v := mkView(), mkView()
+		if !SyntacticLeq(u, v) {
+			refutedPairs++
+			continue
+		}
+		established++
+		le, err := ExprLeq(u.Expr(), v.Expr(), states)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !le {
+			t.Fatalf("syntactic ⊑ unsound for\nU: %s\nV: %s", u, v)
+		}
+	}
+	if established == 0 || refutedPairs == 0 {
+		t.Fatalf("fuzz did not exercise both outcomes (yes=%d, no=%d)", established, refutedPairs)
+	}
+}

@@ -1,0 +1,131 @@
+package view
+
+import (
+	"fmt"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/relation"
+)
+
+// This file implements the information ordering of Definition 2.1:
+// U ≤ V iff U(d) ⊆ V(d) for every state d, and U < V iff additionally
+// U(d) ⊊ V(d) for some state d. Semantic containment of relational
+// expressions is undecidable in general, so — exactly like the paper's
+// examples, which argue over particular states — the ordering is checked
+// empirically over a corpus of sample states: ≤ is verified on every
+// sample, < additionally requires a witness. A reported ≤ is therefore
+// "not refuted by the corpus", while a reported < carries a concrete
+// witness state.
+
+// ExprLeq reports whether u(d) ⊆ v(d) holds on every sample state. The
+// expressions must have equal attribute sets on evaluation; mismatched
+// schemas yield an error.
+func ExprLeq(u, v algebra.Expr, states []algebra.State) (bool, error) {
+	for _, st := range states {
+		ur, err := algebra.Eval(u, st)
+		if err != nil {
+			return false, err
+		}
+		vr, err := algebra.Eval(v, st)
+		if err != nil {
+			return false, err
+		}
+		if !ur.AttrSet().Equal(vr.AttrSet()) {
+			return false, fmt.Errorf("view: ordering requires equal attribute sets, got %v and %v",
+				ur.AttrSet(), vr.AttrSet())
+		}
+		if !ur.SubsetOf(vr) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ExprLess reports u < v over the corpus: containment on every sample and
+// strictness on at least one. The second return value is the index of the
+// witness state (-1 when not strictly smaller).
+func ExprLess(u, v algebra.Expr, states []algebra.State) (bool, int, error) {
+	leq, err := ExprLeq(u, v, states)
+	if err != nil || !leq {
+		return false, -1, err
+	}
+	for i, st := range states {
+		ur, err := algebra.Eval(u, st)
+		if err != nil {
+			return false, -1, err
+		}
+		vr, err := algebra.Eval(v, st)
+		if err != nil {
+			return false, -1, err
+		}
+		if ur.Len() < vr.Len() {
+			return true, i, nil
+		}
+	}
+	return false, -1, nil
+}
+
+// SetLeq reports whether the view set us ≤ vs under Definition 2.1's
+// extension to sets: both sets must have the same cardinality and there
+// must exist an ordering (a matching) of the views with pairwise ≤. The
+// matching is found by backtracking, which is fine at warehouse sizes.
+func SetLeq(us, vs []algebra.Expr, states []algebra.State) (bool, error) {
+	if len(us) != len(vs) {
+		return false, fmt.Errorf("view: set ordering requires equal cardinality, got %d and %d", len(us), len(vs))
+	}
+	// Precompute the pairwise ≤ relation (schema mismatches mean "not ≤",
+	// not an error: the matching just avoids those pairs).
+	n := len(us)
+	leq := make([][]bool, n)
+	for i := range us {
+		leq[i] = make([]bool, n)
+		for j := range vs {
+			ok, err := ExprLeq(us[i], vs[j], states)
+			if err != nil {
+				ok = false
+			}
+			leq[i][j] = ok
+		}
+	}
+	used := make([]bool, n)
+	var match func(i int) bool
+	match = func(i int) bool {
+		if i == n {
+			return true
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] && leq[i][j] {
+				used[j] = true
+				if match(i + 1) {
+					return true
+				}
+				used[j] = false
+			}
+		}
+		return false
+	}
+	return match(0), nil
+}
+
+// SetLess reports us < vs: us ≤ vs and not vs ≤ us over the corpus.
+func SetLess(us, vs []algebra.Expr, states []algebra.State) (bool, error) {
+	le, err := SetLeq(us, vs, states)
+	if err != nil || !le {
+		return false, err
+	}
+	ge, err := SetLeq(vs, us, states)
+	if err != nil {
+		return false, err
+	}
+	return !ge, nil
+}
+
+// StatesFromMaps adapts plain relation maps to the algebra.State slice the
+// ordering functions take.
+func StatesFromMaps(maps ...map[string]*relation.Relation) []algebra.State {
+	out := make([]algebra.State, len(maps))
+	for i, m := range maps {
+		out[i] = algebra.MapState(m)
+	}
+	return out
+}

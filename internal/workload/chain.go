@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"fmt"
+
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/view"
+)
+
+// ChainSchema builds a scalable schema family for the E13 cost sweep: n
+// relations R1(x1,x2) … Rn(xn,xn+1), each with key xi and the inclusion
+// dependency π_{xi+1}(Ri) ⊆ π_{xi+1}(Ri+1) linking the chain (acyclic, and
+// every IND's attribute set contains the target's key, so each link
+// contributes a pseudo-view under Theorem 2.2). The warehouse holds the
+// full chain join as an SJ view plus, for every odd relation, a full-copy
+// view and, for every even relation, a key projection — a mix that makes
+// cover enumeration non-trivial at every size.
+func ChainSchema(n int) (*catalog.Database, *view.Set) {
+	if n < 1 {
+		panic("workload: chain of zero relations")
+	}
+	db := catalog.NewDatabase()
+	relName := func(i int) string { return fmt.Sprintf("R%d", i) }
+	attr := func(i int) string { return fmt.Sprintf("x%d", i) }
+	for i := 1; i <= n; i++ {
+		sc := relation.NewSchema(relName(i), attr(i)+":int", attr(i+1)+":int").WithKey(attr(i))
+		db.MustAddSchema(sc)
+	}
+	for i := 1; i < n; i++ {
+		db.MustAddIND(relName(i), relName(i+1), attr(i+1))
+	}
+
+	var views []*view.PSJ
+	var chainAttrs []string
+	var bases []string
+	for i := 1; i <= n; i++ {
+		chainAttrs = append(chainAttrs, attr(i))
+		bases = append(bases, relName(i))
+	}
+	chainAttrs = append(chainAttrs, attr(n+1))
+	views = append(views, view.NewPSJ("VChain", chainAttrs, nil, bases...))
+	for i := 1; i <= n; i++ {
+		if i%2 == 1 {
+			views = append(views,
+				view.NewPSJ(fmt.Sprintf("VCopy%d", i), []string{attr(i), attr(i + 1)}, nil, relName(i)))
+		} else {
+			views = append(views,
+				view.NewPSJ(fmt.Sprintf("VKey%d", i), []string{attr(i)}, nil, relName(i)))
+		}
+	}
+	return db, view.MustNewSet(db, views...)
+}

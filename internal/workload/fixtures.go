@@ -1,0 +1,145 @@
+// Package workload provides the scenarios used throughout the
+// reproduction: the paper's running examples as ready-made databases and
+// view sets (Figure 1, Examples 2.1–2.4), seeded random generators for
+// schemata, states and update streams respecting declared constraints, and
+// a TPC-D-like multi-site star-schema generator for the Section 5
+// experiments.
+package workload
+
+import (
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/view"
+)
+
+// Scenario bundles a database, a warehouse view set, and a name, so tests,
+// examples and benchmarks share identical setups.
+type Scenario struct {
+	Name  string
+	DB    *catalog.Database
+	Views *view.Set
+}
+
+// Figure1 returns the paper's running example: Sale(item, clerk),
+// Emp(clerk, age) with key clerk, and the warehouse view
+// Sold = Sale ⋈ Emp. Pass withRefInt to add the referential integrity
+// constraint π_clerk(Sale) ⊆ π_clerk(Emp) of Example 2.4.
+func Figure1(withRefInt bool) Scenario {
+	db := catalog.NewDatabase().
+		MustAddSchema(relation.NewSchema("Sale", "item:string", "clerk:string")).
+		MustAddSchema(relation.NewSchema("Emp", "clerk:string", "age:int").WithKey("clerk"))
+	if withRefInt {
+		db.MustAddIND("Sale", "Emp", "clerk")
+	}
+	sold := view.NewPSJ("Sold", []string{"item", "clerk", "age"}, nil, "Sale", "Emp")
+	return Scenario{Name: "figure1", DB: db, Views: view.MustNewSet(db, sold)}
+}
+
+// Figure1State populates the concrete state shown in Figure 1.
+func Figure1State(db *catalog.Database) *catalog.State {
+	return db.NewState().
+		MustInsert("Sale", relation.String_("TV set"), relation.String_("Mary")).
+		MustInsert("Sale", relation.String_("VCR"), relation.String_("Mary")).
+		MustInsert("Sale", relation.String_("PC"), relation.String_("John")).
+		MustInsert("Emp", relation.String_("Mary"), relation.Int(23)).
+		MustInsert("Emp", relation.String_("John"), relation.Int(25)).
+		MustInsert("Emp", relation.String_("Paula"), relation.Int(32))
+}
+
+// Example21 returns Example 2.1's scenario: R(X,Y), S(Y,Z), T(Z) without
+// constraints. With withV2 false the warehouse is {V1 = R ⋈ S ⋈ T}; with
+// withV2 true it additionally holds V2 = S, which makes the S-complement
+// always empty (the Huyn multiple-view self-maintenance situation).
+func Example21(withV2 bool) Scenario {
+	db := catalog.NewDatabase().
+		MustAddSchema(relation.NewSchema("R", "X:int", "Y:int")).
+		MustAddSchema(relation.NewSchema("S", "Y:int", "Z:int")).
+		MustAddSchema(relation.NewSchema("T", "Z:int"))
+	v1 := view.NewPSJ("V1", []string{"X", "Y", "Z"}, nil, "R", "S", "T")
+	views := []*view.PSJ{v1}
+	if withV2 {
+		views = append(views, view.NewPSJ("V2", []string{"Y", "Z"}, nil, "S"))
+	}
+	name := "example2.1-v1"
+	if withV2 {
+		name = "example2.1-v1v2"
+	}
+	return Scenario{Name: name, DB: db, Views: view.MustNewSet(db, views...)}
+}
+
+// Example22 returns Example 2.2's scenario: a single relation R(A,B,C)
+// with views V1 = π_AB(R), V2 = π_BC(R) and V3 = σ_{B=b}(R), for which
+// Proposition 2.2's complement is not minimal.
+func Example22() Scenario {
+	db := catalog.NewDatabase().
+		MustAddSchema(relation.NewSchema("R", "A:int", "B:int", "C:int"))
+	v1 := view.NewPSJ("V1", []string{"A", "B"}, nil, "R")
+	v2 := view.NewPSJ("V2", []string{"B", "C"}, nil, "R")
+	v3 := view.NewPSJ("V3", []string{"A", "B", "C"},
+		algebra.AttrEqConst("B", relation.Int(0)), "R")
+	return Scenario{Name: "example2.2", DB: db, Views: view.MustNewSet(db, v1, v2, v3)}
+}
+
+// Example23Constraints selects which constraints Example 2.3 is run with.
+type Example23Constraints int
+
+// The three constraint regimes Example 2.3 walks through.
+const (
+	// E23None: no keys, no INDs ("assume first that there are no
+	// constraints").
+	E23None Example23Constraints = iota
+	// E23KeyR1: A is a key for R1 only.
+	E23KeyR1
+	// E23AllKeysAndINDs: A is a key for R1, R2, R3; π_AB(R3) ⊆ π_AB(R1)
+	// and π_AC(R2) ⊆ π_AC(R1) — the full setting of the example's first
+	// part.
+	E23AllKeysAndINDs
+)
+
+// Example23 returns Example 2.3's scenario: R1(A,B,C), R2(A,C,D), R3(A,B)
+// under the chosen constraint regime. With fullViewSet the warehouse is
+// {V1 = R1 ⋈ R2, V2 = R3, V3 = π_AB(R1), V4 = π_AC(R1)}; without it, the
+// reduced set V' = {V1, V3} from the example's continuation.
+func Example23(cons Example23Constraints, fullViewSet bool) Scenario {
+	r1 := relation.NewSchema("R1", "A:int", "B:int", "C:int")
+	r2 := relation.NewSchema("R2", "A:int", "C:int", "D:int")
+	r3 := relation.NewSchema("R3", "A:int", "B:int")
+	switch cons {
+	case E23KeyR1:
+		r1.WithKey("A")
+	case E23AllKeysAndINDs:
+		r1.WithKey("A")
+		r2.WithKey("A")
+		r3.WithKey("A")
+	}
+	db := catalog.NewDatabase().MustAddSchema(r1).MustAddSchema(r2).MustAddSchema(r3)
+	if cons == E23AllKeysAndINDs {
+		if fullViewSet {
+			db.MustAddIND("R3", "R1", "A", "B")
+		}
+		db.MustAddIND("R2", "R1", "A", "C")
+	}
+	v1 := view.NewPSJ("V1", []string{"A", "B", "C", "D"}, nil, "R1", "R2")
+	v3 := view.NewPSJ("V3", []string{"A", "B"}, nil, "R1")
+	views := []*view.PSJ{v1}
+	if fullViewSet {
+		views = append(views,
+			view.NewPSJ("V2", []string{"A", "B"}, nil, "R3"),
+			v3,
+			view.NewPSJ("V4", []string{"A", "C"}, nil, "R1"))
+	} else {
+		views = append(views, v3)
+	}
+	return Scenario{Name: "example2.3", DB: db, Views: view.MustNewSet(db, views...)}
+}
+
+// States adapts catalog states to the algebra.State slices the ordering
+// and verification helpers take.
+func States(states ...*catalog.State) []algebra.State {
+	out := make([]algebra.State, len(states))
+	for i, st := range states {
+		out[i] = st
+	}
+	return out
+}
