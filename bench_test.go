@@ -398,6 +398,81 @@ func BenchmarkE15Aggregates(b *testing.B) {
 	}
 }
 
+// BenchmarkJoin measures the engine's hot join path on the 10k-tuple
+// workload: repeated joins of a small probe side against a large,
+// unchanging build side — the access pattern of query serving, where
+// translated queries join small selected slices against big materialized
+// warehouse relations. The sub-benchmarks cover the natural join, the
+// semi-join (the restriction primitive of incremental maintenance) and a
+// bulk 10k ⋈ 10k join.
+func BenchmarkJoin(b *testing.B) {
+	big := relation.New("b", "c")
+	for i := 0; i < 10000; i++ {
+		big.InsertValues(relation.Int(int64(i)), relation.Int(int64(i%97)))
+	}
+	small := relation.New("a", "b")
+	for i := 0; i < 16; i++ {
+		small.InsertValues(relation.Int(int64(i)), relation.Int(int64(i*613)))
+	}
+	probe := relation.New("b")
+	for i := 0; i < 16; i++ {
+		probe.InsertValues(relation.Int(int64(i * 613)))
+	}
+	other := relation.New("b", "d")
+	for i := 0; i < 10000; i++ {
+		other.InsertValues(relation.Int(int64(i)), relation.Int(int64(i%89)))
+	}
+	b.Run("NaturalJoinProbe10k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if out := relation.NaturalJoin(small, big); out.Len() != 16 {
+				b.Fatalf("join size %d", out.Len())
+			}
+		}
+	})
+	b.Run("SemiJoinProbe10k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if out := relation.SemiJoin(big, probe); out.Len() != 16 {
+				b.Fatalf("semijoin size %d", out.Len())
+			}
+		}
+	})
+	b.Run("NaturalJoinBulk10k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if out := relation.NaturalJoin(big, other); out.Len() != 10000 {
+				b.Fatalf("join size %d", out.Len())
+			}
+		}
+	})
+}
+
+// BenchmarkRefresh measures one incremental warehouse refresh on the
+// 10k-tuple join workload: Figure 1's schema scaled to 10k tuples per
+// base relation, with small mixed updates applied cumulatively (the state
+// evolves across iterations, as in a live deployment).
+func BenchmarkRefresh(b *testing.B) {
+	sc := workload.Figure1(false)
+	gen := workload.NewGen(sc.DB, 11)
+	gen.Domain = 10000
+	st := gen.State(10000)
+	w, comp := mustWarehouse(b, sc, core.Proposition22(), st)
+	m := maintain.NewMaintainer(comp)
+	cur := st.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		u := gen.Update(cur, 2, 1)
+		b.StartTimer()
+		if _, err := m.Refresh(w, u); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := u.Apply(cur); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
 func cloneMapState(ms algebra.MapState) algebra.MapState {
 	out := make(algebra.MapState, len(ms))
 	for name, r := range ms {

@@ -1,16 +1,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	dwc "dwcomplement"
 	"dwcomplement/internal/relation"
 )
+
+// statusClientClosedRequest is the nginx-style status reported when the
+// client goes away (or its deadline passes) before the handler finishes.
+const statusClientClosedRequest = 499
 
 // server wraps a materialized warehouse behind an HTTP API. All state
 // mutations flow through the incremental maintainer; queries are
@@ -26,6 +33,12 @@ type server struct {
 	w         *dwc.Warehouse
 	refreshes int
 	snapshot  string // path for persistence after updates ("" = off)
+
+	// Cumulative engine counters, reported by GET /stats.
+	queries      int
+	queryStats   dwc.EvalStats
+	refreshStats dwc.EvalStats
+	refreshWall  time.Duration
 }
 
 // newServer builds the warehouse from the parsed spec (or a snapshot).
@@ -67,12 +80,19 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /reconstruct/{base}", s.handleReconstruct)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
+}
+
+// canceled reports whether err stems from the request's context, so the
+// handler can answer 499 instead of pretending the server failed.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // jsonValue shapes a relation.Value for JSON: numbers, strings, bools and
 // null map to their native JSON forms.
-func jsonValue(v relation.Value) interface{} {
+func jsonValue(v relation.Value) any {
 	switch v.Kind() {
 	case relation.KindBool:
 		return v.AsBool()
@@ -88,23 +108,23 @@ func jsonValue(v relation.Value) interface{} {
 }
 
 // jsonRelation shapes a relation for JSON responses.
-func jsonRelation(r *relation.Relation) map[string]interface{} {
-	rows := make([][]interface{}, 0, r.Len())
+func jsonRelation(r *relation.Relation) map[string]any {
+	rows := make([][]any, 0, r.Len())
 	for _, t := range r.SortedTuples() {
-		row := make([]interface{}, len(t))
+		row := make([]any, len(t))
 		for i, v := range t {
 			row[i] = jsonValue(v)
 		}
 		rows = append(rows, row)
 	}
-	return map[string]interface{}{
+	return map[string]any{
 		"attributes": r.Attrs(),
 		"tuples":     rows,
 		"count":      r.Len(),
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, body interface{}) {
+func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(body)
@@ -117,7 +137,7 @@ func writeError(w http.ResponseWriter, status int, err error) {
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"relations": len(s.w.Names()),
 		"tuples":    s.w.Size(),
@@ -130,16 +150,16 @@ func (s *server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 	for _, v := range s.spec.Views.Views() {
 		views[v.Name] = v.Expr().String()
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"database": s.spec.DB.String(),
 		"views":    views,
 	})
 }
 
 func (s *server) handleComplement(w http.ResponseWriter, _ *http.Request) {
-	entries := make([]map[string]interface{}, 0)
+	entries := make([]map[string]any, 0)
 	for _, e := range s.comp.Entries() {
-		entries = append(entries, map[string]interface{}{
+		entries = append(entries, map[string]any{
 			"base":        e.Base,
 			"name":        e.Name,
 			"alwaysEmpty": e.AlwaysEmpty,
@@ -147,7 +167,7 @@ func (s *server) handleComplement(w http.ResponseWriter, _ *http.Request) {
 			"inverse":     e.Inverse.String(),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{"entries": entries})
+	writeJSON(w, http.StatusOK, map[string]any{"entries": entries})
 }
 
 func (s *server) handleRelations(w http.ResponseWriter, _ *http.Request) {
@@ -179,6 +199,7 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
 		return
 	}
+	explain := req.URL.Query().Get("explain") == "1"
 	q, err := dwc.ParseExpr(src)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -191,16 +212,28 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ans, err := dwc.EvalExpr(qHat, s.w)
+	ans, stats, err := dwc.EvalExprContext(req.Context(), qHat, s.w)
+	if stats != nil {
+		s.queries++
+		s.queryStats.Add(*stats)
+	}
 	if err != nil {
+		if canceled(err) {
+			writeError(w, statusClientClosedRequest, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	body := map[string]any{
 		"query":      q.String(),
 		"translated": qHat.String(),
 		"result":     jsonRelation(ans),
-	})
+	}
+	if explain {
+		body["stats"] = stats
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
@@ -216,12 +249,22 @@ func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	stats, err := s.maintain.Refresh(s.w, u)
+	// Cancellation is honored only before deltas are applied — the refresh
+	// either happens entirely or not at all, so a 499 means "unchanged".
+	stats, err := s.maintain.RefreshContext(req.Context(), s.w, u)
 	if err != nil {
+		if canceled(err) {
+			writeError(w, statusClientClosedRequest, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.refreshes++
+	s.refreshWall += stats.Wall
+	if stats.Eval != nil {
+		s.refreshStats.Add(*stats.Eval)
+	}
 	if s.snapshot != "" {
 		if err := dwc.SaveSnapshot(s.snapshot, s.w.State()); err != nil {
 			writeError(w, http.StatusInternalServerError,
@@ -235,10 +278,23 @@ func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 			changed[name] = n
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"sourceChanges":    stats.UpdateSize,
 		"warehouseChanges": stats.Total(),
 		"changedRelations": changed,
+		"refreshNs":        stats.Wall.Nanoseconds(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queries":       s.queries,
+		"queryStats":    s.queryStats,
+		"refreshes":     s.refreshes,
+		"refreshStats":  s.refreshStats,
+		"refreshWallNs": s.refreshWall.Nanoseconds(),
 	})
 }
 
@@ -266,8 +322,9 @@ func describeRoutes() string {
 		"GET  /complement              complement entries and inverses",
 		"GET  /relations               warehouse relation sizes",
 		"GET  /relations/{name}        one materialized relation",
-		"GET  /query?q=<expr>          translate + answer a source query",
+		"GET  /query?q=<expr>          translate + answer a source query (&explain=1 for stats)",
 		"POST /update                  apply update ops (insert R(...)/delete R(...))",
 		"GET  /reconstruct/{base}      recompute a base relation via W⁻¹",
+		"GET  /stats                   cumulative evaluation and refresh counters",
 	}, "\n")
 }

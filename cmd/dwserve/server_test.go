@@ -36,7 +36,7 @@ func newTestServer(t *testing.T, statePath, savePath string) *httptest.Server {
 	return ts
 }
 
-func getJSON(t *testing.T, url string, out interface{}) int {
+func getJSON(t *testing.T, url string, out any) int {
 	t.Helper()
 	resp, err := http.Get(url)
 	if err != nil {
@@ -49,7 +49,7 @@ func getJSON(t *testing.T, url string, out interface{}) int {
 	return resp.StatusCode
 }
 
-func postText(t *testing.T, url, body string, out interface{}) int {
+func postText(t *testing.T, url, body string, out any) int {
 	t.Helper()
 	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
 	if err != nil {
@@ -64,14 +64,14 @@ func postText(t *testing.T, url, body string, out interface{}) int {
 
 func TestHealthAndSchema(t *testing.T) {
 	ts := newTestServer(t, "", "")
-	var health map[string]interface{}
+	var health map[string]any
 	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 {
 		t.Fatalf("healthz status %d", code)
 	}
 	if health["status"] != "ok" {
 		t.Errorf("health = %v", health)
 	}
-	var schema map[string]interface{}
+	var schema map[string]any
 	getJSON(t, ts.URL+"/schema", &schema)
 	if !strings.Contains(schema["database"].(string), "relation Sale") {
 		t.Errorf("schema = %v", schema)
@@ -81,7 +81,7 @@ func TestHealthAndSchema(t *testing.T) {
 func TestComplementEndpoint(t *testing.T) {
 	ts := newTestServer(t, "", "")
 	var body struct {
-		Entries []map[string]interface{} `json:"entries"`
+		Entries []map[string]any `json:"entries"`
 	}
 	getJSON(t, ts.URL+"/complement", &body)
 	if len(body.Entries) != 2 {
@@ -101,7 +101,7 @@ func TestQueryEndpoint(t *testing.T) {
 		Translated string `json:"translated"`
 		Result     struct {
 			Count  int             `json:"count"`
-			Tuples [][]interface{} `json:"tuples"`
+			Tuples [][]any `json:"tuples"`
 		} `json:"result"`
 	}
 	code := getJSON(t, ts.URL+"/query?q="+escape("pi{clerk}(Emp) minus pi{clerk}(Sale)"), &body)
@@ -126,7 +126,7 @@ func TestQueryEndpoint(t *testing.T) {
 
 func TestUpdateEndpoint(t *testing.T) {
 	ts := newTestServer(t, "", "")
-	var res map[string]interface{}
+	var res map[string]any
 	code := postText(t, ts.URL+"/update", "insert Sale('Computer', 'Paula')", &res)
 	if code != 200 {
 		t.Fatalf("update status %d: %v", code, res)
@@ -188,7 +188,7 @@ func TestReconstructEndpoint(t *testing.T) {
 func TestPersistenceAcrossRestarts(t *testing.T) {
 	snap := filepath.Join(t.TempDir(), "wh.gob")
 	ts := newTestServer(t, "", snap)
-	var res map[string]interface{}
+	var res map[string]any
 	if code := postText(t, ts.URL+"/update", "insert Sale('Radio', 'Paula')", &res); code != 200 {
 		t.Fatalf("update failed: %v", res)
 	}

@@ -1,0 +1,88 @@
+package dwc
+
+import (
+	"context"
+	"time"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/core"
+	"dwcomplement/internal/relation"
+)
+
+// Instrumentation types of the evaluation engine.
+type (
+	// EvalStats aggregates the operator counters (tuples scanned, index
+	// probes and hits, indexes built, tuples emitted) and wall time of one
+	// evaluation, plus a bounded per-operator breakdown in Ops.
+	EvalStats = algebra.EvalStats
+	// OpStat is the counter record of a single operator node.
+	OpStat = algebra.OpStat
+)
+
+// Sentinel errors surfaced by the evaluation and maintenance paths; match
+// them with errors.Is.
+var (
+	// ErrUnknownRelation reports a reference to a relation the evaluated
+	// state does not contain.
+	ErrUnknownRelation = algebra.ErrUnknownRelation
+	// ErrSchemaMismatch reports set operations over unequal attribute sets.
+	ErrSchemaMismatch = relation.ErrSchemaMismatch
+)
+
+// AnswerContext answers a source query from the warehouse with
+// cancellation and instrumentation: the context is checked at every
+// operator boundary, and the returned EvalStats reports operator counters
+// and wall time. Equivalent to w.AnswerContext.
+func AnswerContext(ctx context.Context, w *Warehouse, q Expr) (*Relation, *EvalStats, error) {
+	return w.AnswerContext(ctx, q)
+}
+
+// EvalExprContext is EvalExpr with cancellation and instrumentation. A
+// canceled context aborts evaluation at the next operator boundary with an
+// error wrapping the context's error; the stats are returned even on
+// failure.
+func EvalExprContext(ctx context.Context, e Expr, st algebra.State) (*Relation, *EvalStats, error) {
+	ec := algebra.NewEvalContext(ctx)
+	start := time.Now()
+	r, err := algebra.EvalCtx(ec, e, st)
+	stats := ec.Stats()
+	stats.Wall = time.Since(start)
+	return r, &stats, err
+}
+
+// Option configures complement computation (core.Options) functionally.
+// The zero configuration is Proposition 2.2: no integrity constraints.
+type Option func(*core.Options)
+
+// WithKeys enables the key-based covers of Theorem 2.2.
+func WithKeys(on bool) Option {
+	return func(o *core.Options) { o.UseKeys = on }
+}
+
+// WithINDs admits IND-derived pseudo-views into the covers (requires
+// WithKeys: pseudo-views must contain the target's key).
+func WithINDs(on bool) Option {
+	return func(o *core.Options) { o.UseINDs = on }
+}
+
+// WithEmptyDetection runs the static always-empty analysis; proved-empty
+// complements need no storage or maintenance.
+func WithEmptyDetection(on bool) Option {
+	return func(o *core.Options) { o.DetectEmpty = on }
+}
+
+// WithNamePrefix sets the complement relation name prefix (default "C_").
+func WithNamePrefix(prefix string) Option {
+	return func(o *core.Options) { o.NamePrefix = prefix }
+}
+
+// NewOptions builds complement-computation options from functional
+// options. With no arguments it equals Proposition22(); WithKeys, WithINDs
+// and WithEmptyDetection together reproduce Theorem22().
+func NewOptions(opts ...Option) Options {
+	o := core.Options{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}

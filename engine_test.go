@@ -1,0 +1,150 @@
+package dwc_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	dwc "dwcomplement"
+)
+
+// figure1Warehouse builds the paper's Figure 1 warehouse via the public
+// facade.
+func figure1Warehouse(t *testing.T, opts dwc.Options) *dwc.Warehouse {
+	t.Helper()
+	db := dwc.NewDatabase().
+		MustAddSchema(dwc.NewSchema("Sale", "item:string", "clerk:string")).
+		MustAddSchema(dwc.NewSchema("Emp", "clerk:string", "age:int").WithKey("clerk"))
+	views := dwc.MustNewViewSet(db,
+		dwc.NewView("Sold", []string{"item", "clerk", "age"}, nil, "Sale", "Emp"))
+	st := db.NewState().
+		MustInsert("Sale", dwc.Str("TV set"), dwc.Str("Mary")).
+		MustInsert("Sale", dwc.Str("VCR"), dwc.Str("Mary")).
+		MustInsert("Sale", dwc.Str("PC"), dwc.Str("John")).
+		MustInsert("Emp", dwc.Str("Mary"), dwc.Int(23)).
+		MustInsert("Emp", dwc.Str("John"), dwc.Int(31)).
+		MustInsert("Emp", dwc.Str("Paula"), dwc.Int(32))
+	w, err := dwc.BuildWarehouse(db, views, opts, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewOptionsPresets(t *testing.T) {
+	if got := dwc.NewOptions(); got != dwc.Proposition22() {
+		t.Errorf("NewOptions() = %+v, want Proposition22", got)
+	}
+	got := dwc.NewOptions(dwc.WithKeys(true), dwc.WithINDs(true), dwc.WithEmptyDetection(true))
+	if got != dwc.Theorem22() {
+		t.Errorf("NewOptions(keys, inds, empty) = %+v, want Theorem22", got)
+	}
+	if got := dwc.NewOptions(dwc.WithNamePrefix("AUX_")); got.NamePrefix != "AUX_" {
+		t.Errorf("WithNamePrefix not applied: %+v", got)
+	}
+	// Options built functionally must drive the pipeline like the presets.
+	w := figure1Warehouse(t, dwc.NewOptions(dwc.WithKeys(true)))
+	if w.Size() == 0 {
+		t.Error("warehouse empty")
+	}
+}
+
+func TestAnswerContextStats(t *testing.T) {
+	w := figure1Warehouse(t, dwc.Theorem22())
+	q := dwc.MustParseExpr("pi{item, age}(Sale join Emp)")
+	ans, stats, err := dwc.AnswerContext(context.Background(), w, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 3 {
+		t.Errorf("answer = %v", ans)
+	}
+	if stats == nil {
+		t.Fatal("no stats")
+	}
+	if stats.IndexHits == 0 {
+		t.Errorf("IndexHits = 0, want > 0 (stats = %+v)", stats)
+	}
+	if stats.Emitted == 0 || stats.Wall <= 0 || len(stats.Ops) == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestEvalExprContextStats(t *testing.T) {
+	w := figure1Warehouse(t, dwc.Theorem22())
+	r, stats, err := dwc.EvalExprContext(context.Background(), dwc.MustParseExpr("Sold join Sold"), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 || stats.Scanned == 0 {
+		t.Errorf("r = %v, stats = %+v", r, stats)
+	}
+}
+
+func TestAnswerContextCancellation(t *testing.T) {
+	w := figure1Warehouse(t, dwc.Theorem22())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, stats, err := w.AnswerContext(ctx, dwc.MustParseExpr("Sale join Emp"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if stats == nil {
+		t.Error("stats must be returned even on cancellation")
+	}
+}
+
+func TestRefreshContextCancellationLeavesWarehouseUntouched(t *testing.T) {
+	w := figure1Warehouse(t, dwc.Theorem22())
+	before := w.CloneState()
+	m := dwc.NewMaintainer(w.Complement())
+	u := dwc.NewUpdate().MustInsert("Sale", w.Complement().Database(), dwc.Str("Radio"), dwc.Str("Paula"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RefreshContext(ctx, w, u); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	for name, r := range before {
+		cur, ok := w.Relation(name)
+		if !ok || !cur.Equal(r) {
+			t.Errorf("relation %s changed by a canceled refresh", name)
+		}
+	}
+
+	// The same refresh with a live context must go through and report
+	// wall time and evaluation counters.
+	stats, err := m.RefreshContext(context.Background(), w, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total() == 0 || stats.Wall <= 0 || stats.Eval == nil {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	db := dwc.NewDatabase().
+		MustAddSchema(dwc.NewSchema("R", "a:int")).
+		MustAddSchema(dwc.NewSchema("S", "b:int"))
+	st := db.NewState()
+
+	_, err := dwc.EvalExpr(dwc.MustParseExpr("Nope"), st)
+	if !errors.Is(err, dwc.ErrUnknownRelation) {
+		t.Errorf("unknown relation: err = %v", err)
+	}
+	_, _, err = dwc.EvalExprContext(context.Background(), dwc.MustParseExpr("Nope"), st)
+	if !errors.Is(err, dwc.ErrUnknownRelation) {
+		t.Errorf("unknown relation via context API: err = %v", err)
+	}
+
+	_, err = dwc.EvalExpr(dwc.MustParseExpr("R union S"), st)
+	if !errors.Is(err, dwc.ErrSchemaMismatch) {
+		t.Errorf("schema mismatch: err = %v", err)
+	}
+
+	// The warehouse query path surfaces the same sentinels.
+	w := figure1Warehouse(t, dwc.Theorem22())
+	if _, err := w.Answer(dwc.MustParseExpr("Missing")); !errors.Is(err, dwc.ErrUnknownRelation) {
+		t.Errorf("warehouse unknown relation: err = %v", err)
+	}
+}

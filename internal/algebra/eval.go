@@ -58,7 +58,7 @@ func Attrs(e Expr, res Resolver) (relation.AttrSet, error) {
 	case *Base:
 		a, ok := res.BaseAttrs(n.Name)
 		if !ok {
-			return nil, fmt.Errorf("algebra: unknown relation %q", n.Name)
+			return nil, fmt.Errorf("algebra: unknown relation %q: %w", n.Name, ErrUnknownRelation)
 		}
 		return a.Clone(), nil
 	case *Empty:
@@ -140,7 +140,8 @@ func binaryAttrs(op string, l, r Expr, res Resolver) (relation.AttrSet, error) {
 		return nil, err
 	}
 	if !la.Equal(ra) {
-		return nil, fmt.Errorf("algebra: %s requires equal attribute sets, got %v and %v", op, la, ra)
+		return nil, fmt.Errorf("algebra: %s requires equal attribute sets, got %v and %v: %w",
+			op, la, ra, relation.ErrSchemaMismatch)
 	}
 	return la, nil
 }
@@ -150,78 +151,9 @@ func binaryAttrs(op string, l, r Expr, res Resolver) (relation.AttrSet, error) {
 // callers must treat it as read-only (clone before mutating). Eval returns
 // an error on unknown relations or schema-incompatible set operations;
 // such errors indicate expressions that were not validated with Attrs
-// first.
+// first. It is EvalCtx without cancellation or instrumentation.
 func Eval(e Expr, st State) (*relation.Relation, error) {
-	switch n := e.(type) {
-	case *Base:
-		r, ok := st.Relation(n.Name)
-		if !ok {
-			return nil, fmt.Errorf("algebra: state has no relation %q", n.Name)
-		}
-		return r, nil
-	case *Empty:
-		return relation.New(n.Attrs...), nil
-	case *Select:
-		in, err := Eval(n.Input, st)
-		if err != nil {
-			return nil, err
-		}
-		return relation.Select(in, func(row relation.Row) bool { return EvalCond(n.Cond, row) }), nil
-	case *Project:
-		in, err := Eval(n.Input, st)
-		if err != nil {
-			return nil, err
-		}
-		return relation.Project(in, n.Attrs...), nil
-	case *Join:
-		if len(n.Inputs) == 0 {
-			return nil, fmt.Errorf("algebra: join of zero inputs")
-		}
-		out, err := Eval(n.Inputs[0], st)
-		if err != nil {
-			return nil, err
-		}
-		for _, in := range n.Inputs[1:] {
-			r, err := Eval(in, st)
-			if err != nil {
-				return nil, err
-			}
-			out = relation.NaturalJoin(out, r)
-		}
-		return out, nil
-	case *Union:
-		l, r, err := evalBoth(n.L, n.R, st)
-		if err != nil {
-			return nil, err
-		}
-		return relation.Union(l, r)
-	case *Diff:
-		l, r, err := evalBoth(n.L, n.R, st)
-		if err != nil {
-			return nil, err
-		}
-		return relation.Diff(l, r)
-	case *Rename:
-		in, err := Eval(n.Input, st)
-		if err != nil {
-			return nil, err
-		}
-		return relation.Rename(in, n.Mapping)
-	default:
-		panic(fmt.Sprintf("algebra: unknown node %T", e))
-	}
-}
-
-func evalBoth(l, r Expr, st State) (*relation.Relation, *relation.Relation, error) {
-	lv, err := Eval(l, st)
-	if err != nil {
-		return nil, nil, err
-	}
-	rv, err := Eval(r, st)
-	if err != nil {
-		return nil, nil, err
-	}
-	return lv, rv, nil
+	return EvalCtx(nil, e, st)
 }
 
 // MustEval is Eval that panics on error, for expressions already validated

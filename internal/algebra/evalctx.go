@@ -1,0 +1,466 @@
+package algebra
+
+// This file holds the evaluation contexts: cancellation and per-operator
+// instrumentation for the evaluation engine. Every query the warehouse
+// answers and every refresh the maintainer runs is a composition of
+// relational operators over V ∪ C (Theorems 3.1 and 4.1), so this is
+// where the system's hot path is observed and where long evaluations get
+// aborted.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dwcomplement/internal/relation"
+)
+
+// ErrUnknownRelation is wrapped by Eval and Attrs when an expression
+// references a name the state or resolver does not know, so callers can
+// detect the condition with errors.Is.
+var ErrUnknownRelation = errors.New("unknown relation")
+
+// OpStat is the per-operator-node record of one evaluation: the physical
+// counters of that node plus its wall time (inclusive of children, since
+// an operator's cost includes producing its inputs).
+type OpStat struct {
+	Op          string        `json:"op"`
+	Scanned     int64         `json:"scanned"`
+	Probed      int64         `json:"probed"`
+	Emitted     int64         `json:"emitted"`
+	IndexHits   int64         `json:"indexHits"`
+	IndexBuilds int64         `json:"indexBuilds"`
+	Wall        time.Duration `json:"wallNs"`
+}
+
+// EvalStats aggregates the counters of an evaluation (or several — the
+// maintainer reuses one context across all refresh targets). Totals sum
+// the per-node counters; Wall is the caller-measured end-to-end time, not
+// the sum of node times (those nest).
+type EvalStats struct {
+	Scanned     int64         `json:"scanned"`
+	Probed      int64         `json:"probed"`
+	Emitted     int64         `json:"emitted"`
+	IndexHits   int64         `json:"indexHits"`
+	IndexBuilds int64         `json:"indexBuilds"`
+	Wall        time.Duration `json:"wallNs"`
+	Ops         []OpStat      `json:"ops,omitempty"`
+}
+
+// Add accumulates o's totals into s (per-node records are not merged);
+// servers use it to keep cumulative counters across requests.
+func (s *EvalStats) Add(o EvalStats) {
+	s.Scanned += o.Scanned
+	s.Probed += o.Probed
+	s.Emitted += o.Emitted
+	s.IndexHits += o.IndexHits
+	s.IndexBuilds += o.IndexBuilds
+	s.Wall += o.Wall
+}
+
+// maxOpRecords bounds the per-node trace kept by a context; totals keep
+// accumulating past the cap, so pathological plans degrade to aggregate
+// counters instead of unbounded memory.
+const maxOpRecords = 512
+
+// EvalContext carries a context.Context and an EvalStats accumulator
+// through an evaluation. A nil *EvalContext is valid everywhere and means
+// "no cancellation, no counting", so un-instrumented callers pay nothing.
+// The context is safe for concurrent use; the maintainer's parallel
+// propagation records into one context from several goroutines.
+type EvalContext struct {
+	ctx   context.Context
+	mu    sync.Mutex
+	stats EvalStats
+}
+
+// NewEvalContext returns an evaluation context carrying ctx (nil means
+// context.Background()).
+func NewEvalContext(ctx context.Context) *EvalContext {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &EvalContext{ctx: ctx}
+}
+
+// Context returns the carried context; the nil EvalContext carries
+// context.Background().
+func (ec *EvalContext) Context() context.Context {
+	if ec == nil || ec.ctx == nil {
+		return context.Background()
+	}
+	return ec.ctx
+}
+
+// Err returns nil while the evaluation may continue, and the carried
+// context's error wrapped for callers once it is canceled or timed out.
+// errors.Is(err, context.Canceled / context.DeadlineExceeded) works on
+// the result.
+func (ec *EvalContext) Err() error {
+	if ec == nil || ec.ctx == nil {
+		return nil
+	}
+	if err := ec.ctx.Err(); err != nil {
+		return fmt.Errorf("algebra: evaluation canceled: %w", err)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (ec *EvalContext) Stats() EvalStats {
+	if ec == nil {
+		return EvalStats{}
+	}
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	s := ec.stats
+	s.Ops = append([]OpStat(nil), ec.stats.Ops...)
+	return s
+}
+
+// AddWall adds caller-measured end-to-end time to the totals.
+func (ec *EvalContext) AddWall(d time.Duration) {
+	if ec == nil {
+		return
+	}
+	ec.mu.Lock()
+	ec.stats.Wall += d
+	ec.mu.Unlock()
+}
+
+// record adds one operator node's counters to the totals and, below the
+// cap, to the per-node trace.
+func (ec *EvalContext) record(op string, s relation.OpStats, wall time.Duration) {
+	if ec == nil {
+		return
+	}
+	ec.mu.Lock()
+	ec.stats.Scanned += s.Scanned
+	ec.stats.Probed += s.Probed
+	ec.stats.Emitted += s.Emitted
+	ec.stats.IndexHits += s.IndexHits
+	ec.stats.IndexBuilds += s.IndexBuilds
+	if len(ec.stats.Ops) < maxOpRecords {
+		ec.stats.Ops = append(ec.stats.Ops, OpStat{
+			Op:          op,
+			Scanned:     s.Scanned,
+			Probed:      s.Probed,
+			Emitted:     s.Emitted,
+			IndexHits:   s.IndexHits,
+			IndexBuilds: s.IndexBuilds,
+			Wall:        wall,
+		})
+	}
+	ec.mu.Unlock()
+}
+
+// opName labels an operator node in the per-node trace.
+func opName(e Expr) string {
+	switch n := e.(type) {
+	case *Base:
+		return "base(" + n.Name + ")"
+	case *Empty:
+		return "empty"
+	case *Select:
+		return "select"
+	case *Project:
+		return "project"
+	case *Join:
+		return fmt.Sprintf("join(%d)", len(n.Inputs))
+	case *Union:
+		return "union"
+	case *Diff:
+		return "diff"
+	case *Rename:
+		return "rename"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// EvalCtx evaluates e against the state under an evaluation context: the
+// carried context.Context is checked at every operator boundary (a
+// canceled evaluation stops before starting its next operator), and every
+// operator records its counters into the context. A nil ec makes EvalCtx
+// identical to Eval. The aliasing rules of Eval apply.
+func EvalCtx(ec *EvalContext, e Expr, st State) (*relation.Relation, error) {
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	var start time.Time
+	var ops relation.OpStats
+	sp := (*relation.OpStats)(nil)
+	if ec != nil {
+		start = time.Now()
+		sp = &ops
+	}
+	out, err := evalNode(ec, e, st, sp)
+	if err != nil {
+		return nil, err
+	}
+	if ec != nil {
+		ec.record(opName(e), ops, time.Since(start))
+	}
+	return out, nil
+}
+
+// evalNode evaluates one operator node, recursing through EvalCtx so each
+// child gets its own cancellation check and trace record.
+func evalNode(ec *EvalContext, e Expr, st State, sp *relation.OpStats) (*relation.Relation, error) {
+	switch n := e.(type) {
+	case *Base:
+		r, ok := st.Relation(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("algebra: state has no relation %q: %w", n.Name, ErrUnknownRelation)
+		}
+		sp.Add(relation.OpStats{Emitted: int64(r.Len())})
+		return r, nil
+	case *Empty:
+		return relation.New(n.Attrs...), nil
+	case *Select:
+		in, err := EvalCtx(ec, n.Input, st)
+		if err != nil {
+			return nil, err
+		}
+		return relation.SelectStats(in, func(row relation.Row) bool { return EvalCond(n.Cond, row) }, sp), nil
+	case *Project:
+		in, err := EvalCtx(ec, n.Input, st)
+		if err != nil {
+			return nil, err
+		}
+		return relation.ProjectStats(in, sp, n.Attrs...), nil
+	case *Join:
+		if len(n.Inputs) == 0 {
+			return nil, fmt.Errorf("algebra: join of zero inputs")
+		}
+		ins := make([]*relation.Relation, len(n.Inputs))
+		for i, in := range n.Inputs {
+			r, err := EvalCtx(ec, in, st)
+			if err != nil {
+				return nil, err
+			}
+			ins[i] = r
+		}
+		return relation.JoinAllStats(sp, ins...), nil
+	case *Union:
+		l, r, err := evalBothCtx(ec, n.L, n.R, st)
+		if err != nil {
+			return nil, err
+		}
+		return relation.UnionStats(l, r, sp)
+	case *Diff:
+		l, r, err := evalBothCtx(ec, n.L, n.R, st)
+		if err != nil {
+			return nil, err
+		}
+		return relation.DiffStats(l, r, sp)
+	case *Rename:
+		in, err := EvalCtx(ec, n.Input, st)
+		if err != nil {
+			return nil, err
+		}
+		out, err := relation.Rename(in, n.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		sp.Add(relation.OpStats{Scanned: int64(in.Len()), Emitted: int64(out.Len())})
+		return out, nil
+	default:
+		panic(fmt.Sprintf("algebra: unknown node %T", e))
+	}
+}
+
+func evalBothCtx(ec *EvalContext, l, r Expr, st State) (*relation.Relation, *relation.Relation, error) {
+	lv, err := EvalCtx(ec, l, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, err := EvalCtx(ec, r, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lv, rv, nil
+}
+
+// EvalRestricted evaluates e under the restricted-value contract of
+// incremental maintenance (see maintain's node.restricted): the result
+// agrees with the full EvalCtx value on every tuple whose projection onto
+// probe's attributes occurs in probe; tuples not matching the probe may or
+// may not appear. Base references become semi-joins against the probe, and
+// the probe is pushed through every operator, so a small probe (a delta)
+// touches only matching fractions of the stored relations instead of
+// forcing full reconstructions. The probe's attribute set should be
+// contained in e's; a probe over foreign attributes falls back to the
+// full evaluation of that subexpression. Unlike Eval, the result never
+// aliases state contents — callers may mutate it.
+func EvalRestricted(ec *EvalContext, e Expr, st State, probe *relation.Relation) (*relation.Relation, error) {
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	var sp *relation.OpStats
+	var start time.Time
+	var ops relation.OpStats
+	if ec != nil {
+		start = time.Now()
+		sp = &ops
+	}
+	out, err := evalRestrictedNode(ec, e, st, probe, sp)
+	if err != nil {
+		return nil, err
+	}
+	if ec != nil {
+		ec.record(opName(e)+"⋉", ops, time.Since(start))
+	}
+	return out, nil
+}
+
+func evalRestrictedNode(ec *EvalContext, e Expr, st State, probe *relation.Relation, sp *relation.OpStats) (*relation.Relation, error) {
+	if !probe.AttrSet().SubsetOf(mustAttrsOf(e, st)) {
+		out, err := EvalCtx(ec, e, st)
+		if err != nil {
+			return nil, err
+		}
+		if _, isBase := e.(*Base); isBase {
+			out = out.Clone() // keep the no-aliasing guarantee
+		}
+		return out, nil
+	}
+	switch n := e.(type) {
+	case *Base:
+		r, ok := st.Relation(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("algebra: state has no relation %q: %w", n.Name, ErrUnknownRelation)
+		}
+		return relation.SemiJoinStats(r, probe, sp), nil
+	case *Empty:
+		return relation.New(n.Attrs...), nil
+	case *Select:
+		in, err := EvalRestricted(ec, n.Input, st, probe)
+		if err != nil {
+			return nil, err
+		}
+		return relation.SelectStats(in, func(row relation.Row) bool { return EvalCond(n.Cond, row) }, sp), nil
+	case *Project:
+		// probe attrs ⊆ Z ⊆ input attrs, so the probe applies directly to
+		// the input; garbage rows project to non-matching tuples and stay
+		// harmless under the contract.
+		in, err := EvalRestricted(ec, n.Input, st, probe)
+		if err != nil {
+			return nil, err
+		}
+		return relation.ProjectStats(in, sp, n.Attrs...), nil
+	case *Join:
+		if len(n.Inputs) == 0 {
+			return nil, fmt.Errorf("algebra: join of zero inputs")
+		}
+		probeAttrs := probe.AttrSet()
+		ins := make([]*relation.Relation, len(n.Inputs))
+		for i, in := range n.Inputs {
+			shared := probeAttrs.Intersect(mustAttrsOf(in, st))
+			var r *relation.Relation
+			var err error
+			if shared.IsEmpty() {
+				r, err = EvalCtx(ec, in, st)
+			} else {
+				r, err = EvalRestricted(ec, in, st, relation.ProjectStats(probe, sp, shared.Sorted()...))
+			}
+			if err != nil {
+				return nil, err
+			}
+			ins[i] = r
+		}
+		return relation.JoinAllStats(sp, ins...), nil
+	case *Union:
+		l, err := EvalRestricted(ec, n.L, st, probe)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalRestricted(ec, n.R, st, probe)
+		if err != nil {
+			return nil, err
+		}
+		return relation.UnionStats(l, r, sp)
+	case *Diff:
+		// Restricting both sides by the same probe keeps the difference
+		// exact on probe-matching tuples: a match surviving in L appears in
+		// restricted L, and its presence in R is decided by restricted R.
+		l, err := EvalRestricted(ec, n.L, st, probe)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalRestricted(ec, n.R, st, probe)
+		if err != nil {
+			return nil, err
+		}
+		return relation.DiffStats(l, r, sp)
+	case *Rename:
+		// Translate the probe back into the input's attribute space.
+		inverse := make(map[string]string, len(n.Mapping))
+		for from, to := range n.Mapping {
+			inverse[to] = from
+		}
+		back := make(map[string]string)
+		for _, a := range probe.Attrs() {
+			if orig, ok := inverse[a]; ok {
+				back[a] = orig
+			}
+		}
+		inProbe, err := relation.Rename(probe, back)
+		if err != nil {
+			return nil, err
+		}
+		in, err := EvalRestricted(ec, n.Input, st, inProbe)
+		if err != nil {
+			return nil, err
+		}
+		return relation.Rename(in, n.Mapping)
+	default:
+		panic(fmt.Sprintf("algebra: unknown node %T", e))
+	}
+}
+
+// mustAttrsOf returns the attribute set of e for probe-pushing decisions.
+// It derives attributes from the expression structure and the state's live
+// relations without the full static validation of Attrs; unknown base
+// names yield the empty set (the subsequent evaluation reports the error).
+func mustAttrsOf(e Expr, st State) relation.AttrSet {
+	switch n := e.(type) {
+	case *Base:
+		r, ok := st.Relation(n.Name)
+		if !ok {
+			return relation.NewAttrSet()
+		}
+		return r.AttrSet()
+	case *Empty:
+		return relation.NewAttrSet(n.Attrs...)
+	case *Select:
+		return mustAttrsOf(n.Input, st)
+	case *Project:
+		return relation.NewAttrSet(n.Attrs...)
+	case *Join:
+		out := relation.NewAttrSet()
+		for _, in := range n.Inputs {
+			out = out.Union(mustAttrsOf(in, st))
+		}
+		return out
+	case *Union:
+		return mustAttrsOf(n.L, st)
+	case *Diff:
+		return mustAttrsOf(n.L, st)
+	case *Rename:
+		in := mustAttrsOf(n.Input, st)
+		out := relation.NewAttrSet()
+		for a := range in {
+			if to, ok := n.Mapping[a]; ok {
+				out[to] = struct{}{}
+			} else {
+				out[a] = struct{}{}
+			}
+		}
+		return out
+	default:
+		return relation.NewAttrSet()
+	}
+}

@@ -12,16 +12,23 @@ import (
 // database state d: every view and every stored complement, keyed by
 // warehouse name. This is the mapping W(d) of Proposition 2.1.
 func (c *Complement) MaterializeWarehouse(st algebra.State) (algebra.MapState, error) {
+	return c.MaterializeWarehouseCtx(nil, st)
+}
+
+// MaterializeWarehouseCtx is MaterializeWarehouse under an evaluation
+// context: the cover joins of every view and complement definition check
+// for cancellation at operator boundaries and record their counters.
+func (c *Complement) MaterializeWarehouseCtx(ec *algebra.EvalContext, st algebra.State) (algebra.MapState, error) {
 	out := make(algebra.MapState, c.views.Len()+len(c.entries))
 	for _, v := range c.views.Views() {
-		r, err := v.Eval(st)
+		r, err := v.EvalCtx(ec, st)
 		if err != nil {
 			return nil, err
 		}
 		out[v.Name] = r
 	}
 	for _, e := range c.StoredEntries() {
-		r, err := algebra.Eval(e.Def, st)
+		r, err := algebra.EvalCtx(ec, e.Def, st)
 		if err != nil {
 			return nil, err
 		}
@@ -34,9 +41,14 @@ func (c *Complement) MaterializeWarehouse(st algebra.State) (algebra.MapState, e
 // relation from warehouse relations only (Equation 2 / 4) and returns the
 // result keyed by base name.
 func (c *Complement) Reconstruct(w algebra.State) (map[string]*relation.Relation, error) {
+	return c.ReconstructCtx(nil, w)
+}
+
+// ReconstructCtx is Reconstruct under an evaluation context.
+func (c *Complement) ReconstructCtx(ec *algebra.EvalContext, w algebra.State) (map[string]*relation.Relation, error) {
 	out := make(map[string]*relation.Relation, len(c.entries))
 	for _, e := range c.entries {
-		r, err := algebra.Eval(e.Inverse, w)
+		r, err := algebra.EvalCtx(ec, e.Inverse, w)
 		if err != nil {
 			return nil, fmt.Errorf("core: reconstructing %s: %w", e.Base, err)
 		}

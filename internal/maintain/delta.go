@@ -181,6 +181,17 @@ func Propagate(e algebra.Expr, st algebra.State, u *catalog.Update) (Delta, erro
 func propagate(e algebra.Expr, st algebra.State, u *catalog.Update) (*node, error) {
 	switch x := e.(type) {
 	case *algebra.Base:
+		// Against a RestrictedState (the maintainer's VirtualState) the
+		// pre-state value stays lazy: restricted probes reconstruct only
+		// the matching fraction through the inverse, and the full value is
+		// forced only if a propagation rule genuinely needs it. Against
+		// plain states the relation is already materialized, so it is
+		// simply taken as the memoized old value.
+		if rs, ok := st.(RestrictedState); ok {
+			if attrs, known := rs.RelationAttrs(x.Name); known {
+				return lazyBase(x, rs, u, attrs), nil
+			}
+		}
 		old, ok := st.Relation(x.Name)
 		if !ok {
 			return nil, fmt.Errorf("maintain: pre-state has no relation %q", x.Name)
@@ -479,6 +490,42 @@ func propagate(e algebra.Expr, st algebra.State, u *catalog.Update) (*node, erro
 	default:
 		return nil, fmt.Errorf("maintain: unknown node %T", e)
 	}
+}
+
+// lazyBase builds the propagation node of a base-relation reference over
+// a RestrictedState without forcing its reconstruction: restricted reads
+// go through RelationRestricted (probe-sized work), and only a rule that
+// needs the complete pre-state forces the full inverse evaluation.
+func lazyBase(x *algebra.Base, rs RestrictedState, u *catalog.Update, attrs []string) *node {
+	ins := u.Inserts(x.Name)
+	del := u.Deletes(x.Name)
+	if ins == nil {
+		ins = relation.New(attrs...)
+	}
+	if del == nil {
+		del = relation.New(attrs...)
+	}
+	n := &node{d: Delta{Ins: ins, Del: del}, attrs: attrs}
+	n.oldFn = func() (*relation.Relation, error) {
+		old, ok := rs.Relation(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("maintain: pre-state has no relation %q", x.Name)
+		}
+		return old, nil
+	}
+	n.restrictFn = func(which valKind, probe *relation.Relation) (*relation.Relation, error) {
+		base, err := rs.RelationRestricted(x.Name, probe)
+		if err != nil {
+			return nil, err
+		}
+		if which == newValue {
+			// The delta is applied on top; insertions outside the probe
+			// are harmless garbage under the restricted-value contract.
+			n.d.ApplyTo(base)
+		}
+		return base, nil
+	}
+	return n
 }
 
 // lazyBinary builds a thunk combining two children through a binary set

@@ -1,8 +1,10 @@
 package maintain
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"dwcomplement/internal/algebra"
 	"dwcomplement/internal/catalog"
@@ -11,15 +13,36 @@ import (
 	"dwcomplement/internal/warehouse"
 )
 
+// RestrictedState is implemented by states that can answer probe-
+// restricted base-relation lookups without materializing the full
+// relation. Propagation uses it to stay delta-driven: a refresh touching
+// two tuples reconstructs two tuples' worth of pre-state, not the whole
+// database.
+type RestrictedState interface {
+	algebra.State
+	// RelationRestricted returns a freshly allocated relation agreeing
+	// with Relation(name) on every tuple matching the probe (the
+	// restricted-value contract of algebra.EvalRestricted). The caller
+	// may mutate the result.
+	RelationRestricted(name string, probe *relation.Relation) (*relation.Relation, error)
+	// RelationAttrs returns the attribute order of the named relation
+	// without forcing its value.
+	RelationAttrs(name string) ([]string, bool)
+}
+
 // VirtualState resolves base-relation references by evaluating their
 // inverse expressions against a warehouse state — the mechanical form of
 // the paper's instruction to "replace any reference to a base relation
 // occurring in the maintenance expression by its inverse" (Section 4).
 // Reconstructed relations are cached for the lifetime of the VirtualState,
-// which is one refresh round.
+// which is one refresh round. It implements RestrictedState, answering
+// probe-restricted lookups through algebra.EvalRestricted so small deltas
+// never force a full reconstruction.
 type VirtualState struct {
 	inverses map[string]algebra.Expr
+	attrs    map[string][]string
 	w        algebra.State
+	ec       *algebra.EvalContext
 
 	mu    sync.Mutex
 	cache map[string]*relation.Relation
@@ -27,9 +50,21 @@ type VirtualState struct {
 
 // NewVirtualState builds a virtual pre-state over the warehouse state.
 func NewVirtualState(comp *core.Complement, w algebra.State) *VirtualState {
+	return NewVirtualStateCtx(comp, w, nil)
+}
+
+// NewVirtualStateCtx is NewVirtualState under an evaluation context: every
+// reconstruction checks for cancellation and records its counters.
+func NewVirtualStateCtx(comp *core.Complement, w algebra.State, ec *algebra.EvalContext) *VirtualState {
+	attrs := make(map[string][]string)
+	for name, sc := range comp.Database().Schemas() {
+		attrs[name] = sc.AttrNames()
+	}
 	return &VirtualState{
 		inverses: comp.InverseMap(),
+		attrs:    attrs,
 		w:        w,
+		ec:       ec,
 		cache:    make(map[string]*relation.Relation),
 	}
 }
@@ -47,12 +82,36 @@ func (v *VirtualState) Relation(name string) (*relation.Relation, bool) {
 	if !ok {
 		return nil, false
 	}
-	r, err := algebra.Eval(inv, v.w)
+	r, err := algebra.EvalCtx(v.ec, inv, v.w)
 	if err != nil {
 		return nil, false
 	}
 	v.cache[name] = r
 	return r, true
+}
+
+// RelationRestricted implements RestrictedState: it reconstructs only the
+// fraction of the base relation matching the probe by pushing the probe
+// through the inverse expression (semi-join pushdown). If the full value
+// happens to be cached already, it semi-joins that instead.
+func (v *VirtualState) RelationRestricted(name string, probe *relation.Relation) (*relation.Relation, error) {
+	v.mu.Lock()
+	if r, ok := v.cache[name]; ok {
+		v.mu.Unlock()
+		return relation.SemiJoin(r, probe), nil
+	}
+	inv, ok := v.inverses[name]
+	v.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("maintain: no inverse for relation %q", name)
+	}
+	return algebra.EvalRestricted(v.ec, inv, v.w, probe)
+}
+
+// RelationAttrs implements RestrictedState from the source schemata.
+func (v *VirtualState) RelationAttrs(name string) ([]string, bool) {
+	a, ok := v.attrs[name]
+	return a, ok
 }
 
 // RefreshStats reports what a refresh did, for benchmarks and logs.
@@ -62,6 +121,11 @@ type RefreshStats struct {
 	Changed map[string]int
 	// UpdateSize is the size of the normalized source update.
 	UpdateSize int
+	// Wall is the end-to-end refresh time (RefreshContext only).
+	Wall time.Duration
+	// Eval holds the operator counters of the refresh's evaluations
+	// (RefreshContext only; nil from plain Refresh).
+	Eval *algebra.EvalStats
 }
 
 // Total returns the total number of warehouse tuple changes.
@@ -117,11 +181,41 @@ func (m *Maintainer) SetParallel(p bool) {
 // deltas for all relations are computed against the same pre-state before
 // any of them is applied.
 func (m *Maintainer) Refresh(w *warehouse.Warehouse, u *catalog.Update) (RefreshStats, error) {
+	return m.refresh(nil, w, u)
+}
+
+// RefreshContext is Refresh with cancellation and instrumentation: the
+// context is checked between propagation steps and at every operator
+// boundary inside them (a canceled refresh aborts before any delta is
+// applied, leaving the warehouse untouched), and the returned stats carry
+// the evaluation counters and wall time.
+func (m *Maintainer) RefreshContext(ctx context.Context, w *warehouse.Warehouse, u *catalog.Update) (RefreshStats, error) {
+	ec := algebra.NewEvalContext(ctx)
+	start := time.Now()
+	stats, err := m.refresh(ec, w, u)
+	stats.Wall = time.Since(start)
+	es := ec.Stats()
+	es.Wall = stats.Wall
+	stats.Eval = &es
+	return stats, err
+}
+
+// cancelOr prefers the evaluation context's cancellation error over err,
+// so a refresh aborted mid-reconstruction reports context.Canceled rather
+// than the lookup failure the abort surfaced as.
+func cancelOr(ec *algebra.EvalContext, err error) error {
+	if cerr := ec.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+func (m *Maintainer) refresh(ec *algebra.EvalContext, w *warehouse.Warehouse, u *catalog.Update) (RefreshStats, error) {
 	stats := RefreshStats{Changed: make(map[string]int)}
-	vst := NewVirtualState(m.comp, w)
+	vst := NewVirtualStateCtx(m.comp, w, ec)
 	nu, err := NormalizeUpdate(u, vst, m.comp)
 	if err != nil {
-		return stats, err
+		return stats, cancelOr(ec, err)
 	}
 	stats.UpdateSize = nu.Size()
 
@@ -143,12 +237,6 @@ func (m *Maintainer) Refresh(w *warehouse.Warehouse, u *catalog.Update) (Refresh
 	}
 	deltas := make([]pending, len(targets))
 	if m.parallel && len(targets) > 1 {
-		// Prime the virtual pre-state for the touched relations so the
-		// goroutines share reconstructions instead of racing to build them
-		// (the cache itself is mutex-guarded either way).
-		for _, name := range nu.Touched() {
-			vst.Relation(name)
-		}
 		var wg sync.WaitGroup
 		errs := make([]error, len(targets))
 		for i, tg := range targets {
@@ -166,17 +254,25 @@ func (m *Maintainer) Refresh(w *warehouse.Warehouse, u *catalog.Update) (Refresh
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
-				return stats, err
+				return stats, cancelOr(ec, err)
 			}
 		}
 	} else {
 		for i, tg := range targets {
+			if err := ec.Err(); err != nil {
+				return stats, err
+			}
 			d, err := Propagate(tg.def, vst, nu)
 			if err != nil {
-				return stats, fmt.Errorf("maintain: %s: %w", tg.name, err)
+				return stats, cancelOr(ec, fmt.Errorf("maintain: %s: %w", tg.name, err))
 			}
 			deltas[i] = pending{tg.name, d}
 		}
+	}
+	// All deltas are computed; a cancellation past this point would leave
+	// the warehouse half-refreshed, so this is the last check.
+	if err := ec.Err(); err != nil {
+		return stats, err
 	}
 	for _, p := range deltas {
 		r, ok := w.Relation(p.name)
@@ -233,22 +329,30 @@ func (m *Maintainer) RefreshByRecompute(w *warehouse.Warehouse, u *catalog.Updat
 // (inserts already present are dropped, deletes of absent tuples are
 // dropped, insert+delete pairs become no-ops) without ever touching the
 // real sources. Star warehouses and other callers with their own refresh
-// loops use it before Propagate. Only membership checks against the
-// reconstructed relations are performed — no state copies.
+// loops use it before Propagate. Membership of the updated tuples is all
+// that matters, so the pre-state is probed restrictedly — the cost is
+// proportional to the update, not to the database.
 func NormalizeUpdate(u *catalog.Update, vst *VirtualState, comp *core.Complement) (*catalog.Update, error) {
 	db := comp.Database()
 	out := catalog.NewUpdate()
 	for _, name := range u.Touched() {
-		cur, ok := vst.Relation(name)
-		if !ok {
-			return nil, fmt.Errorf("maintain: no inverse for updated relation %q", name)
-		}
 		sc, ok := db.Schema(name)
 		if !ok {
 			return nil, fmt.Errorf("maintain: update references unknown relation %q", name)
 		}
 		schemaAttrs := sc.AttrNames()
 		ins, del := u.Inserts(name), u.Deletes(name)
+		probe := relation.New(schemaAttrs...)
+		if ins != nil {
+			probe.InsertAll(ins)
+		}
+		if del != nil {
+			probe.InsertAll(del)
+		}
+		cur, err := vst.RelationRestricted(name, probe)
+		if err != nil {
+			return nil, err
+		}
 		if ins != nil {
 			var insertErr error
 			ins.Each(func(t relation.Tuple) {

@@ -1,0 +1,187 @@
+package relation
+
+import (
+	"sort"
+	"strings"
+)
+
+// Index is a hash index over a subset of a relation's attributes: it maps
+// the injective key encoding of the indexed columns to the positions of
+// the matching rows. Indexes are built lazily by the join operators, are
+// cached on the owning relation keyed by the (sorted) attribute set, and
+// are dropped wholesale on any mutation; a handle obtained before a
+// mutation must not be used afterwards.
+type Index struct {
+	owner     *Relation
+	attrs     []string // indexed attributes, sorted
+	pos       []int    // column positions of attrs in the owning relation
+	buckets   map[string][]int
+	maxBucket int
+}
+
+// Attrs returns the indexed attribute names in sorted order. The caller
+// must not modify the returned slice.
+func (ix *Index) Attrs() []string { return ix.attrs }
+
+// Keys returns the number of distinct values the index discriminates.
+func (ix *Index) Keys() int { return len(ix.buckets) }
+
+// Unique reports whether the indexed attributes form a key of the owning
+// relation (every bucket holds at most one row).
+func (ix *Index) Unique() bool { return ix.maxBucket <= 1 }
+
+// Lookup returns copies of the rows whose indexed columns equal vals,
+// given in the index's (sorted) attribute order.
+func (ix *Index) Lookup(vals ...Value) []Tuple {
+	k := Tuple(vals).key()
+	rows := ix.buckets[k]
+	out := make([]Tuple, len(rows))
+	for i, ri := range rows {
+		out[i] = ix.owner.rows[ri].Clone()
+	}
+	return out
+}
+
+// encodeKey builds the injective join-key encoding of the given columns
+// of t; it matches Tuple.key for the same values in the same order, so
+// index buckets and tuple-set membership agree.
+func encodeKey(t Tuple, pos []int) string {
+	var b strings.Builder
+	for _, p := range pos {
+		t[p].appendKey(&b)
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// indexKey is the cache key for an index over the given sorted attributes.
+// Attribute names never contain NUL (they come from identifiers), so the
+// join is unambiguous.
+func indexKey(sortedAttrs []string) string { return strings.Join(sortedAttrs, "\x00") }
+
+// Index returns the relation's cached hash index over the given
+// attributes, building and caching it on first use. It returns ok=false
+// if some attribute is not part of the relation. Concurrent readers may
+// build indexes on a shared relation; the cache is internally locked.
+func (r *Relation) Index(attrs ...string) (*Index, bool) {
+	sorted := append([]string(nil), attrs...)
+	for _, a := range sorted {
+		if !r.HasAttr(a) {
+			return nil, false
+		}
+	}
+	// keep the canonical cache key independent of caller order
+	sort.Strings(sorted)
+	ix, _ := r.indexFor(sorted, indexKey(sorted))
+	return ix, true
+}
+
+// IndexCount returns the number of cached indexes, for tests asserting
+// the invalidate-on-mutation lifecycle.
+func (r *Relation) IndexCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.indexes)
+}
+
+// indexFor returns the cached index for the given sorted attribute list
+// (all of which must exist in r), building it if absent. It reports
+// whether a build happened, so operators can count cache misses.
+func (r *Relation) indexFor(sortedAttrs []string, key string) (*Index, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ix := r.indexes[key]; ix != nil {
+		return ix, false
+	}
+	pos := make([]int, len(sortedAttrs))
+	for i, a := range sortedAttrs {
+		pos[i] = r.pos[a]
+	}
+	ix := &Index{
+		owner:   r,
+		attrs:   append([]string(nil), sortedAttrs...),
+		pos:     pos,
+		buckets: make(map[string][]int, len(r.rows)),
+	}
+	for i, t := range r.rows {
+		k := encodeKey(t, pos)
+		b := append(ix.buckets[k], i)
+		ix.buckets[k] = b
+		if len(b) > ix.maxBucket {
+			ix.maxBucket = len(b)
+		}
+	}
+	if r.indexes == nil {
+		r.indexes = make(map[string]*Index)
+	}
+	r.indexes[key] = ix
+	return ix, true
+}
+
+// peekIndex returns the cached index for key without building one.
+func (r *Relation) peekIndex(key string) *Index {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.indexes[key]
+}
+
+// invalidateIndexes drops all cached indexes. Called on mutation, which
+// (as everywhere in this package) requires the caller to have exclusive
+// access to the relation.
+func (r *Relation) invalidateIndexes() {
+	if r.indexes != nil {
+		r.indexes = nil
+	}
+}
+
+// OpStats accumulates physical-operator counters. All operators accept a
+// nil *OpStats, which disables counting; the *Stats operator variants add
+// into the same struct so a whole plan can share one accumulator.
+type OpStats struct {
+	Scanned     int64 // tuples read from operator inputs
+	Probed      int64 // hash/index lookups issued
+	Emitted     int64 // tuples produced (before set-semantics dedup)
+	IndexHits   int64 // probes that found at least one matching row
+	IndexBuilds int64 // hash indexes built (index-cache misses)
+}
+
+// Add accumulates o into s. Both receivers of nil and adding zero are
+// no-ops, so callers can pass counters around unconditionally.
+func (s *OpStats) Add(o OpStats) {
+	if s == nil {
+		return
+	}
+	s.Scanned += o.Scanned
+	s.Probed += o.Probed
+	s.Emitted += o.Emitted
+	s.IndexHits += o.IndexHits
+	s.IndexBuilds += o.IndexBuilds
+}
+
+func (s *OpStats) scanned(n int) {
+	if s != nil {
+		s.Scanned += int64(n)
+	}
+}
+
+func (s *OpStats) probe(hit bool) {
+	if s == nil {
+		return
+	}
+	s.Probed++
+	if hit {
+		s.IndexHits++
+	}
+}
+
+func (s *OpStats) emitted(n int) {
+	if s != nil {
+		s.Emitted += int64(n)
+	}
+}
+
+func (s *OpStats) built(b bool) {
+	if s != nil && b {
+		s.IndexBuilds++
+	}
+}

@@ -1,0 +1,123 @@
+package relation
+
+import "testing"
+
+func indexedPair() (*Relation, *Relation) {
+	l := New("a", "b")
+	l.InsertValues(Int(1), String_("x"))
+	l.InsertValues(Int(2), String_("y"))
+	l.InsertValues(Int(3), String_("x"))
+	r := New("b", "c")
+	r.InsertValues(String_("x"), Int(10))
+	r.InsertValues(String_("y"), Int(20))
+	r.InsertValues(String_("z"), Int(30))
+	return l, r
+}
+
+func TestIndexBuildAndLookup(t *testing.T) {
+	_, r := indexedPair()
+	ix, ok := r.Index("b")
+	if !ok {
+		t.Fatal("Index(b) not ok")
+	}
+	if ix.Keys() != 3 || !ix.Unique() {
+		t.Errorf("keys=%d unique=%v, want 3 unique", ix.Keys(), ix.Unique())
+	}
+	got := ix.Lookup(String_("x"))
+	if len(got) != 1 || !got[0][1].Equal(Int(10)) {
+		t.Errorf("Lookup(x) = %v", got)
+	}
+	if hits := ix.Lookup(String_("nope")); len(hits) != 0 {
+		t.Errorf("Lookup(nope) = %v", hits)
+	}
+	if _, ok := r.Index("nope"); ok {
+		t.Error("Index over a foreign attribute must report !ok")
+	}
+}
+
+func TestIndexIsCachedAndAttrOrderCanonical(t *testing.T) {
+	r := New("a", "b")
+	r.InsertValues(Int(1), String_("x"))
+	r.Index("a", "b")
+	if n := r.IndexCount(); n != 1 {
+		t.Fatalf("IndexCount = %d, want 1", n)
+	}
+	// Caller attribute order must not create a second index.
+	r.Index("b", "a")
+	if n := r.IndexCount(); n != 1 {
+		t.Fatalf("IndexCount after reordered request = %d, want 1", n)
+	}
+}
+
+func TestIndexInvalidatedOnMutation(t *testing.T) {
+	l, r := indexedPair()
+	join := NaturalJoin(l, r) // builds and caches an index on one side
+	if join.Len() != 3 {
+		t.Fatalf("join = %v", join)
+	}
+	if r.IndexCount()+l.IndexCount() == 0 {
+		t.Fatal("no index cached by NaturalJoin")
+	}
+
+	// Insert: the cached index must be dropped, and a re-run of the join
+	// must see the new tuple (a stale index would miss it).
+	r.InsertValues(String_("w"), Int(40))
+	if n := r.IndexCount(); n != 0 {
+		t.Errorf("IndexCount after Insert = %d, want 0", n)
+	}
+	l.InsertValues(Int(4), String_("w"))
+	if n := l.IndexCount(); n != 0 {
+		t.Errorf("IndexCount on l after Insert = %d, want 0", n)
+	}
+	join = NaturalJoin(l, r)
+	want := New("a", "b", "c")
+	want.InsertValues(Int(1), String_("x"), Int(10))
+	want.InsertValues(Int(2), String_("y"), Int(20))
+	want.InsertValues(Int(3), String_("x"), Int(10))
+	want.InsertValues(Int(4), String_("w"), Int(40))
+	if !join.Equal(want) {
+		t.Errorf("join after insert = %v, want %v", join, want)
+	}
+
+	// Delete likewise: the dropped tuple must disappear from the result.
+	r.Index("b")
+	if n := r.IndexCount(); n != 1 {
+		t.Fatalf("IndexCount after rebuild = %d, want 1", n)
+	}
+	if !r.Delete(Tuple{String_("x"), Int(10)}) {
+		t.Fatal("Delete failed")
+	}
+	if n := r.IndexCount(); n != 0 {
+		t.Errorf("IndexCount after Delete = %d, want 0", n)
+	}
+	join = NaturalJoin(l, r)
+	if join.Len() != 2 {
+		t.Errorf("join after delete = %v, want 2 tuples", join)
+	}
+
+	// A failed mutation (duplicate insert, missing delete) keeps the cache.
+	r.Index("b")
+	r.InsertValues(String_("w"), Int(40)) // duplicate, no-op
+	r.Delete(Tuple{String_("q"), Int(0)}) // absent, no-op
+	if n := r.IndexCount(); n != 1 {
+		t.Errorf("IndexCount after no-op mutations = %d, want 1", n)
+	}
+}
+
+func TestOpStatsCounters(t *testing.T) {
+	l, r := indexedPair()
+	var s OpStats
+	NaturalJoinStats(l, r, &s)
+	if s.IndexBuilds != 1 {
+		t.Errorf("IndexBuilds = %d, want 1", s.IndexBuilds)
+	}
+	if s.Probed == 0 || s.IndexHits == 0 || s.Emitted != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Second run hits the cache.
+	s = OpStats{}
+	NaturalJoinStats(l, r, &s)
+	if s.IndexBuilds != 0 || s.IndexHits == 0 {
+		t.Errorf("cached run stats = %+v", s)
+	}
+}

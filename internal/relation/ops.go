@@ -2,7 +2,6 @@ package relation
 
 import (
 	"fmt"
-	"strings"
 )
 
 // Row gives predicate callbacks named access to the current tuple during
@@ -20,12 +19,19 @@ func (w Row) Has(attr string) bool { return w.rel.HasAttr(attr) }
 
 // Select returns σ_pred(r): the tuples of r satisfying pred.
 func Select(r *Relation, pred func(Row) bool) *Relation {
+	return SelectStats(r, pred, nil)
+}
+
+// SelectStats is Select with operator counters (nil disables counting).
+func SelectStats(r *Relation, pred func(Row) bool, s *OpStats) *Relation {
 	out := New(r.attrs...)
 	for _, t := range r.rows {
 		if pred(Row{rel: r, t: t}) {
 			out.Insert(t)
 		}
 	}
+	s.scanned(r.Len())
+	s.emitted(out.Len())
 	return out
 }
 
@@ -35,6 +41,11 @@ func Select(r *Relation, pred func(Row) bool) *Relation {
 // otherwise"), projecting onto attributes not all present in r yields the
 // empty relation over attrs rather than an error.
 func Project(r *Relation, attrs ...string) *Relation {
+	return ProjectStats(r, nil, attrs...)
+}
+
+// ProjectStats is Project with operator counters (nil disables counting).
+func ProjectStats(r *Relation, s *OpStats, attrs ...string) *Relation {
 	out := New(attrs...)
 	idx := make([]int, len(attrs))
 	for i, a := range attrs {
@@ -51,24 +62,24 @@ func Project(r *Relation, attrs ...string) *Relation {
 		}
 		out.Insert(pt)
 	}
+	s.scanned(r.Len())
+	s.emitted(out.Len())
 	return out
 }
 
 // NaturalJoin returns l ⋈ r: tuples agreeing on all shared attributes,
 // concatenated over the union of attributes. With no shared attributes it
-// degenerates to the Cartesian product, as usual. The implementation is a
-// hash join on the shared attributes, building on the smaller input.
+// degenerates to the Cartesian product, as usual.
 func NaturalJoin(l, r *Relation) *Relation {
-	if r.Len() < l.Len() {
-		// Keep the build side small; fix up column order afterwards so
-		// the caller-visible attribute set is identical either way.
-		swapped := naturalJoin(r, l)
-		return swapped
-	}
-	return naturalJoin(l, r)
+	return NaturalJoinStats(l, r, nil)
 }
 
-func naturalJoin(l, r *Relation) *Relation {
+// NaturalJoinStats is NaturalJoin with operator counters. It is a hash
+// join over the shared attributes: it reuses a cached index on either
+// input when one exists, otherwise it builds (and caches) one on the
+// larger input and iterates the smaller, so repeated joins against the
+// same relation amortize the build.
+func NaturalJoinStats(l, r *Relation, s *OpStats) *Relation {
 	shared := l.AttrSet().Intersect(r.AttrSet()).Sorted()
 	rOnly := make([]string, 0, len(r.attrs))
 	for _, a := range r.attrs {
@@ -76,59 +87,113 @@ func naturalJoin(l, r *Relation) *Relation {
 			rOnly = append(rOnly, a)
 		}
 	}
-	outAttrs := append(append([]string(nil), l.attrs...), rOnly...)
-	out := New(outAttrs...)
-
-	lShared := make([]int, len(shared))
-	rShared := make([]int, len(shared))
-	for i, a := range shared {
-		lShared[i], _ = l.pos[a]
-		rShared[i], _ = r.pos[a]
-	}
+	out := New(append(append([]string(nil), l.attrs...), rOnly...)...)
 	rOnlyPos := make([]int, len(rOnly))
 	for i, a := range rOnly {
-		rOnlyPos[i], _ = r.pos[a]
+		rOnlyPos[i] = r.pos[a]
 	}
-
-	joinKey := func(t Tuple, idx []int) string {
-		var b strings.Builder
-		for _, p := range idx {
-			t[p].appendKey(&b)
-			b.WriteByte('|')
+	emit := func(lt, rt Tuple) {
+		jt := make(Tuple, 0, out.Arity())
+		jt = append(jt, lt...)
+		for _, p := range rOnlyPos {
+			jt = append(jt, rt[p])
 		}
-		return b.String()
+		out.Insert(jt)
 	}
 
-	build := make(map[string][]Tuple, l.Len())
-	for _, t := range l.rows {
-		k := joinKey(t, lShared)
-		build[k] = append(build[k], t)
-	}
-	for _, rt := range r.rows {
-		k := joinKey(rt, rShared)
-		for _, lt := range build[k] {
-			jt := make(Tuple, 0, len(outAttrs))
-			jt = append(jt, lt...)
-			for _, p := range rOnlyPos {
-				jt = append(jt, rt[p])
+	if len(shared) == 0 { // Cartesian product: no key to hash on.
+		s.scanned(l.Len() + r.Len())
+		for _, lt := range l.rows {
+			for _, rt := range r.rows {
+				emit(lt, rt)
 			}
-			out.Insert(jt)
+		}
+		s.emitted(out.Len())
+		return out
+	}
+	if l.IsEmpty() || r.IsEmpty() {
+		return out
+	}
+
+	// Pick the build side: an already-cached index wins outright;
+	// otherwise index the larger side so the scan runs over the smaller.
+	key := indexKey(shared)
+	build, probe := r, l
+	switch {
+	case r.peekIndex(key) != nil:
+	case l.peekIndex(key) != nil:
+		build, probe = l, r
+	case l.Len() > r.Len():
+		build, probe = l, r
+	}
+	ix, builtNow := build.indexFor(shared, key)
+	s.built(builtNow)
+
+	probePos := make([]int, len(shared))
+	for i, a := range shared {
+		probePos[i] = probe.pos[a]
+	}
+	s.scanned(probe.Len())
+	for _, pt := range probe.rows {
+		rows := ix.buckets[encodeKey(pt, probePos)]
+		s.probe(len(rows) > 0)
+		for _, bi := range rows {
+			bt := build.rows[bi]
+			if build == r {
+				emit(pt, bt)
+			} else {
+				emit(bt, pt)
+			}
 		}
 	}
+	s.emitted(out.Len())
 	return out
 }
 
-// JoinAll natural-joins all inputs left to right; with no inputs it panics
-// (the algebra layer never produces empty joins).
+// JoinAll natural-joins all inputs; with no inputs it panics (the algebra
+// layer never produces empty joins).
 func JoinAll(rels ...*Relation) *Relation {
+	return JoinAllStats(nil, rels...)
+}
+
+// JoinAllStats is JoinAll with operator counters. It orders the joins
+// greedily: start from the smallest input and repeatedly join the
+// smallest remaining relation that shares attributes with the
+// accumulated result, falling back to a Cartesian leg only when nothing
+// shares. Attribute-set semantics are order-independent, so only the
+// (presentational) column order and the intermediate sizes change.
+func JoinAllStats(s *OpStats, rels ...*Relation) *Relation {
 	if len(rels) == 0 {
 		panic("relation: JoinAll of zero relations")
 	}
-	out := rels[0]
-	for _, r := range rels[1:] {
-		out = NaturalJoin(out, r)
+	if len(rels) == 1 {
+		return rels[0]
 	}
-	return out
+	rem := append([]*Relation(nil), rels...)
+	first := 0
+	for i, r := range rem {
+		if r.Len() < rem[first].Len() {
+			first = i
+		}
+	}
+	acc := rem[first]
+	rem = append(rem[:first], rem[first+1:]...)
+	for len(rem) > 0 {
+		accAttrs := acc.AttrSet()
+		pick, pickShares := -1, false
+		for i, r := range rem {
+			sh := !accAttrs.Intersect(r.AttrSet()).IsEmpty()
+			switch {
+			case pick == -1, sh && !pickShares:
+				pick, pickShares = i, sh
+			case sh == pickShares && r.Len() < rem[pick].Len():
+				pick = i
+			}
+		}
+		acc = NaturalJoinStats(acc, rem[pick], s)
+		rem = append(rem[:pick], rem[pick+1:]...)
+	}
+	return acc
 }
 
 // ExtensionJoin returns l ⋈ r where the shared attributes contain a key of
@@ -139,32 +204,40 @@ func JoinAll(rels ...*Relation) *Relation {
 // an error if rKey is not part of the shared attributes or if r violates
 // uniqueness on rKey.
 func ExtensionJoin(l, r *Relation, rKey AttrSet) (*Relation, error) {
+	return ExtensionJoinStats(l, r, rKey, nil)
+}
+
+// ExtensionJoinStats is ExtensionJoin with operator counters. The unique
+// index on r's key is cached on r, so repeated cover joins against the
+// same stored relation skip the build.
+func ExtensionJoinStats(l, r *Relation, rKey AttrSet, s *OpStats) (*Relation, error) {
 	shared := l.AttrSet().Intersect(r.AttrSet())
 	if !rKey.SubsetOf(shared) {
 		return nil, fmt.Errorf("relation: extension join: key %v not contained in shared attributes %v", rKey, shared)
 	}
 	keyAttrs := rKey.Sorted()
-	rKeyPos := make([]int, len(keyAttrs))
-	lKeyPos := make([]int, len(keyAttrs))
-	for i, a := range keyAttrs {
-		rKeyPos[i], _ = r.pos[a]
-		lKeyPos[i], _ = l.pos[a]
-	}
-	idx := make(map[string]Tuple, r.Len())
-	for _, t := range r.rows {
-		var b strings.Builder
-		for _, p := range rKeyPos {
-			t[p].appendKey(&b)
-			b.WriteByte('|')
+	ix, builtNow := r.indexFor(keyAttrs, indexKey(keyAttrs))
+	s.built(builtNow)
+	if !ix.Unique() {
+		for _, rows := range ix.buckets {
+			if len(rows) > 1 {
+				return nil, fmt.Errorf("relation: extension join: %v is not a key of the right input (tuples %v and %v agree on it)",
+					rKey, r.rows[rows[0]], r.rows[rows[1]])
+			}
 		}
-		k := b.String()
-		if prev, dup := idx[k]; dup {
-			return nil, fmt.Errorf("relation: extension join: %v is not a key of the right input (tuples %v and %v agree on it)", rKey, prev, t)
-		}
-		idx[k] = t
 	}
 
+	lKeyPos := make([]int, len(keyAttrs))
+	for i, a := range keyAttrs {
+		lKeyPos[i] = l.pos[a]
+	}
 	sharedNonKey := shared.Minus(rKey).Sorted()
+	lNK := make([]int, len(sharedNonKey))
+	rNK := make([]int, len(sharedNonKey))
+	for i, a := range sharedNonKey {
+		lNK[i] = l.pos[a]
+		rNK[i] = r.pos[a]
+	}
 	rOnly := make([]string, 0, len(r.attrs))
 	for _, a := range r.attrs {
 		if !l.HasAttr(a) {
@@ -174,23 +247,19 @@ func ExtensionJoin(l, r *Relation, rKey AttrSet) (*Relation, error) {
 	out := New(append(append([]string(nil), l.attrs...), rOnly...)...)
 	rOnlyPos := make([]int, len(rOnly))
 	for i, a := range rOnly {
-		rOnlyPos[i], _ = r.pos[a]
+		rOnlyPos[i] = r.pos[a]
 	}
+	s.scanned(l.Len())
 	for _, lt := range l.rows {
-		var b strings.Builder
-		for _, p := range lKeyPos {
-			lt[p].appendKey(&b)
-			b.WriteByte('|')
-		}
-		rt, ok := idx[b.String()]
-		if !ok {
+		rows := ix.buckets[encodeKey(lt, lKeyPos)]
+		s.probe(len(rows) > 0)
+		if len(rows) == 0 {
 			continue
 		}
+		rt := r.rows[rows[0]]
 		agree := true
-		for _, a := range sharedNonKey {
-			lp, _ := l.pos[a]
-			rp, _ := r.pos[a]
-			if !lt[lp].Equal(rt[rp]) {
+		for i := range sharedNonKey {
+			if !lt[lNK[i]].Equal(rt[rNK[i]]) {
 				agree = false
 				break
 			}
@@ -205,6 +274,7 @@ func ExtensionJoin(l, r *Relation, rKey AttrSet) (*Relation, error) {
 		}
 		out.Insert(jt)
 	}
+	s.emitted(out.Len())
 	return out, nil
 }
 
@@ -213,72 +283,148 @@ func ExtensionJoin(l, r *Relation, rKey AttrSet) (*Relation, error) {
 // be contained in r's; otherwise the result is empty (no tuple can match
 // a probe over foreign attributes).
 func SemiJoin(r, probe *Relation) *Relation {
+	return SemiJoinStats(r, probe, nil)
+}
+
+// SemiJoinStats is SemiJoin with operator counters. When the probe is the
+// smaller side (the common case in restricted evaluation, where a small
+// delta filters a large stored relation), it iterates the probe against a
+// cached index on r instead of scanning all of r.
+func SemiJoinStats(r, probe *Relation, s *OpStats) *Relation {
 	out := New(r.attrs...)
-	idx := make([]int, 0, probe.Arity())
+	rPos := make([]int, 0, probe.Arity())
 	for _, a := range probe.attrs {
 		p, ok := r.pos[a]
 		if !ok {
 			return out
 		}
-		idx = append(idx, p)
+		rPos = append(rPos, p)
 	}
-	for _, t := range r.rows {
-		pt := make(Tuple, len(idx))
-		for i, p := range idx {
-			pt[i] = t[p]
+	if r.IsEmpty() || probe.IsEmpty() {
+		return out
+	}
+
+	// Full-width probe: r's tuple set already answers membership exactly,
+	// so the semi-join costs O(probe) with no index at all. This is the
+	// hot shape of restricted maintenance (deltas probe whole tuples).
+	if len(rPos) == len(r.attrs) {
+		perm := alignment(probe, r)
+		s.scanned(probe.Len())
+		for _, pt := range probe.rows {
+			hit := r.containsKey(encodeKey(pt, perm))
+			s.probe(hit)
+			if hit {
+				out.Insert(permute(pt, perm))
+			}
 		}
-		if probe.Contains(pt) {
+		s.emitted(out.Len())
+		return out
+	}
+
+	sortedProbe := probe.AttrSet().Sorted()
+	key := indexKey(sortedProbe)
+	if probe.Len() < r.Len() || r.peekIndex(key) != nil {
+		ix, builtNow := r.indexFor(sortedProbe, key)
+		s.built(builtNow)
+		probePos := make([]int, len(sortedProbe))
+		for i, a := range sortedProbe {
+			probePos[i] = probe.pos[a]
+		}
+		s.scanned(probe.Len())
+		for _, pt := range probe.rows {
+			rows := ix.buckets[encodeKey(pt, probePos)]
+			s.probe(len(rows) > 0)
+			for _, ri := range rows {
+				out.Insert(r.rows[ri])
+			}
+		}
+		s.emitted(out.Len())
+		return out
+	}
+
+	s.scanned(r.Len())
+	for _, t := range r.rows {
+		hit := probe.containsKey(encodeKey(t, rPos))
+		s.probe(hit)
+		if hit {
 			out.Insert(t)
 		}
 	}
+	s.emitted(out.Len())
 	return out
 }
 
 // sameAttrsOrErr validates union/difference compatibility.
 func sameAttrsOrErr(op string, l, r *Relation) error {
 	if !l.AttrSet().Equal(r.AttrSet()) {
-		return fmt.Errorf("relation: %s requires equal attribute sets, got %v and %v", op, l.AttrSet(), r.AttrSet())
+		return fmt.Errorf("relation: %s requires equal attribute sets, got %v and %v: %w",
+			op, l.AttrSet(), r.AttrSet(), ErrSchemaMismatch)
 	}
 	return nil
 }
 
 // Union returns l ∪ r. The inputs must have equal attribute sets.
 func Union(l, r *Relation) (*Relation, error) {
+	return UnionStats(l, r, nil)
+}
+
+// UnionStats is Union with operator counters (nil disables counting).
+func UnionStats(l, r *Relation, s *OpStats) (*Relation, error) {
 	if err := sameAttrsOrErr("union", l, r); err != nil {
 		return nil, err
 	}
 	out := l.Clone()
 	out.InsertAll(r)
+	s.scanned(l.Len() + r.Len())
+	s.emitted(out.Len())
 	return out, nil
 }
 
 // Diff returns l ∖ r. The inputs must have equal attribute sets.
 func Diff(l, r *Relation) (*Relation, error) {
+	return DiffStats(l, r, nil)
+}
+
+// DiffStats is Diff with operator counters (nil disables counting).
+func DiffStats(l, r *Relation, s *OpStats) (*Relation, error) {
 	if err := sameAttrsOrErr("difference", l, r); err != nil {
 		return nil, err
 	}
 	out := New(l.attrs...)
 	perm := alignment(l, r)
+	s.scanned(l.Len())
 	for _, t := range l.rows {
-		if !r.Contains(permute(t, perm)) {
+		hit := r.containsKey(encodeKey(t, perm))
+		s.probe(hit)
+		if !hit {
 			out.Insert(t)
 		}
 	}
+	s.emitted(out.Len())
 	return out, nil
 }
 
 // Intersect returns l ∩ r. The inputs must have equal attribute sets.
 func Intersect(l, r *Relation) (*Relation, error) {
+	return IntersectStats(l, r, nil)
+}
+
+// IntersectStats is Intersect with operator counters (nil disables counting).
+func IntersectStats(l, r *Relation, s *OpStats) (*Relation, error) {
 	if err := sameAttrsOrErr("intersection", l, r); err != nil {
 		return nil, err
 	}
 	out := New(l.attrs...)
 	perm := alignment(l, r)
+	s.scanned(l.Len())
 	for _, t := range l.rows {
-		if r.Contains(permute(t, perm)) {
+		hit := r.containsKey(encodeKey(t, perm))
+		s.probe(hit)
+		if hit {
 			out.Insert(t)
 		}
 	}
+	s.emitted(out.Len())
 	return out, nil
 }
 

@@ -1,10 +1,17 @@
 package relation
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// ErrSchemaMismatch is wrapped by operators that require equal attribute
+// sets (union, difference, intersection) when the inputs disagree, so
+// callers can detect the condition with errors.Is.
+var ErrSchemaMismatch = errors.New("schema mismatch")
 
 // Tuple is a row of values, positionally aligned with the attribute order
 // of the Relation that owns it.
@@ -28,11 +35,19 @@ func (t Tuple) key() string {
 // duplicate tuple is a no-op, as in the set-based relational algebra the
 // paper uses. Attribute order is fixed at construction and is purely
 // presentational; all algebra operators match attributes by name.
+//
+// Concurrency: any number of goroutines may read a relation (including
+// building cached indexes, which is internally synchronized), but
+// mutation requires exclusive access, as it always has in this package.
+// Mutating drops all cached indexes.
 type Relation struct {
 	attrs []string
 	pos   map[string]int
 	rows  []Tuple
 	set   map[string]int // tuple key -> index into rows
+
+	mu      sync.Mutex // guards indexes; rows/set follow the package-wide contract above
+	indexes map[string]*Index
 }
 
 // New creates an empty relation over the given attribute names. It panics
@@ -99,6 +114,7 @@ func (r *Relation) Insert(t Tuple) bool {
 	}
 	r.set[k] = len(r.rows)
 	r.rows = append(r.rows, t.Clone())
+	r.invalidateIndexes()
 	return true
 }
 
@@ -153,7 +169,15 @@ func (r *Relation) Delete(t Tuple) bool {
 	}
 	r.rows = r.rows[:last]
 	delete(r.set, k)
+	r.invalidateIndexes()
 	return true
+}
+
+// containsKey reports membership by precomputed tuple key, letting
+// operators test permuted tuples without materializing them.
+func (r *Relation) containsKey(k string) bool {
+	_, ok := r.set[k]
+	return ok
 }
 
 // Each calls fn for every tuple. The callback must not retain or modify

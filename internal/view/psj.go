@@ -133,7 +133,13 @@ func (v *PSJ) Validate(db *catalog.Database) error {
 
 // Eval materializes the view on a database state.
 func (v *PSJ) Eval(st algebra.State) (*relation.Relation, error) {
-	return algebra.Eval(v.Expr(), st)
+	return v.EvalCtx(nil, st)
+}
+
+// EvalCtx is Eval under an evaluation context, which carries cancellation
+// and per-operator counters through the view's expression.
+func (v *PSJ) EvalCtx(ec *algebra.EvalContext, st algebra.State) (*relation.Relation, error) {
+	return algebra.EvalCtx(ec, v.Expr(), st)
 }
 
 // Clone returns a deep copy.

@@ -7,9 +7,11 @@
 package warehouse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"dwcomplement/internal/algebra"
 	"dwcomplement/internal/catalog"
@@ -150,11 +152,26 @@ func (w *Warehouse) TranslateQueryUnoptimized(q algebra.Expr) (algebra.Expr, err
 // Answer translates the source query and evaluates it on the current
 // warehouse state — no source access whatsoever.
 func (w *Warehouse) Answer(q algebra.Expr) (*relation.Relation, error) {
+	r, _, err := w.AnswerContext(context.Background(), q)
+	return r, err
+}
+
+// AnswerContext is Answer with cancellation and instrumentation: the
+// context is checked at every operator boundary of the translated query's
+// evaluation (a canceled context aborts with a wrapped context error), and
+// the returned EvalStats reports the evaluation's operator counters and
+// wall time. The stats are returned even when evaluation fails.
+func (w *Warehouse) AnswerContext(ctx context.Context, q algebra.Expr) (*relation.Relation, *algebra.EvalStats, error) {
+	ec := algebra.NewEvalContext(ctx)
+	start := time.Now()
 	t, err := w.TranslateQuery(q)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return algebra.Eval(t, w)
+	r, err := algebra.EvalCtx(ec, t, w)
+	stats := ec.Stats()
+	stats.Wall = time.Since(start)
+	return r, &stats, err
 }
 
 // ReconstructBases applies W⁻¹ to the current warehouse state, returning
