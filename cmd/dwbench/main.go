@@ -6,19 +6,25 @@
 //
 // Usage:
 //
-//	dwbench [-run E1,E5,E12] [-quick] [-seed 42]
+//	dwbench [-run E1,E5,E12] [-quick] [-seed 42] [-json BENCH_report.json]
 //
 // With -quick the sweeps use smaller sizes (useful in CI); the default
-// sizes match the numbers recorded in EXPERIMENTS.md.
+// sizes match the numbers recorded in EXPERIMENTS.md. With -json, a
+// machine-readable report (one record per experiment, with outcome and
+// wall time) is written to the given path — CI uploads it as a build
+// artifact so runs are comparable across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 )
 
 // experiment is one named reproduction unit.
@@ -71,15 +77,88 @@ func (c *config) table(headers []string, rows [][]string) {
 	}
 }
 
+// expResult is one experiment's record in the JSON report.
+type expResult struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Paper  string `json:"paper"`
+	OK     bool   `json:"ok"`
+	Error  string `json:"error,omitempty"`
+	WallNs int64  `json:"wallNs"`
+}
+
+// benchReport is the machine-readable outcome of one dwbench run.
+type benchReport struct {
+	Schema      string      `json:"schema"` // "dwbench/v1"
+	GoVersion   string      `json:"goVersion"`
+	Quick       bool        `json:"quick"`
+	Seed        int64       `json:"seed"`
+	StartedAt   time.Time   `json:"startedAt"`
+	WallNs      int64       `json:"wallNs"`
+	Experiments []expResult `json:"experiments"`
+	Failed      int         `json:"failed"`
+}
+
+// runExperiments executes the selected experiments against cfg and
+// returns the report. selected may be empty (run all).
+func runExperiments(cfg *config, selected map[string]bool) benchReport {
+	report := benchReport{
+		Schema:    "dwbench/v1",
+		GoVersion: runtime.Version(),
+		Quick:     cfg.quick,
+		Seed:      cfg.seed,
+		StartedAt: time.Now(),
+	}
+	for _, e := range experiments() {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		cfg.printf("\n%s — %s\n", e.id, e.title)
+		cfg.printf("reproduces: %s\n", e.paper)
+		start := time.Now()
+		err := e.run(cfg)
+		res := expResult{
+			ID:     e.id,
+			Title:  e.title,
+			Paper:  e.paper,
+			OK:     err == nil,
+			WallNs: time.Since(start).Nanoseconds(),
+		}
+		if err != nil {
+			cfg.printf("  FAILED: %v\n", err)
+			res.Error = err.Error()
+			report.Failed++
+		}
+		report.Experiments = append(report.Experiments, res)
+	}
+	report.WallNs = time.Since(report.StartedAt).Nanoseconds()
+	return report
+}
+
+// writeReport writes the JSON report to path.
+func writeReport(path string, report benchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment ids to run (default: all)")
 	quick := flag.Bool("quick", false, "smaller sweep sizes")
 	seed := flag.Int64("seed", 42, "random seed for generated workloads")
+	jsonPath := flag.String("json", "", "write a machine-readable report to this path")
 	flag.Parse()
 
 	cfg := &config{quick: *quick, seed: *seed, out: os.Stdout}
 
-	all := experiments()
 	selected := map[string]bool{}
 	if *runFlag != "" {
 		for _, id := range strings.Split(*runFlag, ",") {
@@ -87,20 +166,15 @@ func main() {
 		}
 	}
 
-	failed := 0
-	for _, e := range all {
-		if len(selected) > 0 && !selected[e.id] {
-			continue
-		}
-		cfg.printf("\n%s — %s\n", e.id, e.title)
-		cfg.printf("reproduces: %s\n", e.paper)
-		if err := e.run(cfg); err != nil {
-			cfg.printf("  FAILED: %v\n", err)
-			failed++
+	report := runExperiments(cfg, selected)
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, report); err != nil {
+			fmt.Fprintln(os.Stderr, "dwbench:", err)
+			os.Exit(1)
 		}
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "\n%d experiment(s) failed\n", failed)
+	if report.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d experiment(s) failed\n", report.Failed)
 		os.Exit(1)
 	}
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -40,6 +43,42 @@ func TestExperimentInventory(t *testing.T) {
 		if e.title == "" || e.paper == "" {
 			t.Errorf("%s lacks title or paper reference", e.id)
 		}
+	}
+}
+
+// TestJSONReport runs one experiment and checks the machine-readable
+// report round-trips with the expected fields.
+func TestJSONReport(t *testing.T) {
+	var b strings.Builder
+	cfg := &config{quick: true, seed: 42, out: &b}
+	report := runExperiments(cfg, map[string]bool{"E1": true})
+	if len(report.Experiments) != 1 || report.Experiments[0].ID != "E1" {
+		t.Fatalf("report = %+v", report.Experiments)
+	}
+	if report.Failed != 0 || !report.Experiments[0].OK {
+		t.Errorf("E1 failed: %+v", report.Experiments[0])
+	}
+	if report.Schema != "dwbench/v1" || report.GoVersion == "" || !report.Quick {
+		t.Errorf("report header = %+v", report)
+	}
+	if report.Experiments[0].WallNs <= 0 || report.WallNs < report.Experiments[0].WallNs {
+		t.Errorf("wall times inconsistent: %+v", report)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_report.json")
+	if err := writeReport(path, report); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back benchReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if back.Experiments[0].Title != report.Experiments[0].Title {
+		t.Errorf("round trip lost data: %+v", back)
 	}
 }
 

@@ -30,6 +30,8 @@ func runREPL(w *dwc.Warehouse, db *dwc.Database, in io.Reader, out io.Writer) er
 		case line == "help":
 			fmt.Fprint(out, `commands:
   query <expr>        translate a source query and answer it
+  explain <expr>      show the translated operator tree (no execution)
+  explain analyze <expr>  execute and show per-operator counters/timings
   insert R(...)       apply an insertion (incremental maintenance)
   delete R(...)       apply a deletion
   update R set a = v where cond    apply a modification (delete+insert)
@@ -59,6 +61,37 @@ func runREPL(w *dwc.Warehouse, db *dwc.Database, in io.Reader, out io.Writer) er
 				break
 			}
 			fmt.Fprint(out, ans)
+
+		case strings.HasPrefix(line, "explain "):
+			src := strings.TrimPrefix(line, "explain ")
+			analyze := false
+			if rest, ok := strings.CutPrefix(src, "analyze "); ok {
+				analyze = true
+				src = rest
+			}
+			q, err := dwc.ParseExpr(src)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			if !analyze {
+				qHat, tree, err := dwc.Explain(w, q)
+				if err != nil {
+					fmt.Fprintln(out, "error:", err)
+					break
+				}
+				fmt.Fprintln(out, "Q̂ =", qHat)
+				fmt.Fprint(out, tree)
+				break
+			}
+			_, stats, plan, err := dwc.ExplainAnalyze(nil, w, q)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprint(out, plan)
+			fmt.Fprintf(out, "totals: rows=%d scanned=%d probed=%d hits=%d builds=%d wall=%s\n",
+				stats.Emitted, stats.Scanned, stats.Probed, stats.IndexHits, stats.IndexBuilds, stats.Wall)
 
 		case strings.HasPrefix(line, "insert ") || strings.HasPrefix(line, "delete ") ||
 			strings.HasPrefix(line, "update "):

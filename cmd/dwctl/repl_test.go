@@ -52,6 +52,28 @@ quit
 	}
 }
 
+func TestREPLExplain(t *testing.T) {
+	out := replSession(t, `
+explain pi{clerk}(Sale join Emp)
+explain analyze pi{clerk}(Sale join Emp)
+explain pi{zz}(Nope)
+quit
+`)
+	for _, want := range []string{
+		"Q̂ =",
+		"π{clerk}", // static operator tree
+		"└── ",     // tree glyphs in both renderings
+		"rows=",    // executed plan counters
+		"incl=",    // … with timings
+		"totals:",
+		"error:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestREPLErrors(t *testing.T) {
 	out := replSession(t, `
 query pi{zz}(Nope)

@@ -9,20 +9,43 @@
 //
 //	dwserve -spec warehouse.dw [-addr :8080] [-prop22]
 //	        [-state snap.gob] [-save snap.gob]
+//	        [-log-level info] [-log-json] [-debug :6060]
 //
 // With -save, every successful update persists the warehouse state, so a
 // restarted server (-state) resumes exactly where it stopped — without
 // ever contacting a source.
+//
+// Observability: GET /metrics serves Prometheus text exposition (request,
+// query and refresh counters plus latency histograms), every request is
+// logged with a request ID, and -debug exposes net/http/pprof on a
+// separate listener that should never be public.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 
 	dwc "dwcomplement"
+	"dwcomplement/internal/obs"
 )
+
+// parseLevel maps the -log-level flag to a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
 
 func main() {
 	fs := flag.NewFlagSet("dwserve", flag.ExitOnError)
@@ -31,6 +54,9 @@ func main() {
 	prop22 := fs.Bool("prop22", false, "ignore integrity constraints (Proposition 2.2)")
 	statePath := fs.String("state", "", "restore the warehouse state from this snapshot")
 	savePath := fs.String("save", "", "persist the warehouse state here after every update")
+	logLevel := fs.String("log-level", "info", "request log level (debug|info|warn|error)")
+	logJSON := fs.Bool("log-json", false, "emit JSON log records instead of text")
+	debugAddr := fs.String("debug", "", "serve net/http/pprof on this address (off when empty; keep private)")
 	_ = fs.Parse(os.Args[1:])
 
 	if *specPath == "" {
@@ -52,10 +78,24 @@ func main() {
 	if *prop22 {
 		opts = dwc.Proposition22()
 	}
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwserve:", err)
+		os.Exit(2)
+	}
 	srv, err := newServer(spec, opts, *statePath, *savePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwserve:", err)
 		os.Exit(1)
+	}
+	srv.log = obs.NewLogger(os.Stderr, level, *logJSON)
+	if *debugAddr != "" {
+		go func() {
+			srv.log.Info("pprof listener up", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux()); err != nil {
+				srv.log.Error("pprof listener failed", "err", err)
+			}
+		}()
 	}
 	fmt.Printf("dwserve: %d relation(s), %d view(s), %d stored complement(s)\n",
 		len(spec.DB.Names()), spec.Views.Len(), len(srv.comp.StoredEntries()))

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	dwc "dwcomplement"
+)
+
+func getText(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestMetricsEndpoint drives one query and one update through the server
+// and checks the Prometheus exposition reflects both paths.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t, "", "")
+	var q map[string]any
+	getJSON(t, ts.URL+"/query?q="+escape("Sale join Emp"), &q)
+	var res map[string]any
+	if code := postText(t, ts.URL+"/update", "insert Sale('Radio', 'Paula')", &res); code != 200 {
+		t.Fatalf("update: %v", res)
+	}
+
+	code, body := getText(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE dw_queries_total counter",
+		"dw_queries_total 1",
+		"dw_refreshes_total 1",
+		"# TYPE dw_query_duration_seconds histogram",
+		`dw_query_duration_seconds_bucket{le="+Inf"} 1`,
+		"dw_query_duration_seconds_count 1",
+		"# TYPE dw_refresh_duration_seconds histogram",
+		"# TYPE dw_http_requests_total counter",
+		`dw_http_requests_total{code="200",route="GET /query"} 1`,
+		`dw_http_requests_total{code="200",route="POST /update"} 1`,
+		`dw_http_request_duration_seconds_count{route="GET /query"} 1`,
+		`dw_refresh_changes_total{relation="Sold"} 1`,
+		"# TYPE dw_warehouse_tuples gauge",
+		"dw_http_in_flight_requests 1", // the /metrics request itself
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
+	}
+}
+
+// TestQueryExplainPlan checks explain=2: a per-operator plan tree whose
+// node counters sum to the flat totals, plus a rendered text tree.
+func TestQueryExplainPlan(t *testing.T) {
+	ts := newTestServer(t, "", "")
+	var body struct {
+		Stats struct {
+			Emitted int64 `json:"emitted"`
+			Scanned int64 `json:"scanned"`
+			Plan    []any `json:"plan"` // explain=1/2 strip it from stats
+		} `json:"stats"`
+		Plan     []*dwc.PlanNode `json:"plan"`
+		PlanText string          `json:"planText"`
+	}
+	if code := getJSON(t, ts.URL+"/query?q="+escape("pi{clerk}(Sale join Emp)")+"&explain=2", &body); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(body.Plan) == 0 || body.PlanText == "" {
+		t.Fatalf("explain=2 returned no plan: %+v", body)
+	}
+	if len(body.Stats.Plan) != 0 {
+		t.Error("plan duplicated inside stats")
+	}
+	var emitted, scanned int64
+	var sum func(n *dwc.PlanNode)
+	sum = func(n *dwc.PlanNode) {
+		emitted += n.Emitted
+		scanned += n.Scanned
+		for _, c := range n.Children {
+			sum(c)
+		}
+	}
+	for _, root := range body.Plan {
+		sum(root)
+	}
+	if emitted != body.Stats.Emitted || scanned != body.Stats.Scanned {
+		t.Errorf("plan sums (emitted=%d scanned=%d) disagree with flat stats %+v",
+			emitted, scanned, body.Stats)
+	}
+	if !strings.Contains(body.PlanText, "└── ") {
+		t.Errorf("planText not a tree:\n%s", body.PlanText)
+	}
+
+	// explain=1 keeps the flat stats but no tree.
+	var flat map[string]any
+	getJSON(t, ts.URL+"/query?q="+escape("Sale")+"&explain=1", &flat)
+	if _, ok := flat["plan"]; ok {
+		t.Error("explain=1 leaked the plan tree")
+	}
+	if _, ok := flat["stats"]; !ok {
+		t.Error("explain=1 dropped the stats")
+	}
+}
+
+// TestStatsLastRefresh: /stats reports the most recent refresh's spans
+// and lookup counters.
+func TestStatsLastRefresh(t *testing.T) {
+	ts := newTestServer(t, "", "")
+	var res map[string]any
+	if code := postText(t, ts.URL+"/update", "insert Sale('Radio', 'Paula')", &res); code != 200 {
+		t.Fatalf("update: %v", res)
+	}
+	var stats struct {
+		LastRefresh struct {
+			Spans []struct {
+				Target  string `json:"target"`
+				Applied int    `json:"applied"`
+				WallNs  int64  `json:"wallNs"`
+			} `json:"spans"`
+			RestrictedLookups   int64 `json:"restrictedLookups"`
+			FullReconstructions int64 `json:"fullReconstructions"`
+		} `json:"lastRefresh"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	lr := stats.LastRefresh
+	if len(lr.Spans) == 0 {
+		t.Fatalf("no refresh spans: %+v", stats)
+	}
+	applied := 0
+	for _, sp := range lr.Spans {
+		applied += sp.Applied
+	}
+	if applied == 0 {
+		t.Errorf("spans applied nothing: %+v", lr.Spans)
+	}
+	if lr.RestrictedLookups == 0 {
+		t.Errorf("no restricted lookups recorded: %+v", lr)
+	}
+}
+
+// TestObservabilityHammer drives /query, /update, /stats and /metrics
+// concurrently; run with -race. This is the regression test for the
+// stats-accumulation data race the flat counters used to have (mutation
+// under RLock).
+func TestObservabilityHammer(t *testing.T) {
+	ts := newTestServer(t, "", "")
+	var wg sync.WaitGroup
+	for wr := 0; wr < 2; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				op := fmt.Sprintf("insert Sale('hammer-%d-%d', 'Mary')", wr, i)
+				resp, err := http.Post(ts.URL+"/update", "text/plain", strings.NewReader(op))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(wr)
+	}
+	for rd := 0; rd < 4; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			urls := []string{
+				ts.URL + "/query?q=" + escape("pi{clerk}(Sale join Emp)") + "&explain=2",
+				ts.URL + "/query?q=" + escape("Sale"),
+				ts.URL + "/stats",
+				ts.URL + "/metrics",
+			}
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(urls[(rd+i)%len(urls)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("status %d from %s", resp.StatusCode, urls[(rd+i)%len(urls)])
+					return
+				}
+			}
+		}(rd)
+	}
+	wg.Wait()
+
+	// Flat counters must account for exactly the requests that ran.
+	var stats struct {
+		Queries    int64 `json:"queries"`
+		Refreshes  int   `json:"refreshes"`
+		QueryStats struct {
+			Emitted int64 `json:"emitted"`
+		} `json:"queryStats"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Queries != 4*20/2 { // half of each reader's URLs are queries
+		t.Errorf("queries = %d, want %d", stats.Queries, 4*20/2)
+	}
+	if stats.Refreshes != 2*15 {
+		t.Errorf("refreshes = %d, want %d", stats.Refreshes, 2*15)
+	}
+	if stats.QueryStats.Emitted == 0 {
+		t.Error("query stats lost")
+	}
+	var m map[string]any
+	if code := getJSON(t, ts.URL+"/query?q="+escape("Sale"), &m); code != 200 {
+		t.Errorf("post-hammer query failed: %d", code)
+	}
+}

@@ -6,18 +6,32 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	dwc "dwcomplement"
+	"dwcomplement/internal/obs"
 	"dwcomplement/internal/relation"
 )
 
 // statusClientClosedRequest is the nginx-style status reported when the
 // client goes away (or its deadline passes) before the handler finishes.
 const statusClientClosedRequest = 499
+
+// refreshSummary is the /stats view of the most recent refresh: its
+// per-target spans and how its pre-state reads were answered.
+type refreshSummary struct {
+	Spans               []dwc.RefreshSpan `json:"spans"`
+	Changed             map[string]int    `json:"changed"`
+	RestrictedLookups   int64             `json:"restrictedLookups"`
+	FullReconstructions int64             `json:"fullReconstructions"`
+	WallNs              int64             `json:"wallNs"`
+}
 
 // server wraps a materialized warehouse behind an HTTP API. All state
 // mutations flow through the incremental maintainer; queries are
@@ -34,14 +48,32 @@ type server struct {
 	refreshes int
 	snapshot  string // path for persistence after updates ("" = off)
 
-	// Cumulative engine counters, reported by GET /stats.
-	queries      int
+	log *slog.Logger
+	reg *obs.Registry
+
+	// Cumulative engine counters, reported by GET /stats. queries is
+	// atomic and the aggregates live behind their own statsMu because
+	// query handlers run under mu.RLock — they must not mutate anything
+	// the read lock is supposed to protect. statsMu nests inside mu.
+	queries      atomic.Int64
+	statsMu      sync.Mutex
 	queryStats   dwc.EvalStats
 	refreshStats dwc.EvalStats
 	refreshWall  time.Duration
+	lastRefresh  refreshSummary
+
+	mInFlight   *obs.Gauge
+	mQueries    *obs.Counter
+	mQueryDur   *obs.Histogram
+	mRefreshes  *obs.Counter
+	mRefreshDur *obs.Histogram
+	mRestricted *obs.Counter
+	mFullRecon  *obs.Counter
 }
 
 // newServer builds the warehouse from the parsed spec (or a snapshot).
+// Logging is off by default (tests construct servers directly); main
+// swaps in a real logger.
 func newServer(spec *dwc.Spec, opts dwc.Options, statePath, savePath string) (*server, error) {
 	comp, err := dwc.ComputeComplement(spec.DB, spec.Views, opts)
 	if err != nil {
@@ -60,27 +92,90 @@ func newServer(spec *dwc.Spec, opts dwc.Options, statePath, savePath string) (*s
 	} else if err := w.Initialize(spec.State); err != nil {
 		return nil, err
 	}
-	return &server{
+	s := &server{
 		spec:     spec,
 		comp:     comp,
 		maintain: dwc.NewMaintainer(comp),
 		w:        w,
 		snapshot: savePath,
-	}, nil
+		log:      obs.NopLogger(),
+		reg:      obs.NewRegistry(),
+	}
+	s.mInFlight = s.reg.Gauge("dw_http_in_flight_requests",
+		"HTTP requests currently being served.", nil)
+	s.mQueries = s.reg.Counter("dw_queries_total",
+		"Source queries answered through the Theorem 3.1 translation.", nil)
+	s.mQueryDur = s.reg.Histogram("dw_query_duration_seconds",
+		"Query evaluation latency (translate + evaluate).", obs.DefLatencyBuckets, nil)
+	s.mRefreshes = s.reg.Counter("dw_refreshes_total",
+		"Incremental warehouse refreshes applied.", nil)
+	s.mRefreshDur = s.reg.Histogram("dw_refresh_duration_seconds",
+		"End-to-end refresh latency.", obs.DefLatencyBuckets, nil)
+	s.mRestricted = s.reg.Counter("dw_refresh_restricted_lookups_total",
+		"Refresh pre-state reads answered by probe-restricted evaluation.", nil)
+	s.mFullRecon = s.reg.Counter("dw_refresh_full_reconstructions_total",
+		"Refresh pre-state reads that forced a full base reconstruction.", nil)
+	s.reg.GaugeFunc("dw_warehouse_tuples",
+		"Tuples materialized across all warehouse relations.", nil, func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.w.Size())
+		})
+	s.reg.GaugeFunc("dw_warehouse_relations",
+		"Materialized warehouse relations (views + stored complements).", nil, func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.w.Names()))
+		})
+	return s, nil
+}
+
+// instrument wraps a handler with the observability layer: an in-flight
+// gauge, a per-route latency histogram, a status-labeled request counter,
+// and one structured log line per request carrying its request ID.
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		ctx, id := obs.WithRequestID(req.Context())
+		rec := obs.NewStatusRecorder(w)
+		s.mInFlight.Add(1)
+		start := time.Now()
+		h(rec, req.WithContext(ctx))
+		elapsed := time.Since(start)
+		s.mInFlight.Add(-1)
+		s.reg.Counter("dw_http_requests_total",
+			"HTTP requests by route and status code.",
+			obs.Labels{"route": route, "code": strconv.Itoa(rec.Status)}).Inc()
+		s.reg.Histogram("dw_http_request_duration_seconds",
+			"HTTP request latency by route.", obs.DefLatencyBuckets,
+			obs.Labels{"route": route}).Observe(elapsed.Seconds())
+		s.log.Info("request",
+			"id", id,
+			"route", route,
+			"status", rec.Status,
+			"bytes", rec.Bytes,
+			"durUs", elapsed.Microseconds(),
+		)
+	}
 }
 
 // handler returns the HTTP routing table.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /schema", s.handleSchema)
-	mux.HandleFunc("GET /complement", s.handleComplement)
-	mux.HandleFunc("GET /relations", s.handleRelations)
-	mux.HandleFunc("GET /relations/{name}", s.handleRelation)
-	mux.HandleFunc("GET /query", s.handleQuery)
-	mux.HandleFunc("POST /update", s.handleUpdate)
-	mux.HandleFunc("GET /reconstruct/{base}", s.handleReconstruct)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	metrics := obs.MetricsHandler(s.reg)
+	for route, h := range map[string]http.HandlerFunc{
+		"GET /healthz":            s.handleHealth,
+		"GET /schema":             s.handleSchema,
+		"GET /complement":         s.handleComplement,
+		"GET /relations":          s.handleRelations,
+		"GET /relations/{name}":   s.handleRelation,
+		"GET /query":              s.handleQuery,
+		"POST /update":            s.handleUpdate,
+		"GET /reconstruct/{base}": s.handleReconstruct,
+		"GET /stats":              s.handleStats,
+		"GET /metrics":            metrics.ServeHTTP,
+	} {
+		mux.HandleFunc(route, s.instrument(route, h))
+	}
 	return mux
 }
 
@@ -199,7 +294,13 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
 		return
 	}
-	explain := req.URL.Query().Get("explain") == "1"
+	explain := 0
+	switch req.URL.Query().Get("explain") {
+	case "1":
+		explain = 1
+	case "2":
+		explain = 2
+	}
 	q, err := dwc.ParseExpr(src)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -214,8 +315,12 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	}
 	ans, stats, err := dwc.EvalExprContext(req.Context(), qHat, s.w)
 	if stats != nil {
-		s.queries++
+		s.queries.Add(1)
+		s.mQueries.Inc()
+		s.mQueryDur.Observe(stats.Wall.Seconds())
+		s.statsMu.Lock()
 		s.queryStats.Add(*stats)
+		s.statsMu.Unlock()
 	}
 	if err != nil {
 		if canceled(err) {
@@ -230,8 +335,17 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		"translated": qHat.String(),
 		"result":     jsonRelation(ans),
 	}
-	if explain {
-		body["stats"] = stats
+	if explain >= 1 {
+		// Flat counters at every explain level; the executed plan tree
+		// only at explain=2 (it is per-operator and thus bigger).
+		flat := *stats
+		plan := flat.Plan
+		flat.Plan = nil
+		body["stats"] = flat
+		if explain >= 2 {
+			body["plan"] = plan
+			body["planText"] = dwc.RenderPlan(plan, true)
+		}
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -261,10 +375,30 @@ func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	s.refreshes++
+	s.mRefreshes.Inc()
+	s.mRefreshDur.Observe(stats.Wall.Seconds())
+	s.mRestricted.Add(stats.RestrictedLookups)
+	s.mFullRecon.Add(stats.FullReconstructions)
+	for name, n := range stats.Changed {
+		if n > 0 {
+			s.reg.Counter("dw_refresh_changes_total",
+				"Warehouse tuples changed by refreshes, per relation.",
+				obs.Labels{"relation": name}).Add(int64(n))
+		}
+	}
+	s.statsMu.Lock()
 	s.refreshWall += stats.Wall
 	if stats.Eval != nil {
 		s.refreshStats.Add(*stats.Eval)
 	}
+	s.lastRefresh = refreshSummary{
+		Spans:               stats.Spans,
+		Changed:             stats.Changed,
+		RestrictedLookups:   stats.RestrictedLookups,
+		FullReconstructions: stats.FullReconstructions,
+		WallNs:              stats.Wall.Nanoseconds(),
+	}
+	s.statsMu.Unlock()
 	if s.snapshot != "" {
 		if err := dwc.SaveSnapshot(s.snapshot, s.w.State()); err != nil {
 			writeError(w, http.StatusInternalServerError,
@@ -288,14 +422,19 @@ func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"queries":       s.queries,
+	refreshes := s.refreshes
+	s.mu.RUnlock()
+	s.statsMu.Lock()
+	body := map[string]any{
+		"queries":       s.queries.Load(),
 		"queryStats":    s.queryStats,
-		"refreshes":     s.refreshes,
+		"refreshes":     refreshes,
 		"refreshStats":  s.refreshStats,
 		"refreshWallNs": s.refreshWall.Nanoseconds(),
-	})
+		"lastRefresh":   s.lastRefresh,
+	}
+	s.statsMu.Unlock()
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleReconstruct(w http.ResponseWriter, req *http.Request) {
@@ -322,9 +461,10 @@ func describeRoutes() string {
 		"GET  /complement              complement entries and inverses",
 		"GET  /relations               warehouse relation sizes",
 		"GET  /relations/{name}        one materialized relation",
-		"GET  /query?q=<expr>          translate + answer a source query (&explain=1 for stats)",
+		"GET  /query?q=<expr>          translate + answer a source query (&explain=1 stats, =2 plan tree)",
 		"POST /update                  apply update ops (insert R(...)/delete R(...))",
 		"GET  /reconstruct/{base}      recompute a base relation via W⁻¹",
 		"GET  /stats                   cumulative evaluation and refresh counters",
+		"GET  /metrics                 Prometheus text exposition",
 	}, "\n")
 }

@@ -100,7 +100,7 @@ func TestQueryEndpoint(t *testing.T) {
 	var body struct {
 		Translated string `json:"translated"`
 		Result     struct {
-			Count  int             `json:"count"`
+			Count  int     `json:"count"`
 			Tuples [][]any `json:"tuples"`
 		} `json:"result"`
 	}

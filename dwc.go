@@ -105,6 +105,9 @@ type (
 	Maintainer = maintain.Maintainer
 	// RefreshStats reports what one refresh changed.
 	RefreshStats = maintain.RefreshStats
+	// RefreshSpan traces one refreshed relation's propagation: delta
+	// sizes, applied tuples, and propagation wall time.
+	RefreshSpan = maintain.RefreshSpan
 	// Delta is an insert/delete change set for one relation.
 	Delta = maintain.Delta
 	// MaintenanceExprs is a symbolically derived maintenance program.

@@ -17,7 +17,45 @@ type (
 	EvalStats = algebra.EvalStats
 	// OpStat is the counter record of a single operator node.
 	OpStat = algebra.OpStat
+	// PlanNode is one operator node of an executed plan tree — the
+	// EXPLAIN ANALYZE view. EvalStats.Plan holds one tree per top-level
+	// evaluation; per-node counters sum to the flat totals.
+	PlanNode = algebra.PlanNode
 )
+
+// RenderPlan renders executed plan trees as an indented text tree. With
+// withTiming false the output is deterministic for a fixed state and
+// expression; with true each node shows inclusive/exclusive wall time.
+func RenderPlan(roots []*PlanNode, withTiming bool) string {
+	return algebra.RenderPlan(roots, withTiming)
+}
+
+// ExprTree renders an expression as an indented operator tree — the
+// static EXPLAIN view of a query, before execution.
+func ExprTree(e Expr) string { return algebra.ExprTree(e) }
+
+// Explain translates the source query q against w's view definitions
+// (Theorem 3.1) and returns the translated expression with its static
+// operator-tree rendering, without executing anything.
+func Explain(w *Warehouse, q Expr) (Expr, string, error) {
+	tq, err := w.TranslateQuery(q)
+	if err != nil {
+		return nil, "", err
+	}
+	return tq, algebra.ExprTree(tq), nil
+}
+
+// ExplainAnalyze answers q from the warehouse under instrumentation and
+// returns the result, the executed per-operator plan tree (stats.Plan),
+// and its text rendering with timings. Equivalent to AnswerContext plus
+// RenderPlan.
+func ExplainAnalyze(ctx context.Context, w *Warehouse, q Expr) (*Relation, *EvalStats, string, error) {
+	r, stats, err := w.AnswerContext(ctx, q)
+	if err != nil {
+		return nil, stats, "", err
+	}
+	return r, stats, algebra.RenderPlan(stats.Plan, true), nil
+}
 
 // Sentinel errors surfaced by the evaluation and maintenance paths; match
 // them with errors.Is.

@@ -5,12 +5,15 @@ package algebra
 // answers and every refresh the maintainer runs is a composition of
 // relational operators over V ∪ C (Theorems 3.1 and 4.1), so this is
 // where the system's hot path is observed and where long evaluations get
-// aborted.
+// aborted. Instrumented evaluations record two synchronized views of the
+// same counters: flat EvalStats totals (cheap to aggregate across
+// requests) and a per-node PlanNode tree (the EXPLAIN ANALYZE view).
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -38,19 +41,28 @@ type OpStat struct {
 // EvalStats aggregates the counters of an evaluation (or several — the
 // maintainer reuses one context across all refresh targets). Totals sum
 // the per-node counters; Wall is the caller-measured end-to-end time, not
-// the sum of node times (those nest).
+// the sum of node times (those nest). Plan holds one executed plan tree
+// per top-level evaluation; the per-node Emitted/Scanned/... values of
+// each tree sum to the flat totals (unless PlanTruncated reports that the
+// node caps were hit).
 type EvalStats struct {
-	Scanned     int64         `json:"scanned"`
-	Probed      int64         `json:"probed"`
-	Emitted     int64         `json:"emitted"`
-	IndexHits   int64         `json:"indexHits"`
-	IndexBuilds int64         `json:"indexBuilds"`
-	Wall        time.Duration `json:"wallNs"`
-	Ops         []OpStat      `json:"ops,omitempty"`
+	Scanned       int64         `json:"scanned"`
+	Probed        int64         `json:"probed"`
+	Emitted       int64         `json:"emitted"`
+	IndexHits     int64         `json:"indexHits"`
+	IndexBuilds   int64         `json:"indexBuilds"`
+	Wall          time.Duration `json:"wallNs"`
+	Ops           []OpStat      `json:"ops,omitempty"`
+	Plan          []*PlanNode   `json:"plan,omitempty"`
+	PlanTruncated bool          `json:"planTruncated,omitempty"`
 }
 
-// Add accumulates o's totals into s (per-node records are not merged);
-// servers use it to keep cumulative counters across requests.
+// Add accumulates o into s; servers use it to keep cumulative counters
+// across requests. Per-node Ops records are merged by operator label into
+// a per-operator-kind breakdown (sorted by label), so cumulative stats
+// stay bounded and meaningful instead of silently dropping the slice.
+// Plan trees are not accumulated — a sum of plans is meaningless — so
+// cumulative stats never carry a stale tree.
 func (s *EvalStats) Add(o EvalStats) {
 	s.Scanned += o.Scanned
 	s.Probed += o.Probed
@@ -58,6 +70,36 @@ func (s *EvalStats) Add(o EvalStats) {
 	s.IndexHits += o.IndexHits
 	s.IndexBuilds += o.IndexBuilds
 	s.Wall += o.Wall
+	if len(o.Ops) > 0 {
+		s.Ops = mergeOps(s.Ops, o.Ops)
+	}
+	s.Plan = nil
+	s.PlanTruncated = false
+}
+
+// mergeOps folds both op lists into one record per operator label, summing
+// counters and (inclusive) wall time, sorted by label.
+func mergeOps(a, b []OpStat) []OpStat {
+	byOp := make(map[string]OpStat, len(a)+len(b))
+	for _, list := range [2][]OpStat{a, b} {
+		for _, o := range list {
+			m := byOp[o.Op]
+			m.Op = o.Op
+			m.Scanned += o.Scanned
+			m.Probed += o.Probed
+			m.Emitted += o.Emitted
+			m.IndexHits += o.IndexHits
+			m.IndexBuilds += o.IndexBuilds
+			m.Wall += o.Wall
+			byOp[o.Op] = m
+		}
+	}
+	out := make([]OpStat, 0, len(byOp))
+	for _, o := range byOp {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
 }
 
 // maxOpRecords bounds the per-node trace kept by a context; totals keep
@@ -65,15 +107,26 @@ func (s *EvalStats) Add(o EvalStats) {
 // counters instead of unbounded memory.
 const maxOpRecords = 512
 
+// maxPlanNodes and maxPlanRoots bound the plan trees kept by a context.
+// Past the caps, counters still reach the flat totals but no further
+// nodes are allocated, and the stats are flagged PlanTruncated.
+const (
+	maxPlanNodes = 4096
+	maxPlanRoots = 64
+)
+
 // EvalContext carries a context.Context and an EvalStats accumulator
 // through an evaluation. A nil *EvalContext is valid everywhere and means
 // "no cancellation, no counting", so un-instrumented callers pay nothing.
 // The context is safe for concurrent use; the maintainer's parallel
 // propagation records into one context from several goroutines.
 type EvalContext struct {
-	ctx   context.Context
-	mu    sync.Mutex
-	stats EvalStats
+	ctx       context.Context
+	mu        sync.Mutex
+	stats     EvalStats
+	roots     []*PlanNode
+	planNodes int
+	truncated bool
 }
 
 // NewEvalContext returns an evaluation context carrying ctx (nil means
@@ -108,7 +161,9 @@ func (ec *EvalContext) Err() error {
 	return nil
 }
 
-// Stats returns a snapshot of the accumulated counters.
+// Stats returns a snapshot of the accumulated counters, including the
+// executed plan trees recorded so far. The returned nodes are shared and
+// must be treated as read-only.
 func (ec *EvalContext) Stats() EvalStats {
 	if ec == nil {
 		return EvalStats{}
@@ -117,6 +172,8 @@ func (ec *EvalContext) Stats() EvalStats {
 	defer ec.mu.Unlock()
 	s := ec.stats
 	s.Ops = append([]OpStat(nil), ec.stats.Ops...)
+	s.Plan = append([]*PlanNode(nil), ec.roots...)
+	s.PlanTruncated = ec.truncated
 	return s
 }
 
@@ -130,11 +187,52 @@ func (ec *EvalContext) AddWall(d time.Duration) {
 	ec.mu.Unlock()
 }
 
-// record adds one operator node's counters to the totals and, below the
-// cap, to the per-node trace.
-func (ec *EvalContext) record(op string, s relation.OpStats, wall time.Duration) {
-	if ec == nil {
+// newNode allocates a plan node, or nil once the node cap is reached
+// (counters still reach the flat totals either way).
+func (ec *EvalContext) newNode(op string, restricted bool) *PlanNode {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	if ec.planNodes >= maxPlanNodes {
+		ec.truncated = true
+		return nil
+	}
+	ec.planNodes++
+	return &PlanNode{Op: op, Restricted: restricted}
+}
+
+// addRoot records a finished top-level plan tree, bounded by maxPlanRoots.
+func (ec *EvalContext) addRoot(n *PlanNode) {
+	if ec == nil || n == nil {
 		return
+	}
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	if len(ec.roots) >= maxPlanRoots {
+		ec.truncated = true
+		return
+	}
+	ec.roots = append(ec.roots, n)
+}
+
+// finishNode folds one operator node's counters into the flat totals and
+// bounded trace, and (when n is non-nil) completes its plan node with
+// counters and inclusive/exclusive wall time.
+func (ec *EvalContext) finishNode(op string, n *PlanNode, s relation.OpStats, wall time.Duration) {
+	if n != nil {
+		n.Scanned = s.Scanned
+		n.Probed = s.Probed
+		n.Emitted = s.Emitted
+		n.IndexHits = s.IndexHits
+		n.IndexBuilds = s.IndexBuilds
+		n.Inclusive = wall
+		excl := wall
+		for _, c := range n.Children {
+			excl -= c.Inclusive
+		}
+		if excl < 0 {
+			excl = 0
+		}
+		n.Exclusive = excl
 	}
 	ec.mu.Lock()
 	ec.stats.Scanned += s.Scanned
@@ -182,33 +280,45 @@ func opName(e Expr) string {
 
 // EvalCtx evaluates e against the state under an evaluation context: the
 // carried context.Context is checked at every operator boundary (a
-// canceled evaluation stops before starting its next operator), and every
-// operator records its counters into the context. A nil ec makes EvalCtx
-// identical to Eval. The aliasing rules of Eval apply.
+// canceled evaluation stops before starting its next operator), every
+// operator records its counters into the context, and the whole
+// evaluation is recorded as one plan tree in the context's stats. A nil
+// ec makes EvalCtx identical to Eval. The aliasing rules of Eval apply.
 func EvalCtx(ec *EvalContext, e Expr, st State) (*relation.Relation, error) {
-	if err := ec.Err(); err != nil {
-		return nil, err
-	}
-	var start time.Time
-	var ops relation.OpStats
-	sp := (*relation.OpStats)(nil)
-	if ec != nil {
-		start = time.Now()
-		sp = &ops
-	}
-	out, err := evalNode(ec, e, st, sp)
+	out, n, err := evalCtxNode(ec, e, st)
 	if err != nil {
 		return nil, err
 	}
-	if ec != nil {
-		ec.record(opName(e), ops, time.Since(start))
-	}
+	ec.addRoot(n)
 	return out, nil
 }
 
-// evalNode evaluates one operator node, recursing through EvalCtx so each
-// child gets its own cancellation check and trace record.
-func evalNode(ec *EvalContext, e Expr, st State, sp *relation.OpStats) (*relation.Relation, error) {
+// evalCtxNode evaluates e and returns its (possibly nil) plan node; the
+// caller attaches the node to a parent or the context's roots.
+func evalCtxNode(ec *EvalContext, e Expr, st State) (*relation.Relation, *PlanNode, error) {
+	if err := ec.Err(); err != nil {
+		return nil, nil, err
+	}
+	if ec == nil {
+		out, err := evalNode(nil, e, st, nil, nil)
+		return out, nil, err
+	}
+	op := opName(e)
+	n := ec.newNode(op, false)
+	start := time.Now()
+	var ops relation.OpStats
+	out, err := evalNode(ec, e, st, &ops, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	ec.finishNode(op, n, ops, time.Since(start))
+	return out, n, nil
+}
+
+// evalNode evaluates one operator node, recursing through evalCtxNode so
+// each child gets its own cancellation check and plan node (attached to
+// pn).
+func evalNode(ec *EvalContext, e Expr, st State, sp *relation.OpStats, pn *PlanNode) (*relation.Relation, error) {
 	switch n := e.(type) {
 	case *Base:
 		r, ok := st.Relation(n.Name)
@@ -220,13 +330,13 @@ func evalNode(ec *EvalContext, e Expr, st State, sp *relation.OpStats) (*relatio
 	case *Empty:
 		return relation.New(n.Attrs...), nil
 	case *Select:
-		in, err := EvalCtx(ec, n.Input, st)
+		in, err := evalChild(ec, n.Input, st, pn)
 		if err != nil {
 			return nil, err
 		}
 		return relation.SelectStats(in, func(row relation.Row) bool { return EvalCond(n.Cond, row) }, sp), nil
 	case *Project:
-		in, err := EvalCtx(ec, n.Input, st)
+		in, err := evalChild(ec, n.Input, st, pn)
 		if err != nil {
 			return nil, err
 		}
@@ -237,7 +347,7 @@ func evalNode(ec *EvalContext, e Expr, st State, sp *relation.OpStats) (*relatio
 		}
 		ins := make([]*relation.Relation, len(n.Inputs))
 		for i, in := range n.Inputs {
-			r, err := EvalCtx(ec, in, st)
+			r, err := evalChild(ec, in, st, pn)
 			if err != nil {
 				return nil, err
 			}
@@ -245,19 +355,19 @@ func evalNode(ec *EvalContext, e Expr, st State, sp *relation.OpStats) (*relatio
 		}
 		return relation.JoinAllStats(sp, ins...), nil
 	case *Union:
-		l, r, err := evalBothCtx(ec, n.L, n.R, st)
+		l, r, err := evalBothCtx(ec, n.L, n.R, st, pn)
 		if err != nil {
 			return nil, err
 		}
 		return relation.UnionStats(l, r, sp)
 	case *Diff:
-		l, r, err := evalBothCtx(ec, n.L, n.R, st)
+		l, r, err := evalBothCtx(ec, n.L, n.R, st, pn)
 		if err != nil {
 			return nil, err
 		}
 		return relation.DiffStats(l, r, sp)
 	case *Rename:
-		in, err := EvalCtx(ec, n.Input, st)
+		in, err := evalChild(ec, n.Input, st, pn)
 		if err != nil {
 			return nil, err
 		}
@@ -272,12 +382,22 @@ func evalNode(ec *EvalContext, e Expr, st State, sp *relation.OpStats) (*relatio
 	}
 }
 
-func evalBothCtx(ec *EvalContext, l, r Expr, st State) (*relation.Relation, *relation.Relation, error) {
-	lv, err := EvalCtx(ec, l, st)
+// evalChild evaluates a child expression and hangs its plan node under pn.
+func evalChild(ec *EvalContext, e Expr, st State, pn *PlanNode) (*relation.Relation, error) {
+	out, cn, err := evalCtxNode(ec, e, st)
+	if err != nil {
+		return nil, err
+	}
+	pn.addChild(cn)
+	return out, nil
+}
+
+func evalBothCtx(ec *EvalContext, l, r Expr, st State, pn *PlanNode) (*relation.Relation, *relation.Relation, error) {
+	lv, err := evalChild(ec, l, st, pn)
 	if err != nil {
 		return nil, nil, err
 	}
-	rv, err := EvalCtx(ec, r, st)
+	rv, err := evalChild(ec, r, st, pn)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -296,29 +416,39 @@ func evalBothCtx(ec *EvalContext, l, r Expr, st State) (*relation.Relation, *rel
 // full evaluation of that subexpression. Unlike Eval, the result never
 // aliases state contents — callers may mutate it.
 func EvalRestricted(ec *EvalContext, e Expr, st State, probe *relation.Relation) (*relation.Relation, error) {
-	if err := ec.Err(); err != nil {
-		return nil, err
-	}
-	var sp *relation.OpStats
-	var start time.Time
-	var ops relation.OpStats
-	if ec != nil {
-		start = time.Now()
-		sp = &ops
-	}
-	out, err := evalRestrictedNode(ec, e, st, probe, sp)
+	out, n, err := evalRestrictedCtxNode(ec, e, st, probe)
 	if err != nil {
 		return nil, err
 	}
-	if ec != nil {
-		ec.record(opName(e)+"⋉", ops, time.Since(start))
-	}
+	ec.addRoot(n)
 	return out, nil
 }
 
-func evalRestrictedNode(ec *EvalContext, e Expr, st State, probe *relation.Relation, sp *relation.OpStats) (*relation.Relation, error) {
+// evalRestrictedCtxNode is evalCtxNode for the restricted path; its plan
+// nodes are flagged Restricted.
+func evalRestrictedCtxNode(ec *EvalContext, e Expr, st State, probe *relation.Relation) (*relation.Relation, *PlanNode, error) {
+	if err := ec.Err(); err != nil {
+		return nil, nil, err
+	}
+	if ec == nil {
+		out, err := evalRestrictedNode(nil, e, st, probe, nil, nil)
+		return out, nil, err
+	}
+	op := opName(e) + "⋉"
+	n := ec.newNode(opName(e), true)
+	start := time.Now()
+	var ops relation.OpStats
+	out, err := evalRestrictedNode(ec, e, st, probe, &ops, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	ec.finishNode(op, n, ops, time.Since(start))
+	return out, n, nil
+}
+
+func evalRestrictedNode(ec *EvalContext, e Expr, st State, probe *relation.Relation, sp *relation.OpStats, pn *PlanNode) (*relation.Relation, error) {
 	if !probe.AttrSet().SubsetOf(mustAttrsOf(e, st)) {
-		out, err := EvalCtx(ec, e, st)
+		out, err := evalChild(ec, e, st, pn)
 		if err != nil {
 			return nil, err
 		}
@@ -337,7 +467,7 @@ func evalRestrictedNode(ec *EvalContext, e Expr, st State, probe *relation.Relat
 	case *Empty:
 		return relation.New(n.Attrs...), nil
 	case *Select:
-		in, err := EvalRestricted(ec, n.Input, st, probe)
+		in, err := restrictedChild(ec, n.Input, st, probe, pn)
 		if err != nil {
 			return nil, err
 		}
@@ -346,7 +476,7 @@ func evalRestrictedNode(ec *EvalContext, e Expr, st State, probe *relation.Relat
 		// probe attrs ⊆ Z ⊆ input attrs, so the probe applies directly to
 		// the input; garbage rows project to non-matching tuples and stay
 		// harmless under the contract.
-		in, err := EvalRestricted(ec, n.Input, st, probe)
+		in, err := restrictedChild(ec, n.Input, st, probe, pn)
 		if err != nil {
 			return nil, err
 		}
@@ -362,9 +492,9 @@ func evalRestrictedNode(ec *EvalContext, e Expr, st State, probe *relation.Relat
 			var r *relation.Relation
 			var err error
 			if shared.IsEmpty() {
-				r, err = EvalCtx(ec, in, st)
+				r, err = evalChild(ec, in, st, pn)
 			} else {
-				r, err = EvalRestricted(ec, in, st, relation.ProjectStats(probe, sp, shared.Sorted()...))
+				r, err = restrictedChild(ec, in, st, relation.ProjectStats(probe, sp, shared.Sorted()...), pn)
 			}
 			if err != nil {
 				return nil, err
@@ -373,11 +503,11 @@ func evalRestrictedNode(ec *EvalContext, e Expr, st State, probe *relation.Relat
 		}
 		return relation.JoinAllStats(sp, ins...), nil
 	case *Union:
-		l, err := EvalRestricted(ec, n.L, st, probe)
+		l, err := restrictedChild(ec, n.L, st, probe, pn)
 		if err != nil {
 			return nil, err
 		}
-		r, err := EvalRestricted(ec, n.R, st, probe)
+		r, err := restrictedChild(ec, n.R, st, probe, pn)
 		if err != nil {
 			return nil, err
 		}
@@ -386,11 +516,11 @@ func evalRestrictedNode(ec *EvalContext, e Expr, st State, probe *relation.Relat
 		// Restricting both sides by the same probe keeps the difference
 		// exact on probe-matching tuples: a match surviving in L appears in
 		// restricted L, and its presence in R is decided by restricted R.
-		l, err := EvalRestricted(ec, n.L, st, probe)
+		l, err := restrictedChild(ec, n.L, st, probe, pn)
 		if err != nil {
 			return nil, err
 		}
-		r, err := EvalRestricted(ec, n.R, st, probe)
+		r, err := restrictedChild(ec, n.R, st, probe, pn)
 		if err != nil {
 			return nil, err
 		}
@@ -411,7 +541,7 @@ func evalRestrictedNode(ec *EvalContext, e Expr, st State, probe *relation.Relat
 		if err != nil {
 			return nil, err
 		}
-		in, err := EvalRestricted(ec, n.Input, st, inProbe)
+		in, err := restrictedChild(ec, n.Input, st, inProbe, pn)
 		if err != nil {
 			return nil, err
 		}
@@ -419,6 +549,17 @@ func evalRestrictedNode(ec *EvalContext, e Expr, st State, probe *relation.Relat
 	default:
 		panic(fmt.Sprintf("algebra: unknown node %T", e))
 	}
+}
+
+// restrictedChild evaluates a child under the restricted contract and
+// hangs its plan node under pn.
+func restrictedChild(ec *EvalContext, e Expr, st State, probe *relation.Relation, pn *PlanNode) (*relation.Relation, error) {
+	out, cn, err := evalRestrictedCtxNode(ec, e, st, probe)
+	if err != nil {
+		return nil, err
+	}
+	pn.addChild(cn)
+	return out, nil
 }
 
 // mustAttrsOf returns the attribute set of e for probe-pushing decisions.

@@ -1,0 +1,197 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"dwcomplement/internal/relation"
+)
+
+// sumTree folds a plan tree's per-node counters into one OpStat.
+func sumTree(n *PlanNode, acc *OpStat) {
+	if n == nil {
+		return
+	}
+	acc.Scanned += n.Scanned
+	acc.Probed += n.Probed
+	acc.Emitted += n.Emitted
+	acc.IndexHits += n.IndexHits
+	acc.IndexBuilds += n.IndexBuilds
+	for _, c := range n.Children {
+		sumTree(c, acc)
+	}
+}
+
+// TestPlanTreeMatchesFlatTotals is the core consistency contract of the
+// instrumentation: the per-node counters of the recorded plan trees sum
+// to the flat EvalStats totals, for both the full and restricted paths.
+func TestPlanTreeMatchesFlatTotals(t *testing.T) {
+	st := figure1State()
+	q := NewProject(NewSelect(soldExpr(), AttrCmpConst("age", OpLt, relation.Int(30))), "clerk")
+
+	ec := NewEvalContext(nil)
+	if _, err := EvalCtx(ec, q, st); err != nil {
+		t.Fatal(err)
+	}
+	probe := relation.New("clerk")
+	probe.InsertValues(relation.String_("Mary"))
+	if _, err := EvalRestricted(ec, NewProject(NewBase("Emp"), "clerk"), st, probe); err != nil {
+		t.Fatal(err)
+	}
+
+	s := ec.Stats()
+	if len(s.Plan) != 2 {
+		t.Fatalf("got %d plan roots, want 2", len(s.Plan))
+	}
+	if s.PlanTruncated {
+		t.Error("plan unexpectedly truncated")
+	}
+	var tree OpStat
+	for _, root := range s.Plan {
+		sumTree(root, &tree)
+	}
+	if tree.Scanned != s.Scanned || tree.Probed != s.Probed ||
+		tree.Emitted != s.Emitted || tree.IndexHits != s.IndexHits ||
+		tree.IndexBuilds != s.IndexBuilds {
+		t.Errorf("tree sums %+v disagree with flat totals %+v", tree, s)
+	}
+	// Exclusive times are clamped non-negative and never exceed inclusive.
+	var check func(n *PlanNode)
+	check = func(n *PlanNode) {
+		if n.Exclusive < 0 || n.Exclusive > n.Inclusive {
+			t.Errorf("node %s: exclusive %v outside [0, %v]", n.Op, n.Exclusive, n.Inclusive)
+		}
+		for _, c := range n.Children {
+			check(c)
+		}
+	}
+	for _, root := range s.Plan {
+		check(root)
+	}
+}
+
+// TestRestrictedFallbackKeepsTotals: a probe over attributes foreign to
+// the expression falls back to full evaluation hanging under the
+// restricted node; the totals must still agree with the tree.
+func TestRestrictedFallbackKeepsTotals(t *testing.T) {
+	st := figure1State()
+	probe := relation.New("nosuch")
+	probe.InsertValues(relation.String_("x"))
+	ec := NewEvalContext(nil)
+	out, err := EvalRestricted(ec, NewBase("Emp"), st, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("fallback result has %d rows, want 3", out.Len())
+	}
+	s := ec.Stats()
+	if len(s.Plan) != 1 {
+		t.Fatalf("got %d roots, want 1", len(s.Plan))
+	}
+	root := s.Plan[0]
+	if !root.Restricted || len(root.Children) != 1 {
+		t.Fatalf("fallback shape wrong: restricted=%v children=%d", root.Restricted, len(root.Children))
+	}
+	var tree OpStat
+	sumTree(root, &tree)
+	if tree.Emitted != s.Emitted {
+		t.Errorf("tree emitted %d != flat %d", tree.Emitted, s.Emitted)
+	}
+}
+
+// TestRenderPlanGolden locks the text rendering of an executed plan on
+// the paper's Figure 1 state. Timing is off, so the output is
+// deterministic.
+func TestRenderPlanGolden(t *testing.T) {
+	st := figure1State()
+	q := NewProject(soldExpr(), "clerk")
+	ec := NewEvalContext(nil)
+	if _, err := EvalCtx(ec, q, st); err != nil {
+		t.Fatal(err)
+	}
+	got := RenderPlan(ec.Stats().Plan, false)
+	want := strings.Join([]string{
+		"project  rows=2 scanned=3 probed=0 hits=0 builds=0",
+		"└── join(2)  rows=3 scanned=3 probed=3 hits=3 builds=1",
+		"    ├── base(Sale)  rows=3 scanned=0 probed=0 hits=0 builds=0",
+		"    └── base(Emp)  rows=3 scanned=0 probed=0 hits=0 builds=0",
+	}, "\n") + "\n"
+	if got != want {
+		t.Errorf("rendered plan:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExprTreeGolden locks the static EXPLAIN rendering.
+func TestExprTreeGolden(t *testing.T) {
+	q := NewUnion(NewProject(NewBase("Sale"), "clerk"), NewProject(NewBase("Emp"), "clerk"))
+	got := ExprTree(q)
+	want := strings.Join([]string{
+		"∪",
+		"├── π{clerk}",
+		"│   └── Sale",
+		"└── π{clerk}",
+		"    └── Emp",
+	}, "\n") + "\n"
+	if got != want {
+		t.Errorf("expr tree:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestEvalStatsAddMergesOps: cumulative Add folds per-node traces into a
+// per-operator-kind breakdown and drops plan trees.
+func TestEvalStatsAddMergesOps(t *testing.T) {
+	var total EvalStats
+	total.Plan = []*PlanNode{{Op: "stale"}}
+	a := EvalStats{
+		Emitted: 2,
+		Ops:     []OpStat{{Op: "join(2)", Emitted: 2}, {Op: "base(Sale)", Emitted: 3}},
+		Plan:    []*PlanNode{{Op: "join(2)"}},
+	}
+	b := EvalStats{
+		Emitted: 5,
+		Ops:     []OpStat{{Op: "join(2)", Emitted: 5, Scanned: 1}},
+	}
+	total.Add(a)
+	total.Add(b)
+	if total.Emitted != 7 {
+		t.Errorf("emitted = %d, want 7", total.Emitted)
+	}
+	if total.Plan != nil || total.PlanTruncated {
+		t.Error("cumulative stats must not carry a plan tree")
+	}
+	want := []OpStat{
+		{Op: "base(Sale)", Emitted: 3},
+		{Op: "join(2)", Emitted: 7, Scanned: 1},
+	}
+	if len(total.Ops) != len(want) {
+		t.Fatalf("ops = %+v, want %+v", total.Ops, want)
+	}
+	for i := range want {
+		if total.Ops[i] != want[i] {
+			t.Errorf("ops[%d] = %+v, want %+v", i, total.Ops[i], want[i])
+		}
+	}
+}
+
+// TestPlanNodeCap: evaluations past the node cap keep correct flat totals
+// and flag the truncation.
+func TestPlanNodeCap(t *testing.T) {
+	st := figure1State()
+	ec := NewEvalContext(nil)
+	var q Expr = NewBase("Emp")
+	// Build a deep select chain so one evaluation exceeds the node cap.
+	for i := 0; i < maxPlanNodes+8; i++ {
+		q = NewSelect(q, AttrCmpConst("age", OpGt, relation.Int(0)))
+	}
+	if _, err := EvalCtx(ec, q, st); err != nil {
+		t.Fatal(err)
+	}
+	s := ec.Stats()
+	if !s.PlanTruncated {
+		t.Error("deep plan not flagged truncated")
+	}
+	if s.Emitted == 0 {
+		t.Error("flat totals lost past the node cap")
+	}
+}

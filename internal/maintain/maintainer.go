@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dwcomplement/internal/algebra"
@@ -46,6 +47,12 @@ type VirtualState struct {
 
 	mu    sync.Mutex
 	cache map[string]*relation.Relation
+
+	// Lookup counters: how many pre-state reads the probe pushdown kept
+	// restricted versus how many forced a full reconstruction. The ratio
+	// is the restricted-eval saving a refresh achieved.
+	nRestricted atomic.Int64
+	nFull       atomic.Int64
 }
 
 // NewVirtualState builds a virtual pre-state over the warehouse state.
@@ -82,6 +89,7 @@ func (v *VirtualState) Relation(name string) (*relation.Relation, bool) {
 	if !ok {
 		return nil, false
 	}
+	v.nFull.Add(1)
 	r, err := algebra.EvalCtx(v.ec, inv, v.w)
 	if err != nil {
 		return nil, false
@@ -105,6 +113,7 @@ func (v *VirtualState) RelationRestricted(name string, probe *relation.Relation)
 	if !ok {
 		return nil, fmt.Errorf("maintain: no inverse for relation %q", name)
 	}
+	v.nRestricted.Add(1)
 	return algebra.EvalRestricted(v.ec, inv, v.w, probe)
 }
 
@@ -112,6 +121,30 @@ func (v *VirtualState) RelationRestricted(name string, probe *relation.Relation)
 func (v *VirtualState) RelationAttrs(name string) ([]string, bool) {
 	a, ok := v.attrs[name]
 	return a, ok
+}
+
+// LookupStats reports how many pre-state reads stayed probe-restricted
+// and how many forced a full base-relation reconstruction.
+func (v *VirtualState) LookupStats() (restricted, full int64) {
+	return v.nRestricted.Load(), v.nFull.Load()
+}
+
+// RefreshSpan is the per-target trace of one refresh: how large the
+// propagated delta was before and after normalization against the
+// pre-state, and how long propagation took. Servers expose spans through
+// /stats and feed their durations into refresh histograms.
+type RefreshSpan struct {
+	// Target is the refreshed warehouse relation (view or complement).
+	Target string `json:"target"`
+	// DeltaIns / DeltaDel are the propagated delta sizes (tuples to
+	// insert / delete, before normalization against the pre-state).
+	DeltaIns int `json:"deltaIns"`
+	DeltaDel int `json:"deltaDel"`
+	// Applied is the number of tuples the exact (normalized) delta
+	// actually changed.
+	Applied int `json:"applied"`
+	// Wall is the propagation time for this target.
+	Wall time.Duration `json:"wallNs"`
 }
 
 // RefreshStats reports what a refresh did, for benchmarks and logs.
@@ -126,6 +159,14 @@ type RefreshStats struct {
 	// Eval holds the operator counters of the refresh's evaluations
 	// (RefreshContext only; nil from plain Refresh).
 	Eval *algebra.EvalStats
+	// Spans traces each refreshed relation's propagation (delta sizes and
+	// wall time), in application order.
+	Spans []RefreshSpan
+	// RestrictedLookups / FullReconstructions count how the refresh's
+	// pre-state reads were answered: probe-restricted (cost proportional
+	// to the delta) versus full reconstruction through W⁻¹.
+	RestrictedLookups   int64
+	FullReconstructions int64
 }
 
 // Total returns the total number of warehouse tuple changes.
@@ -234,6 +275,7 @@ func (m *Maintainer) refresh(ec *algebra.EvalContext, w *warehouse.Warehouse, u 
 	type pending struct {
 		name string
 		d    Delta
+		wall time.Duration
 	}
 	deltas := make([]pending, len(targets))
 	if m.parallel && len(targets) > 1 {
@@ -243,12 +285,13 @@ func (m *Maintainer) refresh(ec *algebra.EvalContext, w *warehouse.Warehouse, u 
 			wg.Add(1)
 			go func(i int, tg target) {
 				defer wg.Done()
+				start := time.Now()
 				d, err := Propagate(tg.def, vst, nu)
 				if err != nil {
 					errs[i] = fmt.Errorf("maintain: %s: %w", tg.name, err)
 					return
 				}
-				deltas[i] = pending{tg.name, d}
+				deltas[i] = pending{tg.name, d, time.Since(start)}
 			}(i, tg)
 		}
 		wg.Wait()
@@ -262,11 +305,12 @@ func (m *Maintainer) refresh(ec *algebra.EvalContext, w *warehouse.Warehouse, u 
 			if err := ec.Err(); err != nil {
 				return stats, err
 			}
+			start := time.Now()
 			d, err := Propagate(tg.def, vst, nu)
 			if err != nil {
 				return stats, cancelOr(ec, fmt.Errorf("maintain: %s: %w", tg.name, err))
 			}
-			deltas[i] = pending{tg.name, d}
+			deltas[i] = pending{tg.name, d, time.Since(start)}
 		}
 	}
 	// All deltas are computed; a cancellation past this point would leave
@@ -274,6 +318,7 @@ func (m *Maintainer) refresh(ec *algebra.EvalContext, w *warehouse.Warehouse, u 
 	if err := ec.Err(); err != nil {
 		return stats, err
 	}
+	stats.Spans = make([]RefreshSpan, 0, len(deltas))
 	for _, p := range deltas {
 		r, ok := w.Relation(p.name)
 		if !ok {
@@ -282,12 +327,20 @@ func (m *Maintainer) refresh(ec *algebra.EvalContext, w *warehouse.Warehouse, u 
 		exact := p.d.Exact(r)
 		exact.ApplyTo(r)
 		stats.Changed[p.name] = exact.Size()
+		stats.Spans = append(stats.Spans, RefreshSpan{
+			Target:   p.name,
+			DeltaIns: p.d.Ins.Len(),
+			DeltaDel: p.d.Del.Len(),
+			Applied:  exact.Size(),
+			Wall:     p.wall,
+		})
 		for _, consumer := range m.consumers {
 			if err := consumer.Consume(p.name, exact, r); err != nil {
 				return stats, fmt.Errorf("maintain: consumer for %s: %w", p.name, err)
 			}
 		}
 	}
+	stats.RestrictedLookups, stats.FullReconstructions = vst.LookupStats()
 	return stats, nil
 }
 

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// NewLogger returns a structured logger writing to w at the given level —
+// JSON records when json is true, logfmt-style text otherwise. Handlers
+// are slog's; callers attach request-scoped attributes with
+// logger.With(...).
+func NewLogger(w io.Writer, level slog.Level, json bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// embedded servers (tests) that did not configure logging.
+func NopLogger() *slog.Logger {
+	return NewLogger(io.Discard, slog.LevelError, false)
+}
+
+// ctxKey keys context values owned by this package.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// reqSeq disambiguates request IDs if the random source ever fails.
+var reqSeq atomic.Uint64
+
+// newRequestID returns a short random hex ID for correlating the log
+// lines of one request.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		var c [8]byte
+		n := reqSeq.Add(1)
+		for i := 0; i < 8; i++ {
+			c[i] = byte(n >> (8 * i))
+		}
+		return hex.EncodeToString(c[:])
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID returns ctx carrying a fresh request ID (or the existing
+// one, if the context already has one) and the ID itself.
+func WithRequestID(ctx context.Context) (context.Context, string) {
+	if id := RequestID(ctx); id != "" {
+		return ctx, id
+	}
+	id := newRequestID()
+	return context.WithValue(ctx, requestIDKey, id), id
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDs(t *testing.T) {
+	ctx, id := WithRequestID(context.Background())
+	if id == "" || RequestID(ctx) != id {
+		t.Fatalf("request id not carried: %q vs %q", id, RequestID(ctx))
+	}
+	// Re-wrapping keeps the existing ID.
+	ctx2, id2 := WithRequestID(ctx)
+	if id2 != id || ctx2 != ctx {
+		t.Errorf("existing id replaced: %q → %q", id, id2)
+	}
+	// Distinct requests get distinct IDs.
+	_, other := WithRequestID(context.Background())
+	if other == id {
+		t.Error("two requests share an id")
+	}
+}
+
+func TestJSONLogger(t *testing.T) {
+	var sb strings.Builder
+	log := NewLogger(&sb, slog.LevelInfo, true)
+	log.Info("request", "id", "abc123", "route", "GET /query", "status", 200)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, sb.String())
+	}
+	if rec["id"] != "abc123" || rec["route"] != "GET /query" || rec["msg"] != "request" {
+		t.Errorf("record = %v", rec)
+	}
+	// Debug is below the level and must be dropped.
+	sb.Reset()
+	log.Debug("noise")
+	if sb.Len() != 0 {
+		t.Errorf("debug not filtered: %s", sb.String())
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dw_test_total", "help", nil)
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	// Idempotent lookup: same instrument comes back.
+	if r.Counter("dw_test_total", "help", nil) != c {
+		t.Error("counter lookup not idempotent")
+	}
+	g := r.Gauge("dw_test_gauge", "help", nil)
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestCounterLabelsSeparateSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dw_requests_total", "h", Labels{"route": "GET /query"})
+	b := r.Counter("dw_requests_total", "h", Labels{"route": "GET /stats"})
+	if a == b {
+		t.Fatal("distinct labels must yield distinct series")
+	}
+	a.Add(3)
+	b.Add(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dw_requests_total counter",
+		`dw_requests_total{route="GET /query"} 3`,
+		`dw_requests_total{route="GET /stats"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per family, not per series.
+	if strings.Count(out, "# TYPE dw_requests_total") != 1 {
+		t.Errorf("TYPE repeated:\n%s", out)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := &Histogram{upper: []float64{0.01, 0.1, 1}, counts: make([]uint64, 3)}
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	cum, sum, count := h.Snapshot()
+	// Cumulative: ≤0.01 → {0.005, 0.01}; ≤0.1 adds 0.05; ≤1 adds 0.5;
+	// 5 lands only in +Inf.
+	if cum[0] != 2 || cum[1] != 3 || cum[2] != 4 {
+		t.Errorf("cumulative = %v, want [2 3 4]", cum)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if want := 0.005 + 0.01 + 0.05 + 0.5 + 5; math.Abs(sum-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", sum, want)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dw_latency_seconds", "latency", []float64{0.01, 0.1}, Labels{"route": "GET /query"})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.ObserveDuration(2 * time.Second)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP dw_latency_seconds latency",
+		"# TYPE dw_latency_seconds histogram",
+		`dw_latency_seconds_bucket{route="GET /query",le="0.01"} 1`,
+		`dw_latency_seconds_bucket{route="GET /query",le="0.1"} 2`,
+		`dw_latency_seconds_bucket{route="GET /query",le="+Inf"} 3`,
+		`dw_latency_seconds_sum{route="GET /query"} 2.055`,
+		`dw_latency_seconds_count{route="GET /query"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.GaugeFunc("dw_live", "live value", nil, func() float64 { n++; return n })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dw_live 42") {
+		t.Errorf("gauge func not evaluated at scrape:\n%s", sb.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dw_esc_total", "h", Labels{"q": "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `dw_esc_total{q="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", sb.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dw_kind", "h", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("dw_kind", "h", nil)
+}
+
+// TestConcurrentInstruments hammers one registry from many goroutines;
+// run with -race.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("dw_conc_total", "h", Labels{"g": string(rune('a' + g%4))}).Inc()
+				r.Histogram("dw_conc_seconds", "h", DefLatencyBuckets, nil).Observe(0.001)
+				var sb strings.Builder
+				if i%50 == 0 {
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Histogram("dw_conc_seconds", "h", DefLatencyBuckets, nil); func() uint64 {
+		_, _, c := got.Snapshot()
+		return c
+	}() != 8*200 {
+		t.Error("histogram lost observations")
+	}
+	total := int64(0)
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("dw_conc_total", "h", Labels{"g": l}).Value()
+	}
+	if total != 8*200 {
+		t.Errorf("counters sum to %d, want %d", total, 8*200)
+	}
+}
