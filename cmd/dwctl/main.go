@@ -10,6 +10,10 @@
 //
 // Commands:
 //
+//	vet [file.dw]             statically verify the spec: view well-formedness,
+//	                          IND acyclicity (with the cycle path), key-cover
+//	                          analysis and the query-independence verdict;
+//	                          exit 1 iff any error-severity finding
 //	check                     validate the spec, constraints and initial state
 //	dump                      print schemata, constraints, views and data
 //	complement                print the complement, covers and inverse mapping
@@ -64,12 +68,35 @@ func run(args []string, out io.Writer) error {
 	stateFile := fs.String("state", "", "load the warehouse state from this snapshot instead of materializing the spec's data")
 	saveFile := fs.String("save", "", "persist the warehouse state to this snapshot after the command")
 	fs.Usage = func() {
-		fmt.Fprintln(out, "usage: dwctl -spec file.dw [-prop22] [-prefix C_] [-state snap] [-save snap] <check|dump|complement|translate|maintain|snapshot|specify|verify|reconstruct|export|repl> [args]")
+		fmt.Fprintln(out, "usage: dwctl -spec file.dw [-prop22] [-prefix C_] [-state snap] [-save snap] <vet|check|dump|complement|translate|maintain|snapshot|specify|verify|reconstruct|export|repl> [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	opts := dwc.Theorem22()
+	if *prop22 {
+		opts = dwc.Proposition22()
+	}
+	opts.NamePrefix = *prefix
+
+	// vet dispatches before the strict spec parse below: its whole point
+	// is to report every defect of a broken config in one pass, where the
+	// strict parser would abort at the first. It also accepts the spec as
+	// a positional argument: dwctl vet file.dw.
+	if fs.NArg() > 0 && fs.Arg(0) == "vet" {
+		path := *specPath
+		if path == "" && fs.NArg() > 1 {
+			path = fs.Arg(1)
+		}
+		if path == "" {
+			fs.Usage()
+			return fmt.Errorf("vet needs a spec: dwctl vet file.dw or dwctl -spec file.dw vet")
+		}
+		return runVet(path, opts, out)
+	}
+
 	if *specPath == "" || fs.NArg() == 0 {
 		fs.Usage()
 		return fmt.Errorf("a -spec file and a command are required")
@@ -82,12 +109,6 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", *specPath, err)
 	}
-
-	opts := dwc.Theorem22()
-	if *prop22 {
-		opts = dwc.Proposition22()
-	}
-	opts.NamePrefix = *prefix
 
 	// buildW materializes the warehouse from the spec's data, or restores
 	// it from a snapshot when -state is given; persist saves it back when
@@ -320,4 +341,33 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// runVet parses path in diagnostic mode, prints every finding, and
+// returns an error (→ exit 1) iff any finding has error severity.
+// Warnings and infos are reported but do not fail the command.
+func runVet(path string, opts dwc.Options, out io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	ds, err := dwc.ParseSpecDiag(string(raw), filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	diags := dwc.VetSpec(ds, opts)
+	for _, d := range diags {
+		fmt.Fprintf(out, "%s: %s\n", path, d)
+	}
+	if dwc.VetHasErrors(diags) {
+		n := 0
+		for _, d := range diags {
+			if d.Severity == dwc.VetError {
+				n++
+			}
+		}
+		return fmt.Errorf("%s: %d error(s)", path, n)
+	}
+	fmt.Fprintf(out, "vet: %s ok (%d diagnostic(s))\n", path, len(diags))
+	return nil
 }

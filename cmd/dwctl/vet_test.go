@@ -1,0 +1,54 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVetGoodSpec(t *testing.T) {
+	out, err := runCmd(t, "vet", filepath.Join("..", "..", "testdata", "vet", "known_good.dw"))
+	if err != nil {
+		t.Fatalf("vet on known-good config failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok") || !strings.Contains(out, "query-independent") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestVetSpecFlagForm(t *testing.T) {
+	// `dwctl -spec f.dw vet` must behave like `dwctl vet f.dw`.
+	spec := filepath.Join("..", "..", "testdata", "vet", "known_good.dw")
+	out, err := runCmd(t, "-spec", spec, "vet")
+	if err != nil {
+		t.Fatalf("flag-form vet failed: %v\n%s", err, out)
+	}
+}
+
+func TestVetBadSpec(t *testing.T) {
+	out, err := runCmd(t, "vet", filepath.Join("..", "..", "testdata", "vet", "bad_mixed.dw"))
+	if err == nil {
+		t.Fatalf("vet on broken config succeeded:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "2 error(s)") {
+		t.Errorf("err = %v", err)
+	}
+	// All three defect classes in one pass, with positions.
+	for _, want := range []string{
+		"line 10: error[ind-cycle]",
+		"A → B → A",
+		"line 13: error[view-def]",
+		"nosuch",
+		"cover-copy] Orphan",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVetWithoutSpec(t *testing.T) {
+	if _, err := runCmd(t, "vet"); err == nil {
+		t.Error("vet with no spec accepted")
+	}
+}

@@ -1,0 +1,65 @@
+// Command dwlint runs the repository's Go-invariant analyzers (Layer 1
+// of the dwvet subsystem, see DESIGN.md §10) over the given package
+// patterns and exits non-zero if any diagnostic is reported.
+//
+// Usage:
+//
+//	dwlint [-only names] [-list] [packages ...]
+//
+// With no patterns, ./... is analyzed. -only restricts the run to a
+// comma-separated subset of analyzers; -list prints the catalog.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dwcomplement/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dwlint", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	fs.Parse(args)
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dwlint: %d issue(s) found\n", len(diags))
+		return 1
+	}
+	return 0
+}

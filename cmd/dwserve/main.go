@@ -7,9 +7,13 @@
 //
 // Usage:
 //
-//	dwserve -spec warehouse.dw [-addr :8080] [-prop22]
+//	dwserve -spec warehouse.dw [-addr :8080] [-prop22] [-force]
 //	        [-state snap.gob] [-save snap.gob]
 //	        [-log-level info] [-log-json] [-debug :6060]
+//
+// On startup the spec is statically verified (the dwctl vet checks:
+// view well-formedness, IND acyclicity, cover analysis); a config with
+// error-severity findings is refused unless -force is given.
 //
 // With -save, every successful update persists the warehouse state, so a
 // restarted server (-state) resumes exactly where it stopped — without
@@ -27,6 +31,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"path/filepath"
 
 	dwc "dwcomplement"
 	"dwcomplement/internal/obs"
@@ -52,6 +57,7 @@ func main() {
 	specPath := fs.String("spec", "", "path to the .dw warehouse specification (required)")
 	addr := fs.String("addr", ":8080", "listen address")
 	prop22 := fs.Bool("prop22", false, "ignore integrity constraints (Proposition 2.2)")
+	force := fs.Bool("force", false, "serve even if static verification reports errors")
 	statePath := fs.String("state", "", "restore the warehouse state from this snapshot")
 	savePath := fs.String("save", "", "persist the warehouse state here after every update")
 	logLevel := fs.String("log-level", "info", "request log level (debug|info|warn|error)")
@@ -69,14 +75,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dwserve:", err)
 		os.Exit(1)
 	}
+	opts := dwc.Theorem22()
+	if *prop22 {
+		opts = dwc.Proposition22()
+	}
+
+	// Startup gate: statically verify the config before materializing
+	// anything. Anything vet grades as an error (cyclic INDs, ill-formed
+	// views, type-incompatible joins) would serve wrong answers silently,
+	// so refuse unless the operator explicitly forces it.
+	if ds, derr := dwc.ParseSpecDiag(string(raw), filepath.Dir(*specPath)); derr == nil {
+		diags := dwc.VetSpec(ds, opts)
+		for _, d := range diags {
+			if d.Severity != dwc.VetInfo {
+				fmt.Fprintf(os.Stderr, "dwserve: vet: %s\n", d)
+			}
+		}
+		if dwc.VetHasErrors(diags) {
+			if !*force {
+				fmt.Fprintln(os.Stderr, "dwserve: refusing to serve an unsound config (see `dwctl vet`); use -force to override")
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "dwserve: -force given, serving despite vet errors")
+		}
+	}
+
 	spec, err := dwc.ParseSpec(string(raw))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwserve:", err)
 		os.Exit(1)
-	}
-	opts := dwc.Theorem22()
-	if *prop22 {
-		opts = dwc.Proposition22()
 	}
 	level, err := parseLevel(*logLevel)
 	if err != nil {

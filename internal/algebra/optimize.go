@@ -155,6 +155,9 @@ func pushSelect(cond Cond, in Expr, res Resolver) Expr {
 		return out
 	case *Empty:
 		return Clone(x)
+	case *Base:
+		// A selection cannot sink below a base scan.
+		return &Select{Input: in, Cond: cond}
 	default:
 		return &Select{Input: in, Cond: cond}
 	}

@@ -54,11 +54,20 @@ func (db *Database) MustAddSchema(s *relation.Schema) *Database {
 }
 
 // AddIND declares the inclusion dependency π_attrs(from) ⊆ π_attrs(to).
+// A dependency that fails validation (unknown schema, attributes outside
+// a side, cycle) is rolled back, leaving the database as it was.
 func (db *Database) AddIND(from, to string, attrs ...string) error {
+	n := db.cons.Len()
 	if err := db.cons.AddIND(from, to, attrs...); err != nil {
 		return err
 	}
-	return db.cons.Validate(db.schemas)
+	if err := db.cons.Validate(db.schemas); err != nil {
+		if db.cons.Len() > n {
+			db.cons.DropLastIND()
+		}
+		return err
+	}
+	return nil
 }
 
 // MustAddIND is AddIND that panics on error.
@@ -76,7 +85,11 @@ func (db *Database) AddDomain(rel string, cond algebra.Cond) error {
 	if err := db.cons.AddDomain(rel, cond); err != nil {
 		return err
 	}
-	return db.cons.Validate(db.schemas)
+	if err := db.cons.Validate(db.schemas); err != nil {
+		db.cons.DropLastDomain()
+		return err
+	}
+	return nil
 }
 
 // MustAddDomain is AddDomain that panics on error.
@@ -196,10 +209,10 @@ func (st *State) MustRelation(name string) *relation.Relation {
 func (st *State) Insert(name string, t relation.Tuple) (bool, error) {
 	sc, ok := st.db.schemas[name]
 	if !ok {
-		return false, fmt.Errorf("catalog: unknown relation %q", name)
+		return false, fmt.Errorf("catalog: unknown relation %q: %w", name, algebra.ErrUnknownRelation)
 	}
 	if len(t) != len(sc.Attrs) {
-		return false, fmt.Errorf("catalog: arity mismatch inserting into %s: got %d values, want %d", name, len(t), len(sc.Attrs))
+		return false, fmt.Errorf("catalog: arity mismatch inserting into %s: got %d values, want %d: %w", name, len(t), len(sc.Attrs), relation.ErrSchemaMismatch)
 	}
 	for i, v := range t {
 		if !v.CheckKind(sc.Attrs[i].Type) {
@@ -223,7 +236,7 @@ func (st *State) MustInsert(name string, vals ...relation.Value) *State {
 func (st *State) Delete(name string, t relation.Tuple) (bool, error) {
 	r, ok := st.rels[name]
 	if !ok {
-		return false, fmt.Errorf("catalog: unknown relation %q", name)
+		return false, fmt.Errorf("catalog: unknown relation %q: %w", name, algebra.ErrUnknownRelation)
 	}
 	return r.Delete(t), nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"dwcomplement/internal/algebra"
 	"dwcomplement/internal/relation"
 )
 
@@ -34,7 +35,7 @@ func (u *Update) Insert(name string, db *Database, t relation.Tuple) error {
 		return err
 	}
 	if len(t) != r.Arity() {
-		return fmt.Errorf("catalog: update insert arity mismatch for %s", name)
+		return fmt.Errorf("catalog: update insert arity mismatch for %s: %w", name, relation.ErrSchemaMismatch)
 	}
 	r.Insert(t)
 	return nil
@@ -47,7 +48,7 @@ func (u *Update) Delete(name string, db *Database, t relation.Tuple) error {
 		return err
 	}
 	if len(t) != r.Arity() {
-		return fmt.Errorf("catalog: update delete arity mismatch for %s", name)
+		return fmt.Errorf("catalog: update delete arity mismatch for %s: %w", name, relation.ErrSchemaMismatch)
 	}
 	r.Insert(t)
 	return nil
@@ -75,7 +76,7 @@ func (u *Update) bucket(m map[string]*relation.Relation, name string, db *Databa
 	}
 	sc, ok := db.Schema(name)
 	if !ok {
-		return nil, fmt.Errorf("catalog: update references unknown relation %q", name)
+		return nil, fmt.Errorf("catalog: update references unknown relation %q: %w", name, algebra.ErrUnknownRelation)
 	}
 	r := relation.NewFromSchema(sc)
 	m[name] = r
@@ -204,7 +205,7 @@ func (u *Update) Apply(st *State) error {
 	for name, del := range u.del {
 		cur, ok := st.Relation(name)
 		if !ok {
-			return fmt.Errorf("catalog: update references unknown relation %q", name)
+			return fmt.Errorf("catalog: update references unknown relation %q: %w", name, algebra.ErrUnknownRelation)
 		}
 		del.Each(func(t relation.Tuple) {
 			cur.Delete(alignTuple(del, cur, t))
@@ -213,7 +214,7 @@ func (u *Update) Apply(st *State) error {
 	for name, ins := range u.ins {
 		cur, ok := st.Relation(name)
 		if !ok {
-			return fmt.Errorf("catalog: update references unknown relation %q", name)
+			return fmt.Errorf("catalog: update references unknown relation %q: %w", name, algebra.ErrUnknownRelation)
 		}
 		var insertErr error
 		ins.Each(func(t relation.Tuple) {

@@ -73,6 +73,28 @@ func (s *Set) AddIND(from, to string, attrs ...string) error {
 	return nil
 }
 
+// DropLastIND removes the most recently added inclusion dependency. It
+// exists so callers that validate after insertion (catalog.AddIND) can
+// roll a rejected dependency back out instead of leaving the set in a
+// state that fails Validate. Dropping from an empty set is a no-op.
+func (s *Set) DropLastIND() {
+	if len(s.inds) == 0 {
+		return
+	}
+	d := s.inds[len(s.inds)-1]
+	s.inds = s.inds[:len(s.inds)-1]
+	delete(s.seen, d.equalKey())
+	s.closure = nil
+}
+
+// DropLastDomain is DropLastIND for domain constraints.
+func (s *Set) DropLastDomain() {
+	if len(s.domains) == 0 {
+		return
+	}
+	s.domains = s.domains[:len(s.domains)-1]
+}
+
 // INDs returns the declared inclusion dependencies, in declaration order.
 // The caller must not modify the returned slice.
 func (s *Set) INDs() []IND { return s.inds }
@@ -100,14 +122,29 @@ func (s *Set) Validate(schemas map[string]*relation.Schema) error {
 			return fmt.Errorf("constraint: %s: attributes %v not all in %s", d, d.X, d.To)
 		}
 	}
-	if cyc := s.findCycle(); cyc != nil {
-		return fmt.Errorf("constraint: inclusion dependencies are cyclic: %s", strings.Join(cyc, " → "))
+	if cyc := s.FindCycle(); cyc != nil {
+		return &CycleError{Path: cyc}
 	}
 	return s.validateDomains(schemas)
 }
 
-// findCycle returns a relation-name cycle in the IND graph, or nil.
-func (s *Set) findCycle() []string {
+// CycleError reports a cyclic IND graph, violating the paper's standing
+// acyclicity assumption (Theorem 2.2 processes relations in topological
+// IND order). Path holds the offending cycle as relation names with the
+// first repeated at the end: [Sale, Emp, Sale].
+type CycleError struct {
+	Path []string
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("constraint: inclusion dependencies are cyclic: %s", strings.Join(e.Path, " → "))
+}
+
+// FindCycle returns a relation-name cycle in the IND graph with the
+// starting relation repeated at the end, or nil when the graph is
+// acyclic. The search is deterministic (nodes visited in sorted order),
+// so diagnostics are stable.
+func (s *Set) FindCycle() []string {
 	adj := make(map[string][]string)
 	for _, d := range s.inds {
 		adj[d.From] = append(adj[d.From], d.To)
@@ -164,8 +201,8 @@ func (s *Set) findCycle() []string {
 // continued); processing sources first makes every referenced inverse
 // available. It returns an error if the IND graph is cyclic.
 func (s *Set) TopoOrder() ([]string, error) {
-	if cyc := s.findCycle(); cyc != nil {
-		return nil, fmt.Errorf("constraint: inclusion dependencies are cyclic: %s", strings.Join(cyc, " → "))
+	if cyc := s.FindCycle(); cyc != nil {
+		return nil, &CycleError{Path: cyc}
 	}
 	adj := make(map[string][]string)
 	indeg := make(map[string]int)

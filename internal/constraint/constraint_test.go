@@ -1,6 +1,7 @@
 package constraint
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -75,8 +76,23 @@ func TestAcyclicity(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "cyclic") {
 		t.Errorf("cycle not detected: %v", err)
 	}
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Validate returned %T, want *CycleError", err)
+	}
+	// FindCycle visits nodes in sorted order, so the reported path starts
+	// at A and repeats it at the end.
+	if got, want := strings.Join(ce.Path, "→"), "A→B→C→A"; got != want {
+		t.Errorf("cycle path = %s, want %s", got, want)
+	}
+	if !strings.Contains(err.Error(), "A → B → C → A") {
+		t.Errorf("error does not spell out the cycle path: %v", err)
+	}
 	if _, err := cyc.TopoOrder(); err == nil {
 		t.Error("TopoOrder accepted cyclic set")
+	}
+	if cyc.FindCycle() == nil {
+		t.Error("FindCycle returned nil for cyclic set")
 	}
 
 	dag := NewSet()

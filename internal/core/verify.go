@@ -146,7 +146,7 @@ func warehouseFingerprint(w algebra.MapState) string {
 func (c *Complement) StoredSize(st algebra.State) (int, error) {
 	n := 0
 	for _, e := range c.StoredEntries() {
-		r, err := algebra.Eval(e.Def, st)
+		r, err := algebra.EvalCtx(nil, e.Def, st)
 		if err != nil {
 			return 0, err
 		}

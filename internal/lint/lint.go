@@ -1,0 +1,179 @@
+// Package lint is a dependency-free static-analysis framework for this
+// repository: Layer 1 of the dwvet subsystem (see DESIGN.md §10). It
+// loads and type-checks packages using only the standard library
+// (go/parser + go/types, with export data produced by `go list -export`),
+// runs a small catalog of analyzers encoding invariants this codebase
+// relies on, and reports diagnostics with positions.
+//
+// The analyzers:
+//
+//   - lockdiscipline: no write to a mutex-guarded struct field while only
+//     the read lock is held (the PR-2 dwserve data-race class);
+//   - evalctx: library code under internal/ must call the context-aware
+//     evaluation entry points, never the context-free wrappers reserved
+//     for the public facade;
+//   - planops: operator dispatch over algebra.Expr must be exhaustive, so
+//     flat stats and plan trees cannot silently drift when an operator
+//     kind is added;
+//   - senterr: error messages describing sentinel conditions must wrap
+//     the sentinel errors so errors.Is works across the public API.
+//
+// A diagnostic can be suppressed with a directive comment on the flagged
+// line or the line above it:
+//
+//	//dwlint:ignore <analyzer>[,<analyzer>...] [reason]
+//	//dwlint:ignore all [reason]
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and ignore directives.
+	Name string
+	// Doc is a one-line description for `dwlint -list`.
+	Doc string
+	// Run reports the analyzer's findings on one package via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer run over one loaded package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders "file:line:col: [analyzer] message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the analyzer catalog in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{EvalCtxAnalyzer, LockDiscipline, PlanOps, SentErr}
+}
+
+// ByName resolves analyzer names (comma-separated lists accepted by the
+// driver) against the catalog.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	out := make([]*Analyzer, 0, len(names))
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every package, filters diagnostics through
+// the //dwlint:ignore directives, and returns the findings sorted by
+// position then analyzer name.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		ig := collectIgnores(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) {
+				if ig.suppresses(a.Name, d.Pos) {
+					return
+				}
+				all = append(all, d)
+			}}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// ignoreSet maps file → line → analyzer names suppressed on that line.
+type ignoreSet map[string]map[int]map[string]bool
+
+// suppresses reports whether a diagnostic of the named analyzer at pos is
+// covered by a directive on its line or the line above.
+func (ig ignoreSet) suppresses(analyzer string, pos token.Position) bool {
+	lines := ig[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
+		if names := lines[ln]; names != nil && (names["all"] || names[analyzer]) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores scans every comment of the package for ignore directives.
+func collectIgnores(pkg *Package) ignoreSet {
+	ig := make(ignoreSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//dwlint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := ig[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					ig[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				for _, n := range strings.Split(fields[0], ",") {
+					names[strings.TrimSpace(n)] = true
+				}
+			}
+		}
+	}
+	return ig
+}

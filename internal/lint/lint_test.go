@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// testAnalyzer loads ./testdata/src/<fixture>, runs one analyzer, and
+// matches its diagnostics against the fixture's `// want "substr"`
+// comments: every want must be satisfied on its line, and no diagnostic
+// may appear without one.
+func testAnalyzer(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	pkgs, err := Load(".", "./testdata/src/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	type want struct {
+		line    int
+		substr  string
+		matched bool
+	}
+	re := regexp.MustCompile(`// want "([^"]*)"`)
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if m := re.FindStringSubmatch(c.Text); m != nil {
+					wants = append(wants, &want{line: pkg.Fset.Position(c.Pos()).Line, substr: m[1]})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want comments", fixture)
+	}
+
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{a}) {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at line %d containing %q", w.line, w.substr)
+		}
+	}
+}
+
+func TestLockDiscipline(t *testing.T) { testAnalyzer(t, LockDiscipline, "lockdiscipline") }
+func TestEvalCtx(t *testing.T)        { testAnalyzer(t, EvalCtxAnalyzer, "evalctx") }
+func TestPlanOps(t *testing.T)        { testAnalyzer(t, PlanOps, "planops") }
+func TestSentErr(t *testing.T)        { testAnalyzer(t, SentErr, "senterr") }
+
+func TestByName(t *testing.T) {
+	as, err := ByName([]string{"senterr", "planops"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "senterr" || as[1].Name != "planops" {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := ByName([]string{"nope"}); err == nil {
+		t.Fatal("expected error for unknown analyzer")
+	}
+}
+
+// TestRepoClean is the acceptance gate: the repository's own packages
+// must pass every analyzer. This is the same check CI runs via
+// `dwlint ./...`, kept in-tree so plain `go test ./...` catches
+// regressions too.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("%s", d)
+	}
+}

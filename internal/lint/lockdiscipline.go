@@ -1,0 +1,464 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline flags writes to mutex-guarded struct fields while only
+// the read lock is held — the exact data-race class PR 2 shipped and then
+// hand-fixed in cmd/dwserve (stats mutation inside an RLock critical
+// section).
+//
+// The guarding convention is the standard Go struct layout idiom: the
+// fields guarded by a sync.RWMutex field are the named fields declared on
+// the lines immediately following it; a blank line ends the guarded
+// group. Doc comments between fields are transparent. A write is a plain
+// assignment, an IncDec, an element assignment, or a call to a
+// pointer-receiver method on a value-typed guarded field (the pattern
+// that bit PR 2: stats.Add under RLock).
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no write to an RWMutex-guarded struct field while only the read lock is held",
+	Run:  runLockDiscipline,
+}
+
+// structGuards is the guard layout of one struct type.
+type structGuards struct {
+	// anchors is the set of sync.RWMutex field names.
+	anchors map[string]bool
+	// guardedBy maps a field name to the RWMutex field guarding it.
+	guardedBy map[string]string
+}
+
+// lockKey identifies one mutex instance in scope: the variable holding
+// the struct and the mutex field name within it.
+type lockKey struct {
+	base  types.Object
+	mutex string
+}
+
+const (
+	lockNone = iota
+	lockRead
+	lockWrite
+)
+
+type lockState map[lockKey]int
+
+func cloneState(st lockState) lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+type lockAnalysis struct {
+	pass   *Pass
+	guards map[*types.TypeName]*structGuards
+}
+
+func runLockDiscipline(pass *Pass) {
+	a := &lockAnalysis{pass: pass, guards: collectGuards(pass.Pkg)}
+	if len(a.guards) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.stmts(fd.Body.List, make(lockState))
+		}
+	}
+}
+
+// collectGuards derives the guard layout of every struct declared in the
+// package from its field ordering.
+func collectGuards(pkg *Package) map[*types.TypeName]*structGuards {
+	guards := make(map[*types.TypeName]*structGuards)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			sg := &structGuards{anchors: make(map[string]bool), guardedBy: make(map[string]string)}
+			anchor := ""  // RWMutex field currently opening a guarded group
+			prevEnd := -2 // line the previous field ended on
+			for _, field := range st.Fields.List {
+				start := pkg.Fset.Position(field.Pos()).Line
+				if field.Doc != nil {
+					start = pkg.Fset.Position(field.Doc.Pos()).Line
+				}
+				if start > prevEnd+1 {
+					anchor = "" // blank line: guarded group ends
+				}
+				prevEnd = pkg.Fset.Position(field.End()).Line
+				if len(field.Names) == 0 {
+					continue // embedded field: no guard convention
+				}
+				if isRWMutex(pkg.Info, field.Type) {
+					anchor = field.Names[0].Name
+					sg.anchors[anchor] = true
+					continue
+				}
+				if anchor == "" || isAtomic(pkg.Info, field.Type) {
+					continue
+				}
+				for _, name := range field.Names {
+					sg.guardedBy[name.Name] = anchor
+				}
+			}
+			if len(sg.anchors) > 0 {
+				guards[tn] = sg
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func isRWMutex(info *types.Info, texpr ast.Expr) bool {
+	return isNamedFrom(info, texpr, "sync", "RWMutex")
+}
+
+// isAtomic reports whether the field type lives in sync/atomic; such
+// fields are safe to mutate under a read lock by design.
+func isAtomic(info *types.Info, texpr ast.Expr) bool {
+	tv, ok := info.Types[texpr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+func isNamedFrom(info *types.Info, texpr ast.Expr, pkgPath, name string) bool {
+	tv, ok := info.Types[texpr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// guardsOf returns the guard layout for the struct type held by obj
+// (through one level of pointer), or nil.
+func (a *lockAnalysis) guardsOf(obj types.Object) *structGuards {
+	if obj == nil {
+		return nil
+	}
+	t := obj.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return a.guards[named.Obj()]
+}
+
+// pathOf decomposes base.f1.f2... into the base variable and the chain of
+// field objects; ok is false for anything that is not a plain
+// variable-rooted field selection.
+func (a *lockAnalysis) pathOf(e ast.Expr) (types.Object, []*types.Var, bool) {
+	info := a.pass.Pkg.Info
+	var fields []*types.Var
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			v, ok := info.Uses[x.Sel].(*types.Var)
+			if !ok || !v.IsField() {
+				return nil, nil, false
+			}
+			fields = append([]*types.Var{v}, fields...)
+			e = x.X
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if _, ok := obj.(*types.Var); !ok {
+				return nil, nil, false
+			}
+			return obj, fields, true
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// lockOp recognises base.mutexField.{Lock,RLock,Unlock,RUnlock}() calls
+// on a known RWMutex anchor and returns the affected key and new state.
+func (a *lockAnalysis) lockOp(e ast.Expr) (lockKey, int, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return lockKey{}, 0, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, 0, false
+	}
+	var mode int
+	switch sel.Sel.Name {
+	case "RLock":
+		mode = lockRead
+	case "Lock":
+		mode = lockWrite
+	case "RUnlock", "Unlock":
+		mode = lockNone
+	default:
+		return lockKey{}, 0, false
+	}
+	base, fields, ok := a.pathOf(sel.X)
+	if !ok || len(fields) != 1 {
+		return lockKey{}, 0, false
+	}
+	sg := a.guardsOf(base)
+	if sg == nil || !sg.anchors[fields[0].Name()] {
+		return lockKey{}, 0, false
+	}
+	return lockKey{base: base, mutex: fields[0].Name()}, mode, true
+}
+
+func (a *lockAnalysis) stmts(list []ast.Stmt, st lockState) {
+	for _, s := range list {
+		a.stmt(s, st)
+	}
+}
+
+func (a *lockAnalysis) stmt(s ast.Stmt, st lockState) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if key, mode, ok := a.lockOp(s.X); ok {
+			if mode == lockNone {
+				delete(st, key)
+			} else {
+				st[key] = mode
+			}
+			return
+		}
+		a.expr(s.X, st)
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			a.write(lhs, st, s.Pos())
+		}
+		for _, rhs := range s.Rhs {
+			a.expr(rhs, st)
+		}
+	case *ast.IncDecStmt:
+		a.write(s.X, st, s.Pos())
+	case *ast.DeferStmt:
+		// A deferred unlock runs at return: the lock stays held for the
+		// remainder of the function, so state is unchanged here.
+		if _, _, ok := a.lockOp(s.Call); ok {
+			return
+		}
+		a.expr(s.Call, st)
+	case *ast.GoStmt:
+		a.expr(s.Call, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			a.expr(r, st)
+		}
+	case *ast.SendStmt:
+		a.expr(s.Chan, st)
+		a.expr(s.Value, st)
+	case *ast.LabeledStmt:
+		a.stmt(s.Stmt, st)
+	case *ast.BlockStmt:
+		a.stmts(s.List, st)
+	case *ast.IfStmt:
+		a.stmt(s.Init, st)
+		a.expr(s.Cond, st)
+		a.stmts(s.Body.List, cloneState(st))
+		if s.Else != nil {
+			a.stmt(s.Else, cloneState(st))
+		}
+	case *ast.ForStmt:
+		a.stmt(s.Init, st)
+		if s.Cond != nil {
+			a.expr(s.Cond, st)
+		}
+		body := cloneState(st)
+		a.stmts(s.Body.List, body)
+		a.stmt(s.Post, body)
+	case *ast.RangeStmt:
+		a.expr(s.X, st)
+		a.stmts(s.Body.List, cloneState(st))
+	case *ast.SwitchStmt:
+		a.stmt(s.Init, st)
+		if s.Tag != nil {
+			a.expr(s.Tag, st)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					a.expr(e, st)
+				}
+				a.stmts(cc.Body, cloneState(st))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		a.stmt(s.Init, st)
+		a.stmt(s.Assign, st)
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				a.stmts(cc.Body, cloneState(st))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				branch := cloneState(st)
+				a.stmt(cc.Comm, branch)
+				a.stmts(cc.Body, branch)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						a.expr(v, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+// write checks one assignment target against the guard layout: a store
+// into base.f... is flagged when f is guarded and only the read lock on
+// its mutex is held. Element writes (m[k] = v, s[i] = v) count as writes
+// to the container field.
+func (a *lockAnalysis) write(lhs ast.Expr, st lockState, pos token.Pos) {
+	lhs = ast.Unparen(lhs)
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		lhs = ix.X
+	}
+	base, fields, ok := a.pathOf(lhs)
+	if !ok || len(fields) == 0 {
+		return
+	}
+	sg := a.guardsOf(base)
+	if sg == nil {
+		return
+	}
+	mutex := sg.guardedBy[fields[0].Name()]
+	if mutex == "" || st[lockKey{base: base, mutex: mutex}] != lockRead {
+		return
+	}
+	// The store must land inside the guarded struct: every hop before the
+	// final field has to be a value, not a pointer.
+	for _, f := range fields[:len(fields)-1] {
+		if !isValueStruct(f.Type()) {
+			return
+		}
+	}
+	a.pass.Reportf(pos,
+		"write to %q (guarded by %q) while only %s.RLock is held; take %s.Lock or move the field behind its own mutex",
+		fieldPath(base, fields), mutex, mutex, mutex)
+}
+
+// expr walks an expression for two hazards: calls to pointer-receiver
+// methods on value-typed guarded fields (mutation under RLock, the PR-2
+// pattern), and function literals, whose bodies run with their own lock
+// state.
+func (a *lockAnalysis) expr(e ast.Expr, st lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			a.stmts(n.Body.List, make(lockState))
+			return false
+		case *ast.CallExpr:
+			a.mutatingCall(n, st)
+		}
+		return true
+	})
+}
+
+// mutatingCall flags base.f.Method(...) when Method has a pointer
+// receiver, f is a guarded value-typed field, and only the read lock is
+// held — the call takes &base.f and mutates guarded storage.
+func (a *lockAnalysis) mutatingCall(call *ast.CallExpr, st lockState) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := a.pass.Pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if _, ptr := sig.Recv().Type().(*types.Pointer); !ptr {
+		return // value receiver: operates on a copy
+	}
+	base, fields, ok := a.pathOf(sel.X)
+	if !ok || len(fields) == 0 {
+		return
+	}
+	sg := a.guardsOf(base)
+	if sg == nil {
+		return
+	}
+	mutex := sg.guardedBy[fields[0].Name()]
+	if mutex == "" || st[lockKey{base: base, mutex: mutex}] != lockRead {
+		return
+	}
+	// &base.f... only aliases guarded storage when every hop is a value.
+	for _, f := range fields {
+		if !isValueStruct(f.Type()) {
+			return
+		}
+	}
+	a.pass.Reportf(call.Pos(),
+		"call to pointer-receiver method %s on %q (guarded by %q) while only %s.RLock is held — this mutates guarded state under a read lock",
+		fn.Name(), fieldPath(base, fields), mutex, mutex)
+}
+
+// isValueStruct reports whether t is storage embedded in the enclosing
+// struct (not reached through a pointer, interface, map, slice, or chan).
+func isValueStruct(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Slice, *types.Chan, *types.Signature:
+		return false
+	}
+	return true
+}
+
+func fieldPath(base types.Object, fields []*types.Var) string {
+	s := base.Name()
+	for _, f := range fields {
+		s += "." + f.Name()
+	}
+	return s
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PlanOps enforces exhaustive operator dispatch: a type switch over
+// algebra.Expr that handles most operator kinds must handle all of them.
+// The evaluator, the plan renderer, and the stats merge each dispatch on
+// the concrete Expr type; a forgotten case means a new operator silently
+// evaluates without counters and tree-vs-flat totals drift. Small
+// switches (< planOpsThreshold cases) that intentionally match a subset
+// and fall through are exempt.
+var PlanOps = &Analyzer{
+	Name: "planops",
+	Doc:  "type switches dispatching over algebra.Expr must cover every operator kind",
+	Run:  runPlanOps,
+}
+
+// planOpsThreshold is the number of distinct concrete operator kinds a
+// type switch must handle before it is considered an operator dispatch
+// that has to be exhaustive.
+const planOpsThreshold = 5
+
+const algebraPkgPath = "dwcomplement/internal/algebra"
+
+func runPlanOps(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			iface, ifacePkg := exprInterface(pass.Pkg.Info, sw)
+			if iface == nil {
+				return true
+			}
+			impls := exprImpls(ifacePkg, iface)
+			if len(impls) == 0 {
+				return true
+			}
+			handled := make(map[string]bool)
+			for _, clause := range sw.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, texpr := range cc.List {
+					tv, ok := pass.Pkg.Info.Types[texpr]
+					if !ok || tv.Type == nil {
+						continue
+					}
+					t := tv.Type
+					if p, ok := t.(*types.Pointer); ok {
+						t = p.Elem()
+					}
+					if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == ifacePkg {
+						handled[named.Obj().Name()] = true
+					}
+				}
+			}
+			var missing []string
+			for _, name := range impls {
+				if !handled[name] {
+					missing = append(missing, name)
+				}
+			}
+			if len(handled) >= planOpsThreshold && len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(sw.Pos(),
+					"type switch over algebra.Expr handles %d of %d operator kinds; missing: %s — unhandled operators skip stats/plan accounting",
+					len(handled), len(impls), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// exprInterface returns the algebra.Expr interface and its package if the
+// type switch dispatches on it, else nil.
+func exprInterface(info *types.Info, sw *ast.TypeSwitchStmt) (*types.Interface, *types.Package) {
+	var ta *ast.TypeAssertExpr
+	switch s := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		ta, _ = s.X.(*ast.TypeAssertExpr)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			ta, _ = s.Rhs[0].(*ast.TypeAssertExpr)
+		}
+	}
+	if ta == nil {
+		return nil, nil
+	}
+	tv, ok := info.Types[ta.X]
+	if !ok || tv.Type == nil {
+		return nil, nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Expr" || obj.Pkg() == nil || obj.Pkg().Path() != algebraPkgPath {
+		return nil, nil
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return nil, nil
+	}
+	return iface, obj.Pkg()
+}
+
+// exprImpls returns the names of every concrete type in pkg implementing
+// the interface (directly or through its pointer), sorted.
+func exprImpls(pkg *types.Package, iface *types.Interface) []string {
+	var impls []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if types.IsInterface(named) {
+			continue
+		}
+		if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+			impls = append(impls, name)
+		}
+	}
+	sort.Strings(impls)
+	return impls
+}

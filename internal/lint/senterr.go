@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// SentErr enforces sentinel-error wrapping: an error message that
+// describes one of the repo's sentinel conditions must be built with
+// %w wrapping the sentinel, so errors.Is(err, dwc.ErrUnknownRelation)
+// and errors.Is(err, dwc.ErrSchemaMismatch) work across the public API
+// no matter which layer produced the error.
+var SentErr = &Analyzer{
+	Name: "senterr",
+	Doc:  "errors describing sentinel conditions must wrap ErrUnknownRelation / ErrSchemaMismatch with %w",
+	Run:  runSentErr,
+}
+
+// sentinelPhrases maps message substrings to the sentinel each implies.
+var sentinelPhrases = []struct {
+	phrase, sentinel string
+}{
+	{"unknown relation", "ErrUnknownRelation"},
+	{"schema mismatch", "ErrSchemaMismatch"},
+	{"arity mismatch", "ErrSchemaMismatch"},
+}
+
+func runSentErr(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil ||
+				fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			lower := strings.ToLower(format)
+			for _, sp := range sentinelPhrases {
+				if !strings.Contains(lower, sp.phrase) {
+					continue
+				}
+				if strings.Contains(format, "%w") && argMentions(call.Args[1:], sp.sentinel) {
+					continue
+				}
+				pass.Reportf(call.Pos(),
+					"error mentions %q but does not wrap %s; use fmt.Errorf(\"...: %%w\", ..., %s)",
+					sp.phrase, sp.sentinel, sp.sentinel)
+			}
+			return true
+		})
+	}
+}
+
+// argMentions reports whether any argument expression references an
+// identifier with the given name (the sentinel var, possibly through a
+// package qualifier or facade re-export).
+func argMentions(args []ast.Expr, name string) bool {
+	for _, a := range args {
+		found := false
+		ast.Inspect(a, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+// Package evalctx is the minimal failing fixture for the evalctx
+// analyzer: it sits under internal/ and calls the context-free
+// evaluation wrappers reserved for the public facade.
+package evalctx
+
+import (
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/view"
+)
+
+func contextFree(e algebra.Expr, st algebra.State, v *view.PSJ, vs *view.Set) {
+	_, _ = algebra.Eval(e, st)  // want "context-free algebra.Eval"
+	_ = algebra.MustEval(e, st) // want "context-free algebra.MustEval"
+	_, _ = v.Eval(st)           // want "context-free view.PSJ.Eval"
+	_, _ = vs.Eval(st)          // want "context-free view.Set.Eval"
+}
+
+func contextAware(e algebra.Expr, st algebra.State, v *view.PSJ, vs *view.Set) {
+	ec := algebra.NewEvalContext(nil)
+	_, _ = algebra.EvalCtx(ec, e, st)
+	_, _ = v.EvalCtx(ec, st)
+	_, _ = vs.EvalCtx(ec, st)
+}
+
+func suppressed(e algebra.Expr, st algebra.State) {
+	//dwlint:ignore evalctx corpus sampling needs no cancellation
+	_, _ = algebra.Eval(e, st)
+}

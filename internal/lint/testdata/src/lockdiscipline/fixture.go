@@ -1,0 +1,129 @@
+// Package lockdiscipline is the minimal failing fixture for the
+// lockdiscipline analyzer. racyServer reproduces the PR-2 dwserve bug
+// class verbatim: stats mutation while only mu.RLock is held.
+package lockdiscipline
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	n int
+}
+
+func (s *stats) Add(d int) { s.n += d }
+
+func (s stats) Snapshot() int { return s.n }
+
+type racyServer struct {
+	mu         sync.RWMutex
+	data       map[string]int
+	hits       int
+	queryStats stats
+
+	unguarded int
+}
+
+// handleQuery is the PR-2 race: read path takes RLock, then mutates
+// guarded state.
+func (s *racyServer) handleQuery(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := s.data[k]
+	s.queryStats.Add(1) // want "mutates guarded state under a read lock"
+	s.hits++            // want "while only mu.RLock is held"
+	s.data[k] = v + 1   // want "while only mu.RLock is held"
+	return v
+}
+
+// handleUpdate is the correct write path: full Lock.
+func (s *racyServer) handleUpdate(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[k] = v
+	s.hits++
+	s.queryStats.Add(1)
+}
+
+// unguardedOK: fields outside the guarded group are not flagged.
+func (s *racyServer) unguardedOK() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.unguarded++
+}
+
+// noLockOK: writes with no lock held (constructors, single-threaded
+// setup) are out of scope for this analyzer.
+func (s *racyServer) noLockOK() {
+	s.hits = 0
+	s.queryStats.Add(1)
+}
+
+// upgradeOK: the read section ends before the write section begins.
+func (s *racyServer) upgradeOK(k string, v int) {
+	s.mu.RLock()
+	_ = s.data[k]
+	s.mu.RUnlock()
+	s.mu.Lock()
+	s.data[k] = v
+	s.mu.Unlock()
+}
+
+// readOnlyCallOK: value-receiver methods cannot mutate the field.
+func (s *racyServer) readOnlyCallOK() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.queryStats.Snapshot()
+}
+
+// branchScope: a lock taken inside a branch does not leak to the outer
+// scope, but writes inside the branch are still checked.
+func (s *racyServer) branchScope(cond bool) {
+	if cond {
+		s.mu.RLock()
+		s.hits++ // want "while only mu.RLock is held"
+		s.mu.RUnlock()
+	}
+	s.hits++
+}
+
+// closureFreshState: a function literal runs with its own lock state.
+func (s *racyServer) closureFreshState() func() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return func() {
+		s.hits++ // deferred execution: no lock held when it runs
+	}
+}
+
+// suppressed shows the escape hatch.
+func (s *racyServer) suppressed() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	//dwlint:ignore lockdiscipline exercised by the framework test
+	s.hits++
+}
+
+// fixedServer is the PR-2 fix: stats behind their own mutex, counters
+// atomic. Nothing here is flagged.
+type fixedServer struct {
+	mu   sync.RWMutex
+	data map[string]int
+
+	queries atomic.Int64
+
+	statsMu    sync.Mutex
+	queryStats stats
+}
+
+func (s *fixedServer) handleQuery(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := s.data[k]
+	s.queries.Add(1)
+	s.statsMu.Lock()
+	s.queryStats.Add(1)
+	s.statsMu.Unlock()
+	return v
+}

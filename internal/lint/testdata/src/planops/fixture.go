@@ -1,0 +1,74 @@
+// Package planops is the minimal failing fixture for the planops
+// analyzer: a near-exhaustive type switch over algebra.Expr that forgot
+// an operator kind.
+package planops
+
+import "dwcomplement/internal/algebra"
+
+// nearlyExhaustive handles 7 of the 8 operator kinds; Rename silently
+// falls through to the default and would skip stats accounting.
+func nearlyExhaustive(e algebra.Expr) string {
+	switch e.(type) { // want "missing: Rename"
+	case *algebra.Base:
+		return "base"
+	case *algebra.Empty:
+		return "empty"
+	case *algebra.Select:
+		return "select"
+	case *algebra.Project:
+		return "project"
+	case *algebra.Join:
+		return "join"
+	case *algebra.Union:
+		return "union"
+	case *algebra.Diff:
+		return "diff"
+	default:
+		return "?"
+	}
+}
+
+// smallSubset intentionally matches a few kinds and falls through; below
+// the threshold it is not an operator dispatch.
+func smallSubset(e algebra.Expr) bool {
+	switch e.(type) {
+	case *algebra.Join, *algebra.Union, *algebra.Diff:
+		return true
+	default:
+		return false
+	}
+}
+
+// exhaustive handles every operator kind.
+func exhaustive(e algebra.Expr) string {
+	switch e.(type) {
+	case *algebra.Base:
+		return "base"
+	case *algebra.Empty:
+		return "empty"
+	case *algebra.Select:
+		return "select"
+	case *algebra.Project:
+		return "project"
+	case *algebra.Join:
+		return "join"
+	case *algebra.Union:
+		return "union"
+	case *algebra.Diff:
+		return "diff"
+	case *algebra.Rename:
+		return "rename"
+	default:
+		return "?"
+	}
+}
+
+// otherInterface dispatches on a different interface; not our business.
+func otherInterface(c algebra.Cond) bool {
+	switch c.(type) {
+	case algebra.True:
+		return true
+	default:
+		return false
+	}
+}

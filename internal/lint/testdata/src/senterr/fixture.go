@@ -1,0 +1,38 @@
+// Package senterr is the minimal failing fixture for the senterr
+// analyzer: sentinel conditions reported as ad-hoc fmt.Errorf, invisible
+// to errors.Is across the public API.
+package senterr
+
+import (
+	"fmt"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/relation"
+)
+
+func adHocUnknown(name string) error {
+	return fmt.Errorf("pkg: unknown relation %q", name) // want "does not wrap ErrUnknownRelation"
+}
+
+func adHocMismatch(got, want int) error {
+	return fmt.Errorf("pkg: arity mismatch: got %d, want %d", got, want) // want "does not wrap ErrSchemaMismatch"
+}
+
+// wrappedWithoutVerb mentions the sentinel but forgets %w, so errors.Is
+// still fails.
+func wrappedWithoutVerb(name string) error {
+	return fmt.Errorf("pkg: unknown relation %q (%v)", name, algebra.ErrUnknownRelation) // want "does not wrap ErrUnknownRelation"
+}
+
+func wrappedUnknown(name string) error {
+	return fmt.Errorf("pkg: unknown relation %q: %w", name, algebra.ErrUnknownRelation)
+}
+
+func wrappedMismatch(got, want int) error {
+	return fmt.Errorf("pkg: arity mismatch: got %d, want %d: %w", got, want, relation.ErrSchemaMismatch)
+}
+
+// unrelated errors are out of scope.
+func unrelated(name string) error {
+	return fmt.Errorf("pkg: cannot open %q", name)
+}

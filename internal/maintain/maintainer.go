@@ -391,7 +391,7 @@ func NormalizeUpdate(u *catalog.Update, vst *VirtualState, comp *core.Complement
 	for _, name := range u.Touched() {
 		sc, ok := db.Schema(name)
 		if !ok {
-			return nil, fmt.Errorf("maintain: update references unknown relation %q", name)
+			return nil, fmt.Errorf("maintain: update references unknown relation %q: %w", name, algebra.ErrUnknownRelation)
 		}
 		schemaAttrs := sc.AttrNames()
 		ins, del := u.Inserts(name), u.Deletes(name)

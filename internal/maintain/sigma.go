@@ -34,7 +34,7 @@ func NewSigmaMaintainer(db *catalog.Database, views *view.Set) (*SigmaMaintainer
 		}
 		sc, ok := db.Schema(v.Bases[0])
 		if !ok {
-			return nil, fmt.Errorf("maintain: %s references unknown relation %q", v.Name, v.Bases[0])
+			return nil, fmt.Errorf("maintain: %s references unknown relation %q: %w", v.Name, v.Bases[0], algebra.ErrUnknownRelation)
 		}
 		if !v.ProjSet().Equal(sc.AttrSet()) {
 			return nil, fmt.Errorf("maintain: %s is not a σ-view: projects %v instead of %v",
@@ -48,7 +48,7 @@ func NewSigmaMaintainer(db *catalog.Database, views *view.Set) (*SigmaMaintainer
 func (m *SigmaMaintainer) Materialize(st algebra.State) (algebra.MapState, error) {
 	out := make(algebra.MapState, m.views.Len())
 	for _, v := range m.views.Views() {
-		r, err := v.Eval(st)
+		r, err := v.EvalCtx(nil, st)
 		if err != nil {
 			return nil, err
 		}

@@ -238,11 +238,11 @@ func intersectExpr(a, b algebra.Expr) algebra.Expr {
 // evaluation path, used to cross-check the runtime propagation.
 func EvalMaintenance(m MaintenanceExprs, st algebra.State, u *catalog.Update, db *catalog.Database) (Delta, error) {
 	ext := deltaState{base: st, u: u, db: db}
-	ins, err := algebra.Eval(m.Ins, ext)
+	ins, err := algebra.EvalCtx(nil, m.Ins, ext)
 	if err != nil {
 		return Delta{}, err
 	}
-	del, err := algebra.Eval(m.Del, ext)
+	del, err := algebra.EvalCtx(nil, m.Del, ext)
 	if err != nil {
 		return Delta{}, err
 	}

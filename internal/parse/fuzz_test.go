@@ -1,0 +1,101 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzExpr checks two properties of the expression grammar on arbitrary
+// input: the parser never panics, and for every accepted input the
+// printed form round-trips — parse(e.String()) succeeds and prints
+// identically. The second property is the documented contract ("output
+// of algebra's String methods parses back to an Equal tree") that the
+// REPL and dwctl translate rely on.
+func FuzzExpr(f *testing.F) {
+	for _, seed := range []string{
+		"Sale",
+		"pi{item, clerk}(Sale)",
+		"pi{clerk}(sigma{item = 'PC'}(Sale join Emp))",
+		"π{clerk,age}(Sale ⋈ Emp)",
+		"sigma{age > 30 and not item = 'TV'}(Emp)",
+		"rho{clerk -> name}(Emp)",
+		"(A union B) minus C",
+		"pi{a}(A) union pi{a}(B) union pi{a}(C)",
+		"sigma{a = null}(A)",
+		"sigma{x >= 1.5}(A join B join C)",
+		"empty(Sale)",
+		"pi{}(Sale)",
+		"sigma{'x' = y}(R)",
+		"pi{a}(sigma{true}(R))",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Expr(src)
+		if err != nil {
+			return
+		}
+		printed := e.String()
+		e2, err := Expr(printed)
+		if err != nil {
+			t.Fatalf("round-trip parse of %q (printed from %q) failed: %v", printed, src, err)
+		}
+		if got := e2.String(); got != printed {
+			t.Fatalf("printing not stable: %q -> %q -> %q", src, printed, got)
+		}
+	})
+}
+
+// FuzzCond does the same for standalone selection conditions (the DSL's
+// domain constraint syntax).
+func FuzzCond(f *testing.F) {
+	for _, seed := range []string{
+		"true",
+		"loc = 'paris'",
+		"age > 30 and qty <= 10",
+		"not (a = b or c != d)",
+		"x = null",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Cond(src)
+		if err != nil {
+			return
+		}
+		printed := c.String()
+		c2, err := Cond(printed)
+		if err != nil {
+			t.Fatalf("round-trip parse of %q (printed from %q) failed: %v", printed, src, err)
+		}
+		if got := c2.String(); got != printed {
+			t.Fatalf("printing not stable: %q -> %q -> %q", src, printed, got)
+		}
+	})
+}
+
+// FuzzSpec checks that whole-spec parsing — strict and diagnostic mode —
+// never panics on arbitrary input. Inputs containing load statements are
+// skipped so the fuzzer cannot touch the filesystem.
+func FuzzSpec(f *testing.F) {
+	for _, seed := range []string{
+		"relation Sale(item string, clerk string)\nview V = pi{item}(Sale)\n",
+		"relation Emp(clerk string, age int) key(clerk)\ninsert Emp('Mary', 23)\n",
+		"relation A(x int)\nrelation B(x int)\nind A[x] <= B[x]\nfk A(x) -> B\n",
+		"relation R(loc string)\ndomain R: loc = 'paris'\n",
+		"# comment\nrelation R(a int)\ndelete R(1)\nupdate R set a = 2\n",
+		"view V = pi{a}(Ghost)\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if strings.Contains(src, "load") {
+			t.Skip("load statements read files; out of scope for fuzzing")
+		}
+		_, _ = SpecText(src)
+		ds, err := SpecTextDiag(src, "")
+		if err == nil && ds.Spec == nil {
+			t.Fatal("diagnostic parse returned nil spec without error")
+		}
+	})
+}

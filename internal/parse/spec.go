@@ -41,11 +41,38 @@ func SpecText(src string) (*Spec, error) {
 // SpecTextAt parses a .dw specification with load paths resolved relative
 // to dir (empty = current working directory).
 func SpecTextAt(src, dir string) (*Spec, error) {
+	ds, err := specParse(src, dir, false)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Spec, nil
+}
+
+// specParse is the shared core of SpecTextAt (strict: first semantic
+// error aborts) and SpecTextDiag (lax: semantic errors become Issues and
+// parsing continues with the offending statement dropped). Grammar
+// errors abort in both modes — after a malformed statement the token
+// stream cannot be re-synchronized reliably.
+func specParse(src, dir string, lax bool) (*DiagSpec, error) {
 	p, err := newParser(src)
 	if err != nil {
 		return nil, err
 	}
-	spec := &Spec{DB: catalog.NewDatabase()}
+	ds := &DiagSpec{
+		Spec:      &Spec{DB: catalog.NewDatabase()},
+		ViewLines: make(map[string]int),
+	}
+	spec := ds.Spec
+	// fail handles one statement-level semantic error: strict mode
+	// propagates it, lax mode records an Issue and returns nil so the
+	// caller continues.
+	fail := func(line int, subject string, err error) error {
+		if !lax {
+			return err
+		}
+		ds.Issues = append(ds.Issues, Issue{Line: line, Subject: subject, Err: err})
+		return nil
+	}
 	var views []*view.PSJ
 	type pendingInsert struct {
 		rel  string
@@ -72,7 +99,9 @@ func SpecTextAt(src, dir string) (*Spec, error) {
 				return nil, err
 			}
 			if err := spec.DB.AddSchema(sc); err != nil {
-				return nil, fmt.Errorf("line %d: %w", kw.line, err)
+				if e := fail(kw.line, sc.Name, fmt.Errorf("line %d: %w", kw.line, err)); e != nil {
+					return nil, e
+				}
 			}
 
 		case "ind":
@@ -81,8 +110,12 @@ func SpecTextAt(src, dir string) (*Spec, error) {
 				return nil, err
 			}
 			if err := spec.DB.AddIND(from, to, x...); err != nil {
-				return nil, fmt.Errorf("line %d: %w", kw.line, err)
+				if e := fail(kw.line, from, fmt.Errorf("line %d: %w", kw.line, err)); e != nil {
+					return nil, e
+				}
+				break
 			}
+			ds.INDDecls = append(ds.INDDecls, INDDecl{From: from, To: to, Line: kw.line})
 
 		case "fk":
 			from, attrs, to, err := p.parseFKStmt()
@@ -90,8 +123,12 @@ func SpecTextAt(src, dir string) (*Spec, error) {
 				return nil, err
 			}
 			if err := spec.DB.AddForeignKey(from, attrs, to); err != nil {
-				return nil, fmt.Errorf("line %d: %w", kw.line, err)
+				if e := fail(kw.line, from, fmt.Errorf("line %d: %w", kw.line, err)); e != nil {
+					return nil, e
+				}
+				break
 			}
+			ds.INDDecls = append(ds.INDDecls, INDDecl{From: from, To: to, Line: kw.line})
 
 		case "domain":
 			rel, cond, err := p.parseDomainStmt()
@@ -99,7 +136,9 @@ func SpecTextAt(src, dir string) (*Spec, error) {
 				return nil, err
 			}
 			if err := spec.DB.AddDomain(rel, cond); err != nil {
-				return nil, fmt.Errorf("line %d: %w", kw.line, err)
+				if e := fail(kw.line, rel, fmt.Errorf("line %d: %w", kw.line, err)); e != nil {
+					return nil, e
+				}
 			}
 
 		case "view":
@@ -114,9 +153,19 @@ func SpecTextAt(src, dir string) (*Spec, error) {
 			if err != nil {
 				return nil, err
 			}
+			if _, dup := ds.ViewLines[name.text]; !dup {
+				ds.ViewLines[name.text] = name.line
+			} else if lax {
+				ds.Issues = append(ds.Issues, Issue{Line: name.line, Subject: name.text,
+					Err: fmt.Errorf("line %d: view %s defined twice", name.line, name.text)})
+				break
+			}
 			v, err := view.FromExpr(name.text, e, spec.DB)
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %w", name.line, err)
+				if e := fail(name.line, name.text, fmt.Errorf("line %d: %w", name.line, err)); e != nil {
+					return nil, e
+				}
+				break
 			}
 			views = append(views, v)
 
@@ -153,6 +202,8 @@ func SpecTextAt(src, dir string) (*Spec, error) {
 
 	vs, err := view.NewSet(spec.DB, views...)
 	if err != nil {
+		// Lax mode pre-filters duplicates and FromExpr already validated
+		// each view, so this only fires in strict mode.
 		return nil, err
 	}
 	spec.Views = vs
@@ -162,56 +213,69 @@ func SpecTextAt(src, dir string) (*Spec, error) {
 		if dir != "" && !filepath.IsAbs(path) {
 			path = filepath.Join(dir, path)
 		}
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", ld.line, err)
-		}
-		rel, err := relation.ReadCSV(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", ld.line, err)
-		}
-		sc, ok := spec.DB.Schema(ld.rel)
-		if !ok {
-			return nil, fmt.Errorf("line %d: load into unknown relation %q", ld.line, ld.rel)
-		}
-		if !rel.AttrSet().Equal(sc.AttrSet()) {
-			return nil, fmt.Errorf("line %d: %s has attributes %v, want %v",
-				ld.line, path, rel.AttrSet(), sc.AttrSet())
-		}
-		names := sc.AttrNames()
-		var insertErr error
-		rel.Each(func(t relation.Tuple) {
-			if insertErr != nil {
-				return
+		if err := loadCSV(spec, ld.rel, path, ld.line); err != nil {
+			if e := fail(ld.line, ld.rel, err); e != nil {
+				return nil, e
 			}
-			aligned := make(relation.Tuple, len(names))
-			for i, a := range names {
-				pos, _ := rel.Pos(a)
-				aligned[i] = t[pos]
-			}
-			if _, err := spec.State.Insert(ld.rel, aligned); err != nil {
-				insertErr = fmt.Errorf("line %d: %w", ld.line, err)
-			}
-		})
-		if insertErr != nil {
-			return nil, insertErr
 		}
 	}
 	for _, ins := range inserts {
 		if _, err := spec.State.Insert(ins.rel, ins.t); err != nil {
-			return nil, fmt.Errorf("line %d: %w", ins.line, err)
+			if e := fail(ins.line, ins.rel, fmt.Errorf("line %d: %w", ins.line, err)); e != nil {
+				return nil, e
+			}
 		}
 	}
 	for _, del := range deletes {
 		if _, err := spec.State.Delete(del.rel, del.t); err != nil {
-			return nil, fmt.Errorf("line %d: %w", del.line, err)
+			if e := fail(del.line, del.rel, fmt.Errorf("line %d: %w", del.line, err)); e != nil {
+				return nil, e
+			}
 		}
 	}
 	if err := spec.State.Check(); err != nil {
-		return nil, fmt.Errorf("initial state: %w", err)
+		if e := fail(0, "", fmt.Errorf("initial state: %w", err)); e != nil {
+			return nil, e
+		}
 	}
-	return spec, nil
+	return ds, nil
+}
+
+// loadCSV reads one "load R from 'file'" statement into the spec state.
+func loadCSV(spec *Spec, relName, path string, line int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("line %d: %w", line, err)
+	}
+	rel, err := relation.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("line %d: %w", line, err)
+	}
+	sc, ok := spec.DB.Schema(relName)
+	if !ok {
+		return fmt.Errorf("line %d: load into unknown relation %q: %w", line, relName, algebra.ErrUnknownRelation)
+	}
+	if !rel.AttrSet().Equal(sc.AttrSet()) {
+		return fmt.Errorf("line %d: %s has attributes %v, want %v",
+			line, path, rel.AttrSet(), sc.AttrSet())
+	}
+	names := sc.AttrNames()
+	var insertErr error
+	rel.Each(func(t relation.Tuple) {
+		if insertErr != nil {
+			return
+		}
+		aligned := make(relation.Tuple, len(names))
+		for i, a := range names {
+			pos, _ := rel.Pos(a)
+			aligned[i] = t[pos]
+		}
+		if _, err := spec.State.Insert(relName, aligned); err != nil {
+			insertErr = fmt.Errorf("line %d: %w", line, err)
+		}
+	})
+	return insertErr
 }
 
 // UpdateOps parses a sequence of "insert R(...)" / "delete R(...)"
@@ -279,7 +343,7 @@ func (p *parser) parseModifyStmt(db *catalog.Database, st algebra.State, u *cata
 	}
 	sc, ok := db.Schema(relTok.text)
 	if !ok {
-		return fmt.Errorf("line %d: update of unknown relation %q", line, relTok.text)
+		return fmt.Errorf("line %d: update of unknown relation %q: %w", line, relTok.text, algebra.ErrUnknownRelation)
 	}
 	if !p.acceptIdent("set") {
 		return fmt.Errorf("line %d: expected 'set'", line)

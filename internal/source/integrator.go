@@ -1,6 +1,7 @@
 package source
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -56,7 +57,7 @@ func (g *Integrator) drainLocked(src string) {
 	next := g.applied[src] + 1
 	i := 0
 	for ; i < len(queue) && queue[i].Seq == next; i++ {
-		if _, err := g.m.Refresh(g.w, queue[i].Update); err != nil {
+		if _, err := g.m.RefreshContext(context.Background(), g.w, queue[i].Update); err != nil {
 			// Maintenance failures indicate a corrupted warehouse state;
 			// surface loudly rather than silently dropping updates.
 			panic(fmt.Sprintf("source: integrator refresh failed: %v", err))

@@ -49,7 +49,7 @@ type Source struct {
 func NewSource(name string, db *catalog.Database, sealed bool, owned ...string) (*Source, error) {
 	for _, r := range owned {
 		if _, ok := db.Schema(r); !ok {
-			return nil, fmt.Errorf("source: %s claims unknown relation %q", name, r)
+			return nil, fmt.Errorf("source: %s claims unknown relation %q: %w", name, r, algebra.ErrUnknownRelation)
 		}
 	}
 	return &Source{
@@ -141,7 +141,7 @@ func (s *Source) Query(e algebra.Expr) (*relation.Relation, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, err := algebra.Eval(e, s.state)
+	r, err := algebra.EvalCtx(nil, e, s.state)
 	if err != nil {
 		return nil, err
 	}

@@ -130,7 +130,7 @@ func (w *Warehouse) Complement() *core.Complement { return w.comp }
 func (w *Warehouse) Initialize(st algebra.State) error {
 	state := make(algebra.MapState)
 	for _, v := range w.dimViews {
-		r, err := v.Eval(st)
+		r, err := v.EvalCtx(nil, st)
 		if err != nil {
 			return err
 		}
@@ -140,7 +140,7 @@ func (w *Warehouse) Initialize(st algebra.State) error {
 		var union *relation.Relation
 		for _, p := range f.Parts {
 			pv, _ := w.comp.Views().ByName(f.partName(p.Origin))
-			r, err := pv.Eval(st)
+			r, err := pv.EvalCtx(nil, st)
 			if err != nil {
 				return err
 			}
@@ -153,7 +153,7 @@ func (w *Warehouse) Initialize(st algebra.State) error {
 		state[f.Name] = union
 	}
 	for _, e := range w.comp.StoredEntries() {
-		r, err := algebra.Eval(e.Def, st)
+		r, err := algebra.EvalCtx(nil, e.Def, st)
 		if err != nil {
 			return err
 		}
@@ -174,7 +174,7 @@ func (w *Warehouse) Relation(name string) (*relation.Relation, bool) {
 	if !ok {
 		return nil, false
 	}
-	r, err := algebra.Eval(sub, algebra.MapState(w.state))
+	r, err := algebra.EvalCtx(nil, sub, algebra.MapState(w.state))
 	if err != nil {
 		return nil, false
 	}
@@ -241,7 +241,7 @@ func (w *Warehouse) Answer(q algebra.Expr) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return algebra.Eval(t, algebra.MapState(w.state))
+	return algebra.EvalCtx(nil, t, algebra.MapState(w.state))
 }
 
 // ReconstructBases recomputes every base relation from the warehouse.
@@ -249,7 +249,7 @@ func (w *Warehouse) ReconstructBases() (map[string]*relation.Relation, error) {
 	out := make(map[string]*relation.Relation)
 	for _, e := range w.comp.Entries() {
 		inv := algebra.Substitute(e.Inverse, w.partSub)
-		r, err := algebra.Eval(inv, algebra.MapState(w.state))
+		r, err := algebra.EvalCtx(nil, inv, algebra.MapState(w.state))
 		if err != nil {
 			return nil, fmt.Errorf("star: reconstructing %s: %w", e.Base, err)
 		}

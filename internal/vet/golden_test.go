@@ -1,0 +1,122 @@
+package vet
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dwcomplement/internal/core"
+	"dwcomplement/internal/parse"
+)
+
+var update = flag.Bool("update", false, "rewrite the .golden files under testdata/vet")
+
+// TestGolden pins the exact diagnostic output for every config under
+// testdata/vet. Each <name>.dw has a sibling <name>.golden holding the
+// rendered diagnostics followed by a final "errors: true|false" line
+// (the dwctl vet / dwserve gate verdict). Regenerate with
+// `go test ./internal/vet -run Golden -update` after an intentional
+// diagnostic change — and re-read the diff: these files are the
+// user-visible contract.
+func TestGolden(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "vet")
+	specs, err := filepath.Glob(filepath.Join(dir, "*.dw"))
+	if err != nil || len(specs) == 0 {
+		t.Fatalf("no specs under %s: %v", dir, err)
+	}
+	for _, spec := range specs {
+		name := strings.TrimSuffix(filepath.Base(spec), ".dw")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := parse.SpecTextDiag(string(src), dir)
+			if err != nil {
+				t.Fatalf("diagnostic parse aborted: %v", err)
+			}
+			diags := CheckSpec(ds, core.Theorem22())
+			var b strings.Builder
+			if len(diags) > 0 {
+				b.WriteString(Render(diags))
+				b.WriteString("\n")
+			}
+			if HasErrors(diags) {
+				b.WriteString("errors: true\n")
+			} else {
+				b.WriteString("errors: false\n")
+			}
+			got := b.String()
+
+			golden := filepath.Join(dir, name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics for %s.dw diverged from golden:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenBadMixed asserts the acceptance criterion from the issue
+// directly, independent of the golden file: one config containing a
+// cyclic IND, a non-covered relation, and a dangling projection
+// attribute reports all three, with the cycle path and source lines.
+func TestGoldenBadMixed(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "vet")
+	src, err := os.ReadFile(filepath.Join(dir, "bad_mixed.dw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := parse.SpecTextDiag(string(src), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := CheckSpec(ds, core.Theorem22())
+	if !HasErrors(diags) {
+		t.Fatal("bad_mixed.dw produced no errors")
+	}
+	byCode := make(map[string][]Diagnostic)
+	for _, d := range diags {
+		byCode[d.Code] = append(byCode[d.Code], d)
+	}
+	cyc := byCode["ind-cycle"]
+	if len(cyc) != 1 {
+		t.Fatalf("ind-cycle diagnostics = %v, want exactly one", cyc)
+	}
+	if got, want := strings.Join(cyc[0].Path, "→"), "A→B→A"; got != want {
+		t.Errorf("cycle path = %s, want %s", got, want)
+	}
+	if cyc[0].Line != 10 {
+		t.Errorf("ind-cycle reported at line %d, want 10 (the cycle-closing ind)", cyc[0].Line)
+	}
+	bad := byCode["view-def"]
+	if len(bad) != 1 || bad[0].Subject != "Bad" {
+		t.Fatalf("view-def diagnostics = %v, want one about view Bad", bad)
+	}
+	if bad[0].Line != 13 || !strings.Contains(bad[0].Message, "nosuch") {
+		t.Errorf("dangling projection not positioned/explained: %v", bad[0])
+	}
+	var orphan *Diagnostic
+	for i, d := range byCode["cover-copy"] {
+		if d.Subject == "Orphan" {
+			orphan = &byCode["cover-copy"][i]
+		}
+	}
+	if orphan == nil {
+		t.Fatalf("non-covered relation Orphan not reported; got %v", diags)
+	}
+	if orphan.Severity != Warning {
+		t.Errorf("cover-copy severity = %v, want warning", orphan.Severity)
+	}
+}

@@ -1,0 +1,417 @@
+// Package vet is Layer 2 of the dwvet subsystem (DESIGN.md §10): static
+// verification of a warehouse definition before a single tuple is
+// loaded. The paper's guarantees are structural — complement correctness
+// (Prop. 2.1), key-cover reconstruction under acyclic INDs (Thm. 2.2),
+// query independence (Thm. 3.1) — so they can be decided from the
+// schemata, constraints, and view definitions alone. Check reports:
+//
+//   - PSJ view well-formedness: projections and selection conditions over
+//     existing attributes, join attribute type compatibility, and
+//     disconnected (cartesian) join graphs;
+//   - IND acyclicity, with the offending cycle path in the diagnostic;
+//   - per-relation key-cover analysis: which base relations are
+//     reconstructible from the views alone and which need a stored
+//     complement (and whether that complement degenerates to a full copy);
+//   - a query-independence verdict for the resulting warehouse.
+package vet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/constraint"
+	"dwcomplement/internal/core"
+	"dwcomplement/internal/parse"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/view"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// Info reports a property worth knowing (e.g. a relation being
+	// reconstructible from views alone).
+	Info Severity = iota
+	// Warning marks a definition that is sound but likely not what the
+	// author wanted (full-copy complements, cartesian joins).
+	Warning
+	// Error marks a definition the warehouse must refuse to serve.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is one finding about a warehouse definition.
+type Diagnostic struct {
+	Severity Severity
+	// Code is a stable machine-readable identifier (e.g. "ind-cycle").
+	Code string
+	// Subject is the relation or view the finding is about ("" for
+	// warehouse-wide findings).
+	Subject string
+	// Line is the 1-based spec line when the definition came from a .dw
+	// file, 0 otherwise.
+	Line int
+	// Message is the human-readable explanation.
+	Message string
+	// Path is the IND cycle path for ind-cycle diagnostics (the first
+	// relation repeated at the end), nil otherwise.
+	Path []string
+}
+
+// String renders "line 12: error[ind-cycle] Sale: ..." (the line prefix
+// is omitted when unknown).
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.Line > 0 {
+		fmt.Fprintf(&b, "line %d: ", d.Line)
+	}
+	fmt.Fprintf(&b, "%s[%s]", d.Severity, d.Code)
+	if d.Subject != "" {
+		fmt.Fprintf(&b, " %s", d.Subject)
+	}
+	fmt.Fprintf(&b, ": %s", d.Message)
+	return b.String()
+}
+
+// HasErrors reports whether any diagnostic is an Error — the condition
+// under which dwserve refuses a config and dwctl vet exits non-zero.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Render formats the diagnostics one per line, errors included, in the
+// stable order produced by Check/CheckSpec.
+func Render(diags []Diagnostic) string {
+	lines := make([]string, len(diags))
+	for i, d := range diags {
+		lines[i] = d.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Check statically verifies a warehouse definition given as a database
+// and view set (the programmatic API surface; CheckSpec covers .dw
+// files). opts selects the complement construction the analysis assumes,
+// typically core.Theorem22().
+func Check(db *catalog.Database, views *view.Set, opts core.Options) []Diagnostic {
+	var diags []Diagnostic
+
+	// Constraint layer: IND references and acyclicity. A cyclic IND set
+	// invalidates the topological processing order of Theorem 2.2, so the
+	// cover analysis below is skipped when a cycle exists.
+	cyclic := false
+	if err := db.Validate(); err != nil {
+		var ce *constraint.CycleError
+		if errors.As(err, &ce) {
+			cyclic = true
+			diags = append(diags, Diagnostic{
+				Severity: Error,
+				Code:     "ind-cycle",
+				Subject:  ce.Path[0],
+				Message: fmt.Sprintf("inclusion dependencies are cyclic: %s (Theorem 2.2 requires an acyclic IND set)",
+					strings.Join(ce.Path, " → ")),
+				Path: append([]string(nil), ce.Path...),
+			})
+		} else {
+			diags = append(diags, Diagnostic{
+				Severity: Error,
+				Code:     "catalog",
+				Message:  err.Error(),
+			})
+		}
+	}
+
+	// View layer.
+	for _, v := range views.Views() {
+		diags = append(diags, checkView(db, v)...)
+	}
+
+	// Cover layer: run the complement construction symbolically and read
+	// off which relations the views already determine (Theorem 2.2).
+	if !cyclic {
+		cover, qi := checkCovers(db, views, opts)
+		diags = append(diags, cover...)
+		// The query-independence verdict only holds for a sound config:
+		// with errors present, stating it would be misleading.
+		if qi != nil && !HasErrors(diags) {
+			diags = append(diags, *qi)
+		}
+	}
+
+	sortDiags(diags)
+	return diags
+}
+
+// checkView verifies one PSJ view beyond PSJ.Validate: structural
+// validity (for hand-built views that bypassed parsing), join attribute
+// type compatibility, and join-graph connectivity.
+func checkView(db *catalog.Database, v *view.PSJ) []Diagnostic {
+	var diags []Diagnostic
+	if err := v.Validate(db); err != nil {
+		return []Diagnostic{{
+			Severity: Error,
+			Code:     "view-def",
+			Subject:  v.Name,
+			Message:  err.Error(),
+		}}
+	}
+
+	// Join attribute type compatibility: a shared attribute declared with
+	// different types never joins, so the view is empty on every state.
+	type attrDecl struct {
+		rel  string
+		kind relation.Kind
+	}
+	declared := make(map[string]attrDecl)
+	for _, b := range v.Bases {
+		sc, _ := db.Schema(b)
+		for _, a := range sc.Attrs {
+			prev, seen := declared[a.Name]
+			if !seen {
+				declared[a.Name] = attrDecl{rel: b, kind: a.Type}
+				continue
+			}
+			if prev.kind != relation.KindNull && a.Type != relation.KindNull && prev.kind != a.Type {
+				diags = append(diags, Diagnostic{
+					Severity: Error,
+					Code:     "view-types",
+					Subject:  v.Name,
+					Message: fmt.Sprintf("join attribute %q has type %s in %s but %s in %s; the join is empty on every state",
+						a.Name, prev.kind, prev.rel, a.Type, b),
+				})
+			}
+		}
+	}
+
+	// Join-graph connectivity: natural joins between relations sharing no
+	// attributes degenerate to cartesian products.
+	if len(v.Bases) > 1 {
+		if comp := joinComponents(db, v.Bases); comp > 1 {
+			diags = append(diags, Diagnostic{
+				Severity: Warning,
+				Code:     "view-cartesian",
+				Subject:  v.Name,
+				Message: fmt.Sprintf("join graph of %v has %d disconnected components; the view is a cartesian product",
+					v.Bases, comp),
+			})
+		}
+	}
+	return diags
+}
+
+// joinComponents counts connected components of the join graph: bases
+// are vertices, sharing at least one attribute is an edge.
+func joinComponents(db *catalog.Database, bases []string) int {
+	parent := make(map[string]string, len(bases))
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, b := range bases {
+		parent[b] = b
+	}
+	for i, a := range bases {
+		sa, _ := db.Schema(a)
+		for _, b := range bases[i+1:] {
+			sb, _ := db.Schema(b)
+			if !sa.AttrSet().Intersect(sb.AttrSet()).IsEmpty() {
+				parent[find(a)] = find(b)
+			}
+		}
+	}
+	roots := make(map[string]bool)
+	for _, b := range bases {
+		roots[find(b)] = true
+	}
+	return len(roots)
+}
+
+// checkCovers runs the complement construction symbolically and reports
+// the per-relation storage verdicts of Theorem 2.2, plus the overall
+// query-independence verdict of Theorem 3.1 as a separate diagnostic
+// (nil when the construction failed).
+func checkCovers(db *catalog.Database, views *view.Set, opts core.Options) ([]Diagnostic, *Diagnostic) {
+	var diags []Diagnostic
+	comp, err := core.Compute(db, views, opts)
+	if err != nil {
+		return []Diagnostic{{
+			Severity: Error,
+			Code:     "complement",
+			Message:  fmt.Sprintf("complement construction failed: %v", err),
+		}}, nil
+	}
+	stored := 0
+	for _, e := range comp.Entries() {
+		switch {
+		case e.AlwaysEmpty:
+			// The views alone determine the relation: its complement is
+			// provably empty, so nothing extra is stored or maintained.
+			msg := "reconstructible from the views alone (complement provably empty"
+			if len(e.Covers) > 0 {
+				msg += "; key covers: " + coverList(e.Covers)
+			}
+			msg += ")"
+			diags = append(diags, Diagnostic{
+				Severity: Info,
+				Code:     "cover-complete",
+				Subject:  e.Base,
+				Message:  msg,
+			})
+		case isFullCopy(e.Def, e.Base):
+			stored++
+			diags = append(diags, Diagnostic{
+				Severity: Warning,
+				Code:     "cover-copy",
+				Subject:  e.Base,
+				Message: fmt.Sprintf("no view carries information about %s: its complement %s is a full copy of the relation",
+					e.Base, e.Name),
+			})
+		default:
+			stored++
+			msg := fmt.Sprintf("needs stored complement %s = %s", e.Name, e.Def)
+			if len(e.Covers) > 0 {
+				msg += "; key covers: " + coverList(e.Covers)
+			}
+			diags = append(diags, Diagnostic{
+				Severity: Info,
+				Code:     "cover-partial",
+				Subject:  e.Base,
+				Message:  msg,
+			})
+		}
+	}
+	// Theorem 3.1: once (V, C) is a complement pair, every PSJ query over
+	// D translates to the warehouse and evaluates without source access.
+	qi := &Diagnostic{
+		Severity: Info,
+		Code:     "query-independence",
+		Message: fmt.Sprintf("warehouse is query-independent (Theorem 3.1): %d of %d base relations need stored complements",
+			stored, len(comp.Entries())),
+	}
+	return diags, qi
+}
+
+// isFullCopy reports whether a complement definition is the base relation
+// itself — the degenerate case where the views contribute nothing.
+func isFullCopy(def algebra.Expr, base string) bool {
+	b, ok := def.(*algebra.Base)
+	return ok && b.Name == base
+}
+
+func coverList(covers []core.Cover) string {
+	parts := make([]string, len(covers))
+	for i, c := range covers {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// CheckSpec verifies a parsed-in-diagnostic-mode .dw specification: the
+// parse issues become Error diagnostics with their source lines, and the
+// surviving definition goes through Check with positions attached from
+// the spec. This is the engine behind `dwctl vet` and the dwserve
+// startup gate.
+func CheckSpec(ds *parse.DiagSpec, opts core.Options) []Diagnostic {
+	var diags []Diagnostic
+	for _, is := range ds.Issues {
+		diags = append(diags, issueDiagnostic(is))
+	}
+	specBroken := HasErrors(diags)
+	for _, d := range Check(ds.Spec.DB, ds.Spec.Views, opts) {
+		// The query-independence verdict describes the surviving spec; it
+		// would mislead next to errors from statements that were dropped.
+		if specBroken && d.Code == "query-independence" {
+			continue
+		}
+		if d.Line == 0 {
+			if ln, ok := ds.ViewLines[d.Subject]; ok && strings.HasPrefix(d.Code, "view-") {
+				d.Line = ln
+			}
+		}
+		diags = append(diags, d)
+	}
+	sortDiags(diags)
+	return diags
+}
+
+// issueDiagnostic converts one lax-parse issue into a diagnostic,
+// classifying by the typed cause where one exists.
+func issueDiagnostic(is parse.Issue) Diagnostic {
+	d := Diagnostic{
+		Severity: Error,
+		Code:     "spec",
+		Subject:  is.Subject,
+		Line:     is.Line,
+		Message:  strings.TrimPrefix(is.Err.Error(), fmt.Sprintf("line %d: ", is.Line)),
+	}
+	var ce *constraint.CycleError
+	switch {
+	case errors.As(is.Err, &ce):
+		d.Code = "ind-cycle"
+		d.Path = append([]string(nil), ce.Path...)
+		d.Message = fmt.Sprintf("inclusion dependencies are cyclic: %s (Theorem 2.2 requires an acyclic IND set)",
+			strings.Join(ce.Path, " → "))
+	case errors.Is(is.Err, algebra.ErrUnknownRelation):
+		d.Code = "unknown-relation"
+	case strings.Contains(is.Err.Error(), "not a PSJ view"),
+		strings.Contains(is.Err.Error(), "projects onto"),
+		strings.Contains(is.Err.Error(), "selection references"):
+		d.Code = "view-def"
+	case strings.Contains(is.Err.Error(), "unknown schema"),
+		strings.Contains(is.Err.Error(), "unknown relation"):
+		d.Code = "unknown-relation"
+	}
+	return d
+}
+
+// sortDiags orders diagnostics by line (unpositioned findings last),
+// then severity (errors first), code, and subject — the stable order the
+// golden tests pin down.
+func sortDiags(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		al, bl := a.Line, b.Line
+		if al == 0 {
+			al = 1 << 30
+		}
+		if bl == 0 {
+			bl = 1 << 30
+		}
+		if al != bl {
+			return al < bl
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Subject < b.Subject
+	})
+}

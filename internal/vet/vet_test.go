@@ -1,0 +1,180 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/core"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/view"
+)
+
+func figure1() (*catalog.Database, *view.Set) {
+	db := catalog.NewDatabase().
+		MustAddSchema(relation.NewSchema("Sale", "item:string", "clerk:string")).
+		MustAddSchema(relation.NewSchema("Emp", "clerk:string", "age:int").WithKey("clerk"))
+	vs, err := view.NewSet(db, view.NewPSJ("Sold", []string{"item", "clerk", "age"}, nil, "Sale", "Emp"))
+	if err != nil {
+		panic(err)
+	}
+	return db, vs
+}
+
+func codes(diags []Diagnostic) map[string]int {
+	m := make(map[string]int)
+	for _, d := range diags {
+		m[d.Code]++
+	}
+	return m
+}
+
+func TestCheckCleanConfig(t *testing.T) {
+	db, vs := figure1()
+	diags := Check(db, vs, core.Theorem22())
+	if HasErrors(diags) {
+		t.Fatalf("clean config produced errors:\n%s", Render(diags))
+	}
+	c := codes(diags)
+	if c["query-independence"] != 1 {
+		t.Errorf("missing query-independence verdict: %v", c)
+	}
+	if c["cover-partial"]+c["cover-complete"]+c["cover-copy"] != 2 {
+		t.Errorf("expected one cover verdict per base relation: %v", c)
+	}
+}
+
+func TestCheckIndCycle(t *testing.T) {
+	db, vs := figure1()
+	// catalog.AddIND rejects cycles eagerly, so inject one underneath it —
+	// Check must still catch a database whose constraints were assembled
+	// outside the catalog API.
+	db.Constraints().AddIND("Sale", "Emp", "clerk")
+	db.Constraints().AddIND("Emp", "Sale", "clerk")
+	diags := Check(db, vs, core.Theorem22())
+	if !HasErrors(diags) {
+		t.Fatalf("cyclic IND set not reported:\n%s", Render(diags))
+	}
+	var cyc *Diagnostic
+	for i, d := range diags {
+		if d.Code == "ind-cycle" {
+			cyc = &diags[i]
+		}
+	}
+	if cyc == nil {
+		t.Fatalf("no ind-cycle diagnostic:\n%s", Render(diags))
+	}
+	if got, want := strings.Join(cyc.Path, "→"), "Emp→Sale→Emp"; got != want {
+		t.Errorf("cycle path = %s, want %s", got, want)
+	}
+	// With the topological order gone, cover analysis must be withheld.
+	c := codes(diags)
+	if c["cover-partial"]+c["cover-complete"]+c["cover-copy"]+c["query-independence"] != 0 {
+		t.Errorf("cover/QI verdicts emitted despite cycle: %v", c)
+	}
+}
+
+func TestCheckJoinTypeMismatch(t *testing.T) {
+	db := catalog.NewDatabase().
+		MustAddSchema(relation.NewSchema("Sale", "item:string", "clerk:int")).
+		MustAddSchema(relation.NewSchema("Emp", "clerk:string", "age:int").WithKey("clerk"))
+	vs, err := view.NewSet(db, view.NewPSJ("Sold", []string{"item", "clerk"}, nil, "Sale", "Emp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(db, vs, core.Theorem22())
+	found := false
+	for _, d := range diags {
+		if d.Code == "view-types" && d.Subject == "Sold" {
+			found = true
+			if d.Severity != Error {
+				t.Errorf("view-types severity = %v, want error", d.Severity)
+			}
+			if !strings.Contains(d.Message, "clerk") {
+				t.Errorf("message does not name the attribute: %s", d.Message)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("join type mismatch not reported:\n%s", Render(diags))
+	}
+}
+
+func TestCheckUntypedAttributesJoinFreely(t *testing.T) {
+	// KindNull (untyped attrs like "A") joins with anything.
+	db := catalog.NewDatabase().
+		MustAddSchema(relation.NewSchema("R1", "A", "B").WithKey("A")).
+		MustAddSchema(relation.NewSchema("R2", "A:int", "C").WithKey("A"))
+	vs, err := view.NewSet(db, view.NewPSJ("V", []string{"A", "B", "C"}, nil, "R1", "R2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Check(db, vs, core.Theorem22()) {
+		if d.Code == "view-types" {
+			t.Errorf("untyped join attribute flagged: %v", d)
+		}
+	}
+}
+
+func TestCheckCartesian(t *testing.T) {
+	db := catalog.NewDatabase().
+		MustAddSchema(relation.NewSchema("R", "a:int")).
+		MustAddSchema(relation.NewSchema("S", "b:int"))
+	vs, err := view.NewSet(db, view.NewPSJ("RS", []string{"a", "b"}, nil, "R", "S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(db, vs, core.Theorem22())
+	if HasErrors(diags) {
+		t.Fatalf("cartesian join must warn, not error:\n%s", Render(diags))
+	}
+	c := codes(diags)
+	if c["view-cartesian"] != 1 {
+		t.Errorf("cartesian product not warned about: %v", c)
+	}
+}
+
+func TestCheckFullCopyComplement(t *testing.T) {
+	db, _ := figure1()
+	db.MustAddSchema(relation.NewSchema("Lonely", "x:int"))
+	vs, err := view.NewSet(db, view.NewPSJ("Sold", []string{"item", "clerk", "age"}, nil, "Sale", "Emp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(db, vs, core.Theorem22())
+	found := false
+	for _, d := range diags {
+		if d.Code == "cover-copy" && d.Subject == "Lonely" {
+			found = true
+			if d.Severity != Warning {
+				t.Errorf("cover-copy severity = %v, want warning", d.Severity)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("uncovered relation not reported as full copy:\n%s", Render(diags))
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Severity: Error, Code: "ind-cycle", Subject: "A", Line: 7, Message: "boom"}
+	if got, want := d.String(), "line 7: error[ind-cycle] A: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	d = Diagnostic{Severity: Info, Code: "query-independence", Message: "fine"}
+	if got, want := d.String(), "info[query-independence]: fine"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestHasErrors(t *testing.T) {
+	if HasErrors([]Diagnostic{{Severity: Info}, {Severity: Warning}}) {
+		t.Error("warnings counted as errors")
+	}
+	if !HasErrors([]Diagnostic{{Severity: Info}, {Severity: Error}}) {
+		t.Error("error not detected")
+	}
+	if HasErrors(nil) {
+		t.Error("empty slice has errors")
+	}
+}

@@ -22,11 +22,11 @@ import (
 // schemas yield an error.
 func ExprLeq(u, v algebra.Expr, states []algebra.State) (bool, error) {
 	for _, st := range states {
-		ur, err := algebra.Eval(u, st)
+		ur, err := algebra.EvalCtx(nil, u, st)
 		if err != nil {
 			return false, err
 		}
-		vr, err := algebra.Eval(v, st)
+		vr, err := algebra.EvalCtx(nil, v, st)
 		if err != nil {
 			return false, err
 		}
@@ -50,11 +50,11 @@ func ExprLess(u, v algebra.Expr, states []algebra.State) (bool, int, error) {
 		return false, -1, err
 	}
 	for i, st := range states {
-		ur, err := algebra.Eval(u, st)
+		ur, err := algebra.EvalCtx(nil, u, st)
 		if err != nil {
 			return false, -1, err
 		}
-		vr, err := algebra.Eval(v, st)
+		vr, err := algebra.EvalCtx(nil, v, st)
 		if err != nil {
 			return false, -1, err
 		}

@@ -77,7 +77,7 @@ func (v *PSJ) JoinAttrs(db *catalog.Database) (relation.AttrSet, error) {
 	for _, b := range v.Bases {
 		sc, ok := db.Schema(b)
 		if !ok {
-			return nil, fmt.Errorf("view: %s references unknown relation %q", v.Name, b)
+			return nil, fmt.Errorf("view: %s references unknown relation %q: %w", v.Name, b, algebra.ErrUnknownRelation)
 		}
 		out = out.Union(sc.AttrSet())
 	}
@@ -190,7 +190,7 @@ func normalize(e algebra.Expr, db *catalog.Database) (*psjNorm, error) {
 	case *algebra.Base:
 		sc, ok := db.Schema(n.Name)
 		if !ok {
-			return nil, fmt.Errorf("unknown relation %q", n.Name)
+			return nil, fmt.Errorf("unknown relation %q: %w", n.Name, algebra.ErrUnknownRelation)
 		}
 		return &psjNorm{bases: []string{n.Name}, cond: algebra.True{}, proj: sc.AttrSet(), full: true}, nil
 
@@ -287,7 +287,7 @@ func joinAttrsOf(bases []string, db *catalog.Database) (relation.AttrSet, error)
 	for _, b := range bases {
 		sc, ok := db.Schema(b)
 		if !ok {
-			return nil, fmt.Errorf("unknown relation %q", b)
+			return nil, fmt.Errorf("unknown relation %q: %w", b, algebra.ErrUnknownRelation)
 		}
 		out = out.Union(sc.AttrSet())
 	}
@@ -395,9 +395,15 @@ func (s *Set) Resolver() algebra.MapResolver {
 
 // Eval materializes every view on a database state, keyed by view name.
 func (s *Set) Eval(st algebra.State) (map[string]*relation.Relation, error) {
+	return s.EvalCtx(nil, st)
+}
+
+// EvalCtx is Eval under an evaluation context (cancellation + stats);
+// ec may be nil.
+func (s *Set) EvalCtx(ec *algebra.EvalContext, st algebra.State) (map[string]*relation.Relation, error) {
 	out := make(map[string]*relation.Relation, len(s.views))
 	for _, v := range s.views {
-		r, err := v.Eval(st)
+		r, err := v.EvalCtx(ec, st)
 		if err != nil {
 			return nil, err
 		}

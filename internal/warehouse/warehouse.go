@@ -56,7 +56,7 @@ func (w *Warehouse) Complement() *core.Complement { return w.comp }
 // Initialize materializes every view and stored complement from the given
 // database state: w = W(d).
 func (w *Warehouse) Initialize(st algebra.State) error {
-	ms, err := w.comp.MaterializeWarehouse(st)
+	ms, err := w.comp.MaterializeWarehouseCtx(nil, st)
 	if err != nil {
 		return err
 	}
@@ -177,7 +177,7 @@ func (w *Warehouse) AnswerContext(ctx context.Context, q algebra.Expr) (*relatio
 // ReconstructBases applies W⁻¹ to the current warehouse state, returning
 // every base relation's content keyed by name.
 func (w *Warehouse) ReconstructBases() (map[string]*relation.Relation, error) {
-	return w.comp.Reconstruct(w)
+	return w.comp.ReconstructCtx(nil, w)
 }
 
 // CheckQueryIndependence verifies Theorem 3.1 empirically: for every query
@@ -190,15 +190,15 @@ func (w *Warehouse) CheckQueryIndependence(queries []algebra.Expr, states []alge
 			return fmt.Errorf("warehouse: query %d: %w", qi, err)
 		}
 		for si, st := range states {
-			want, err := algebra.Eval(q, st)
+			want, err := algebra.EvalCtx(nil, q, st)
 			if err != nil {
 				return err
 			}
-			ws, err := w.comp.MaterializeWarehouse(st)
+			ws, err := w.comp.MaterializeWarehouseCtx(nil, st)
 			if err != nil {
 				return err
 			}
-			got, err := algebra.Eval(qHat, ws)
+			got, err := algebra.EvalCtx(nil, qHat, ws)
 			if err != nil {
 				return err
 			}
@@ -246,7 +246,7 @@ func FindAnswerabilityWitness(q algebra.Expr, defs map[string]algebra.Expr, stat
 	for i, st := range states {
 		var b strings.Builder
 		for _, n := range names {
-			r, err := algebra.Eval(defs[n], st)
+			r, err := algebra.EvalCtx(nil, defs[n], st)
 			if err != nil {
 				return Witness{}, false, err
 			}
@@ -255,7 +255,7 @@ func FindAnswerabilityWitness(q algebra.Expr, defs map[string]algebra.Expr, stat
 			b.WriteString(r.Fingerprint())
 			b.WriteByte('#')
 		}
-		ans, err := algebra.Eval(q, st)
+		ans, err := algebra.EvalCtx(nil, q, st)
 		if err != nil {
 			return Witness{}, false, err
 		}
