@@ -1,0 +1,251 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	dwc "dwcomplement"
+	"dwcomplement/internal/chaos"
+)
+
+// corruptFile flips one bit at the given offset.
+func corruptFile(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newDurableServer builds a server in the crash-recoverable regime
+// (-snapshot-dir + journal) and returns both handles: the raw server
+// for white-box checks and the HTTP wrapper for traffic.
+func newDurableServer(t *testing.T, dir string, every int) (*server, *httptest.Server) {
+	t.Helper()
+	spec, err := dwc.ParseSpec(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(spec, dwc.Theorem22(), serverConfig{SnapshotDir: dir, CheckpointEvery: every})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// soldCount reads the Sold view's tuple count over HTTP.
+func soldCount(t *testing.T, ts *httptest.Server) int {
+	t.Helper()
+	var rel struct {
+		Count int `json:"count"`
+	}
+	if code := getJSON(t, ts.URL+"/relations/Sold", &rel); code != 200 {
+		t.Fatalf("/relations/Sold status %d", code)
+	}
+	return rel.Count
+}
+
+// TestJournalRecoveryOverHTTP acknowledges updates, kills the server
+// without a checkpoint, and boots a successor from the same directory:
+// every acknowledged update must reappear, exactly once.
+func TestJournalRecoveryOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newDurableServer(t, dir, 1000) // no periodic checkpoint
+	var out map[string]any
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf("insert Sale('item-%d', 'Mary')", i)
+		if code := postText(t, ts.URL+"/update", body, &out); code != 200 {
+			t.Fatalf("update %d status %d: %v", i, code, out)
+		}
+	}
+	if got := soldCount(t, ts); got != 4 { // seed row + 3 inserts
+		t.Fatalf("Sold count = %d, want 4", got)
+	}
+	// Crash: no shutdown(), no checkpoint — only the journal survives.
+	ts.Close()
+	if err := srv.jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, ts2 := newDurableServer(t, dir, 1000)
+	if srv2.replayed != 3 || srv2.seq != 3 {
+		t.Fatalf("replayed=%d seq=%d, want 3/3", srv2.replayed, srv2.seq)
+	}
+	if got := soldCount(t, ts2); got != 4 {
+		t.Fatalf("Sold count after recovery = %d, want 4", got)
+	}
+	var ready map[string]any
+	if code := getJSON(t, ts2.URL+"/readyz", &ready); code != 200 {
+		t.Fatalf("readyz after recovery = %d: %v", code, ready)
+	}
+
+	// A double restart replays the same suffix idempotently.
+	ts2.Close()
+	if err := srv2.jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv3, ts3 := newDurableServer(t, dir, 1000)
+	if got := soldCount(t, ts3); got != 4 {
+		t.Fatalf("Sold count after second recovery = %d, want 4", got)
+	}
+	if srv3.seq != 3 {
+		t.Fatalf("seq after second recovery = %d", srv3.seq)
+	}
+}
+
+// TestCheckpointCompaction: once a checkpoint runs, a restart replays
+// only the journal suffix past its watermark.
+func TestCheckpointCompaction(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newDurableServer(t, dir, 2) // checkpoint every 2 updates
+	var out map[string]any
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf("insert Sale('item-%d', 'Mary')", i)
+		if code := postText(t, ts.URL+"/update", body, &out); code != 200 {
+			t.Fatalf("update %d status %d: %v", i, code, out)
+		}
+	}
+	ts.Close()
+	if err := srv.jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, ts2 := newDurableServer(t, dir, 2)
+	if srv2.replayed != 1 { // updates 1,2 checkpointed; only 3 replays
+		t.Fatalf("replayed = %d, want 1", srv2.replayed)
+	}
+	if srv2.seq != 3 {
+		t.Fatalf("seq = %d, want 3", srv2.seq)
+	}
+	if got := soldCount(t, ts2); got != 4 {
+		t.Fatalf("Sold count = %d, want 4", got)
+	}
+}
+
+// TestGracefulShutdownCheckpoints: shutdown writes a final checkpoint,
+// so the successor boots with nothing to replay.
+func TestGracefulShutdownCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newDurableServer(t, dir, 1000)
+	var out map[string]any
+	if code := postText(t, ts.URL+"/update", "insert Sale('VCR', 'Paula')", &out); code != 200 {
+		t.Fatalf("update status %d: %v", code, out)
+	}
+	srv.beginDrain()
+	var ready map[string]any
+	if code := getJSON(t, ts.URL+"/readyz", &ready); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", code)
+	}
+	ts.Close()
+	if err := srv.shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, ts2 := newDurableServer(t, dir, 1000)
+	if srv2.replayed != 0 {
+		t.Fatalf("replayed = %d after clean shutdown, want 0", srv2.replayed)
+	}
+	if srv2.seq != 1 {
+		t.Fatalf("seq = %d, want 1 (from checkpoint marks)", srv2.seq)
+	}
+	if got := soldCount(t, ts2); got != 2 {
+		t.Fatalf("Sold count = %d, want 2", got)
+	}
+}
+
+// TestServeStaleOnRefreshFailure: a failing refresh answers 500, flips
+// the server degraded, and subsequent reads carry X-DW-Staleness until
+// an update succeeds again.
+func TestServeStaleOnRefreshFailure(t *testing.T) {
+	chaos.Reset()
+	defer chaos.Reset()
+	_, ts := newDurableServer(t, t.TempDir(), 1000)
+	var out map[string]any
+	if code := postText(t, ts.URL+"/update", "insert Sale('VCR', 'Paula')", &out); code != 200 {
+		t.Fatalf("seed update status %d: %v", code, out)
+	}
+
+	chaos.Arm("refresh.apply", 1, nil)
+	if code := postText(t, ts.URL+"/update", "insert Sale('PC', 'Mary')", &out); code != 500 {
+		t.Fatalf("injected update status %d, want 500", code)
+	}
+	resp, err := http.Get(ts.URL + "/query?q=Sold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-DW-Staleness") == "" {
+		t.Fatal("degraded query is missing the X-DW-Staleness header")
+	}
+	// The failed update changed nothing: still the seed row + VCR.
+	if got := soldCount(t, ts); got != 2 {
+		t.Fatalf("Sold count while degraded = %d, want 2", got)
+	}
+
+	// Recovery: the next successful update clears the degradation.
+	chaos.Reset()
+	if code := postText(t, ts.URL+"/update", "insert Sale('PC', 'Mary')", &out); code != 200 {
+		t.Fatalf("retry status %d: %v", code, out)
+	}
+	resp, err = http.Get(ts.URL + "/query?q=Sold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h := resp.Header.Get("X-DW-Staleness"); h != "" {
+		t.Fatalf("healthy query still carries X-DW-Staleness=%q", h)
+	}
+}
+
+// TestReadyzFresh: a fresh in-memory server (no durability configured)
+// is immediately ready.
+func TestReadyzFresh(t *testing.T) {
+	ts := newTestServer(t, "", "")
+	var ready map[string]any
+	if code := getJSON(t, ts.URL+"/readyz", &ready); code != 200 {
+		t.Fatalf("readyz = %d: %v", code, ready)
+	}
+	if ready["ready"] != true {
+		t.Fatalf("ready = %v", ready)
+	}
+}
+
+// TestCorruptJournalRefusesBoot: flipping a bit mid-journal must fail
+// startup loudly instead of silently serving a wrong state.
+func TestCorruptJournalRefusesBoot(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newDurableServer(t, dir, 1000)
+	var out map[string]any
+	for i := 0; i < 2; i++ {
+		body := fmt.Sprintf("insert Sale('item-%d', 'Mary')", i)
+		if code := postText(t, ts.URL+"/update", body, &out); code != 200 {
+			t.Fatalf("update status %d", code)
+		}
+	}
+	ts.Close()
+	if err := srv.jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, filepath.Join(dir, "wal.dwj"), 20)
+
+	spec, err := dwc.ParseSpec(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(spec, dwc.Theorem22(), serverConfig{SnapshotDir: dir}); err == nil {
+		t.Fatal("server booted from a corrupt journal")
+	}
+}

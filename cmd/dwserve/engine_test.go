@@ -15,7 +15,7 @@ func newTestBackend(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(spec, dwc.Theorem22(), "", "")
+	srv, err := newServer(spec, dwc.Theorem22(), serverConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,12 +26,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	dwc "dwcomplement"
 	"dwcomplement/internal/obs"
@@ -60,6 +65,10 @@ func main() {
 	force := fs.Bool("force", false, "serve even if static verification reports errors")
 	statePath := fs.String("state", "", "restore the warehouse state from this snapshot")
 	savePath := fs.String("save", "", "persist the warehouse state here after every update")
+	snapshotDir := fs.String("snapshot-dir", "", "directory for marked checkpoint snapshots (enables crash recovery)")
+	journalPath := fs.String("journal", "", "redo journal path (default <snapshot-dir>/wal.dwj when -snapshot-dir is set)")
+	checkpointEvery := fs.Int("checkpoint-every", 64, "acknowledged updates between checkpoint snapshots")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	logLevel := fs.String("log-level", "info", "request log level (debug|info|warn|error)")
 	logJSON := fs.Bool("log-json", false, "emit JSON log records instead of text")
 	debugAddr := fs.String("debug", "", "serve net/http/pprof on this address (off when empty; keep private)")
@@ -110,12 +119,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dwserve:", err)
 		os.Exit(2)
 	}
-	srv, err := newServer(spec, opts, *statePath, *savePath)
+	srv, err := newServer(spec, opts, serverConfig{
+		StatePath:       *statePath,
+		SavePath:        *savePath,
+		SnapshotDir:     *snapshotDir,
+		JournalPath:     *journalPath,
+		CheckpointEvery: *checkpointEvery,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwserve:", err)
 		os.Exit(1)
 	}
 	srv.log = obs.NewLogger(os.Stderr, level, *logJSON)
+	if srv.replayed > 0 {
+		srv.log.Info("journal replayed", "records", srv.replayed, "seq", srv.seq)
+	}
+	if srv.wedgedErr != nil {
+		srv.log.Error("journal replay wedged; serving stale (see /readyz)", "err", srv.wedgedErr)
+	}
 	if *debugAddr != "" {
 		go func() {
 			srv.log.Info("pprof listener up", "addr", *debugAddr)
@@ -127,8 +148,31 @@ func main() {
 	fmt.Printf("dwserve: %d relation(s), %d view(s), %d stored complement(s)\n",
 		len(spec.DB.Names()), spec.Views.Len(), len(srv.comp.StoredEntries()))
 	fmt.Printf("listening on %s\n%s\n", *addr, describeRoutes())
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+
+	// Serve until SIGINT/SIGTERM, then shut down gracefully: stop
+	// admitting (readyz goes 503), drain in-flight requests up to the
+	// deadline, write a final checkpoint, close the journal.
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "dwserve:", err)
 		os.Exit(1)
+	case <-ctx.Done():
 	}
+	srv.log.Info("shutdown: draining", "timeout", *drainTimeout)
+	srv.beginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "dwserve: drain:", err)
+	}
+	if err := srv.shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "dwserve: final checkpoint:", err)
+		os.Exit(1)
+	}
+	srv.log.Info("shutdown complete", "seq", srv.seq)
 }

@@ -8,6 +8,8 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,8 +17,10 @@ import (
 	"time"
 
 	dwc "dwcomplement"
+	"dwcomplement/internal/journal"
 	"dwcomplement/internal/obs"
 	"dwcomplement/internal/relation"
+	"dwcomplement/internal/snapshot"
 )
 
 // statusClientClosedRequest is the nginx-style status reported when the
@@ -33,6 +37,23 @@ type refreshSummary struct {
 	WallNs              int64             `json:"wallNs"`
 }
 
+// serverConfig selects the server's durability regime. The legacy pair
+// (StatePath to restore once, SavePath to dump markless snapshots after
+// every update) still works; SnapshotDir+JournalPath is the
+// crash-recoverable regime: marked snapshots plus a fsync'd redo journal
+// with periodic checkpoint compaction.
+type serverConfig struct {
+	StatePath       string // restore a (markless) snapshot once at startup
+	SavePath        string // persist a markless snapshot after every update
+	SnapshotDir     string // directory for marked checkpoint snapshots
+	JournalPath     string // redo journal ("" with SnapshotDir: <dir>/wal.dwj)
+	CheckpointEvery int    // updates between checkpoints (default 64)
+}
+
+// httpSource names the single logical update source of the HTTP API in
+// journal records and snapshot watermarks.
+const httpSource = "http"
+
 // server wraps a materialized warehouse behind an HTTP API. All state
 // mutations flow through the incremental maintainer; queries are
 // translated and answered warehouse-only — the server never holds a
@@ -42,14 +63,31 @@ type server struct {
 	spec     *dwc.Spec
 	comp     *dwc.Complement
 	maintain *dwc.Maintainer
+	cfg      serverConfig
+
+	// Startup-only facts, written before the listener starts: readiness
+	// inputs for /readyz.
+	snapshotLoaded bool  // a snapshot (or fresh init) is materialized
+	journalOK      bool  // the journal replayed without failures
+	replayed       int   // journal records applied at startup
+	wedgedErr      error // first replay refresh failure, if any
 
 	mu        sync.RWMutex
 	w         *dwc.Warehouse
 	refreshes int
-	snapshot  string // path for persistence after updates ("" = off)
+	seq       uint64 // sequence of the last acknowledged update
+	sinceCkpt int    // acknowledged updates since the last checkpoint
+	jw        *journal.Writer
+	snapshot  string // legacy markless save path ("" = off)
 
 	log *slog.Logger
 	reg *obs.Registry
+
+	// Degradation state, atomic because query handlers (running under
+	// mu.RLock) read and the update path writes.
+	degraded     atomic.Bool  // last refresh or persistence attempt failed
+	lastGoodNano atomic.Int64 // unix nanos of the last successful refresh
+	draining     atomic.Bool  // graceful shutdown in progress
 
 	// Cumulative engine counters, reported by GET /stats. queries is
 	// atomic and the aggregates live behind their own statsMu because
@@ -71,17 +109,58 @@ type server struct {
 	mFullRecon  *obs.Counter
 }
 
-// newServer builds the warehouse from the parsed spec (or a snapshot).
+// checkpointPath is the marked snapshot inside a -snapshot-dir.
+func checkpointPath(dir string) string { return filepath.Join(dir, "state.snap") }
+
+// newServer builds the warehouse from the parsed spec (or durable
+// state: a legacy snapshot, or a marked checkpoint plus journal suffix).
 // Logging is off by default (tests construct servers directly); main
 // swaps in a real logger.
-func newServer(spec *dwc.Spec, opts dwc.Options, statePath, savePath string) (*server, error) {
+func newServer(spec *dwc.Spec, opts dwc.Options, cfg serverConfig) (*server, error) {
 	comp, err := dwc.ComputeComplement(spec.DB, spec.Views, opts)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 64
+	}
+	if cfg.JournalPath == "" && cfg.SnapshotDir != "" {
+		cfg.JournalPath = filepath.Join(cfg.SnapshotDir, "wal.dwj")
+	}
 	w := dwc.NewWarehouse(comp)
-	if statePath != "" {
-		ms, err := dwc.LoadSnapshot(statePath)
+	s := &server{
+		spec:      spec,
+		comp:      comp,
+		maintain:  dwc.NewMaintainer(comp),
+		cfg:       cfg,
+		w:         w,
+		snapshot:  cfg.SavePath,
+		journalOK: true,
+		log:       obs.NopLogger(),
+		reg:       obs.NewRegistry(),
+	}
+
+	// Materialize: a marked checkpoint wins, then the legacy -state
+	// snapshot, then a fresh initialization from the spec's state.
+	loaded := false
+	if cfg.SnapshotDir != "" {
+		ms, marks, err := snapshot.LoadFileMarks(checkpointPath(cfg.SnapshotDir))
+		switch {
+		case err == nil:
+			if verr := dwc.VerifySnapshot(ms, comp.Resolver()); verr != nil {
+				return nil, verr
+			}
+			w.LoadState(ms)
+			s.seq = marks[httpSource]
+			loaded = true
+		case os.IsNotExist(err):
+			// first boot in this directory
+		default:
+			return nil, err
+		}
+	}
+	if !loaded && cfg.StatePath != "" {
+		ms, err := dwc.LoadSnapshot(cfg.StatePath)
 		if err != nil {
 			return nil, err
 		}
@@ -89,18 +168,47 @@ func newServer(spec *dwc.Spec, opts dwc.Options, statePath, savePath string) (*s
 			return nil, err
 		}
 		w.LoadState(ms)
-	} else if err := w.Initialize(spec.State); err != nil {
-		return nil, err
+		loaded = true
 	}
-	s := &server{
-		spec:     spec,
-		comp:     comp,
-		maintain: dwc.NewMaintainer(comp),
-		w:        w,
-		snapshot: savePath,
-		log:      obs.NopLogger(),
-		reg:      obs.NewRegistry(),
+	if !loaded {
+		if err := w.Initialize(spec.State); err != nil {
+			return nil, err
+		}
 	}
+	s.snapshotLoaded = true
+
+	// Replay the journal suffix: every record past the checkpoint's
+	// watermark re-runs its refresh, exactly once, source-free. An
+	// acknowledged update that fails on replay marks the server wedged —
+	// /readyz reports it and queries serve stale with a staleness header.
+	if cfg.JournalPath != "" {
+		// A torn tail reported by Replay is a crash mid-append of an
+		// unacknowledged update: safe to drop (Open truncates it).
+		_, _, err := journal.Replay(cfg.JournalPath, spec.DB, func(rec journal.Record) error {
+			if rec.Source != httpSource || rec.Seq <= s.seq {
+				return nil // foreign or already-checkpointed record
+			}
+			if _, rerr := s.maintain.RefreshContext(context.Background(), w, rec.Update); rerr != nil {
+				if s.wedgedErr == nil {
+					s.wedgedErr = fmt.Errorf("replay of update %d: %w", rec.Seq, rerr)
+				}
+				s.journalOK = false
+				return nil // keep replaying later records
+			}
+			s.seq = rec.Seq
+			s.replayed++
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("journal %s: %w", cfg.JournalPath, err)
+		}
+		jw, err := journal.Open(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.jw = jw
+	}
+	s.lastGoodNano.Store(time.Now().UnixNano())
 	s.mInFlight = s.reg.Gauge("dw_http_in_flight_requests",
 		"HTTP requests currently being served.", nil)
 	s.mQueries = s.reg.Counter("dw_queries_total",
@@ -127,7 +235,19 @@ func newServer(spec *dwc.Spec, opts dwc.Options, statePath, savePath string) (*s
 			defer s.mu.RUnlock()
 			return float64(len(s.w.Names()))
 		})
+	s.reg.GaugeFunc("dw_staleness_seconds",
+		"Seconds since the last successful refresh while degraded; 0 when healthy.", nil,
+		func() float64 { return s.staleness().Seconds() })
 	return s, nil
+}
+
+// staleness is how long the served state has been stale: zero while
+// healthy, the age of the last successful refresh while degraded.
+func (s *server) staleness() time.Duration {
+	if !s.degraded.Load() {
+		return 0
+	}
+	return time.Since(time.Unix(0, s.lastGoodNano.Load()))
 }
 
 // instrument wraps a handler with the observability layer: an in-flight
@@ -164,6 +284,7 @@ func (s *server) handler() http.Handler {
 	metrics := obs.MetricsHandler(s.reg)
 	for route, h := range map[string]http.HandlerFunc{
 		"GET /healthz":            s.handleHealth,
+		"GET /readyz":             s.handleReady,
 		"GET /schema":             s.handleSchema,
 		"GET /complement":         s.handleComplement,
 		"GET /relations":          s.handleRelations,
@@ -237,7 +358,34 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"relations": len(s.w.Names()),
 		"tuples":    s.w.Size(),
 		"refreshes": s.refreshes,
+		"seq":       s.seq,
+		"degraded":  s.degraded.Load(),
 	})
+}
+
+// handleReady is the readiness probe: 200 only when the snapshot is
+// materialized, the journal replayed without wedging, and the server is
+// not draining. A liveness probe should use /healthz instead — a wedged
+// or draining server is alive, just not accepting its share of traffic.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]any{
+		"snapshotLoaded":  s.snapshotLoaded,
+		"journalReplayed": s.journalOK,
+		"replayedRecords": s.replayed,
+		"draining":        s.draining.Load(),
+		"degraded":        s.degraded.Load(),
+		"stalenessSec":    s.staleness().Seconds(),
+	}
+	if s.wedgedErr != nil {
+		body["wedged"] = s.wedgedErr.Error()
+	}
+	if !s.snapshotLoaded || !s.journalOK || s.draining.Load() {
+		body["ready"] = false
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body["ready"] = true
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleSchema(w http.ResponseWriter, _ *http.Request) {
@@ -265,7 +413,18 @@ func (s *server) handleComplement(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"entries": entries})
 }
 
+// markStale advertises degraded reads: when the last refresh (or its
+// persistence) failed, answers are still served from the last good state
+// — warehouse-only, per the paper — with their staleness in seconds on
+// the X-DW-Staleness header so callers can decide whether to trust them.
+func (s *server) markStale(w http.ResponseWriter) {
+	if st := s.staleness(); st > 0 {
+		w.Header().Set("X-DW-Staleness", strconv.FormatFloat(st.Seconds(), 'f', 3, 64))
+	}
+}
+
 func (s *server) handleRelations(w http.ResponseWriter, _ *http.Request) {
+	s.markStale(w)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := map[string]int{}
@@ -277,6 +436,7 @@ func (s *server) handleRelations(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleRelation(w http.ResponseWriter, req *http.Request) {
+	s.markStale(w)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	name := req.PathValue("name")
@@ -306,6 +466,7 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.markStale(w)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	qHat, err := s.w.TranslateQuery(q)
@@ -371,10 +532,28 @@ func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 			writeError(w, statusClientClosedRequest, err)
 			return
 		}
+		// The atomic refresh left the state untouched; reads now serve
+		// stale until an update succeeds again.
+		s.degraded.Store(true)
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.refreshes++
+	// Journal at commit: the record is fsync'd before the 200, so an
+	// acknowledged update survives any crash (replayed from the last
+	// checkpoint's watermark). A failed refresh was never appended, which
+	// keeps replay exactly the sequence of acknowledged updates.
+	if s.jw != nil {
+		rec := journal.Record{Source: httpSource, Seq: s.seq + 1, Update: u}
+		if jerr := s.jw.Append(rec); jerr != nil {
+			s.degraded.Store(true)
+			writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("update applied but journal append failed (do not retry blindly): %w", jerr))
+			return
+		}
+	}
+	s.seq++
+	s.sinceCkpt++
 	s.mRefreshes.Inc()
 	s.mRefreshDur.Observe(stats.Wall.Seconds())
 	s.mRestricted.Add(stats.RestrictedLookups)
@@ -401,11 +580,23 @@ func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 	s.statsMu.Unlock()
 	if s.snapshot != "" {
 		if err := dwc.SaveSnapshot(s.snapshot, s.w.State()); err != nil {
+			s.degraded.Store(true)
 			writeError(w, http.StatusInternalServerError,
 				fmt.Errorf("update applied but snapshot failed: %w", err))
 			return
 		}
 	}
+	if s.cfg.SnapshotDir != "" && s.sinceCkpt >= s.cfg.CheckpointEvery {
+		if err := s.checkpointLocked(); err != nil {
+			// The journal still has every record; only compaction failed.
+			s.degraded.Store(true)
+			writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("update applied but checkpoint failed: %w", err))
+			return
+		}
+	}
+	s.degraded.Store(false)
+	s.lastGoodNano.Store(time.Now().UnixNano())
 	changed := map[string]int{}
 	for name, n := range stats.Changed {
 		if n > 0 {
@@ -443,6 +634,7 @@ func (s *server) handleReconstruct(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no base relation %q", base))
 		return
 	}
+	s.markStale(w)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	bases, err := s.w.ReconstructBases()
@@ -453,10 +645,49 @@ func (s *server) handleReconstruct(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, jsonRelation(bases[base]))
 }
 
+// checkpointLocked durably saves the warehouse state with the current
+// watermark (atomic temp-file + rename) and compacts the journal: every
+// journaled record is now covered by the snapshot. Caller holds s.mu.
+func (s *server) checkpointLocked() error {
+	if s.cfg.SnapshotDir == "" {
+		return nil
+	}
+	marks := map[string]uint64{httpSource: s.seq}
+	if err := snapshot.SaveFileMarks(checkpointPath(s.cfg.SnapshotDir), s.w.State(), marks); err != nil {
+		return err
+	}
+	s.sinceCkpt = 0
+	if s.jw != nil {
+		return s.jw.Reset()
+	}
+	return nil
+}
+
+// beginDrain flips /readyz to 503 so load balancers stop routing new
+// traffic while in-flight requests finish.
+func (s *server) beginDrain() { s.draining.Store(true) }
+
+// shutdown finishes a graceful stop after the HTTP listener has
+// drained: write a final checkpoint (so the next boot replays nothing)
+// and release the journal.
+func (s *server) shutdown() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.checkpointLocked()
+	if s.jw != nil {
+		if cerr := s.jw.Close(); err == nil {
+			err = cerr
+		}
+		s.jw = nil
+	}
+	return err
+}
+
 // describeRoutes lists the API for the startup banner.
 func describeRoutes() string {
 	return strings.Join([]string{
-		"GET  /healthz                 server and warehouse status",
+		"GET  /healthz                 server and warehouse status (liveness)",
+		"GET  /readyz                  readiness: snapshot loaded, journal replayed, not draining",
 		"GET  /schema                  database and view definitions",
 		"GET  /complement              complement entries and inverses",
 		"GET  /relations               warehouse relation sizes",

@@ -27,7 +27,7 @@ func newTestServer(t *testing.T, statePath, savePath string) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(spec, dwc.Theorem22(), statePath, savePath)
+	srv, err := newServer(spec, dwc.Theorem22(), serverConfig{StatePath: statePath, SavePath: savePath})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,121 @@
+// Package chaos is the deterministic fault-injection harness of the
+// maintenance pipeline. It has two halves:
+//
+//   - Crash points: named Point() calls compiled into the durability
+//     hot spots (journal append, snapshot write, refresh apply). In
+//     production they are a single atomic load; under test, Arm makes
+//     the n-th traversal of a point return an injected error, which the
+//     soak tests treat as a process crash followed by recovery from
+//     disk.
+//
+//   - FaultyChannel: a seedable wrapper around the source→integrator
+//     delivery function that drops, duplicates, delays, and reorders
+//     notifications with configured probabilities. Given the same seed
+//     and send sequence it produces the same schedule, so every soak
+//     failure is reproducible from its logged seed.
+//
+// The package deliberately imports nothing from the rest of the repo,
+// so every layer (journal, snapshot, maintain, source) can embed crash
+// points without import cycles.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// armedAny is the fast-path flag: when false (the production state),
+// Point returns immediately after one atomic load.
+var armedAny atomic.Bool
+
+var (
+	mu     sync.Mutex
+	points map[string]*pointState
+)
+
+// pointState is the book-keeping of one named crash point.
+type pointState struct {
+	hits   uint64 // traversals so far
+	failAt uint64 // fail on this traversal (0 = never)
+	err    error  // injected error
+	fired  bool
+}
+
+// Point marks a crash point in durability code. It returns nil unless a
+// test armed this point and the armed traversal count is reached, in
+// which case it returns the injected error exactly once. Callers must
+// propagate the error as if the operation had failed at that instant.
+func Point(name string) error {
+	if !armedAny.Load() {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	st, ok := points[name]
+	if !ok {
+		return nil
+	}
+	st.hits++
+	if st.failAt != 0 && st.hits == st.failAt && !st.fired {
+		st.fired = true
+		return st.err
+	}
+	return nil
+}
+
+// Arm makes the failAt-th traversal of the named point return err
+// (failAt is 1-based; each armed point fires at most once). It returns
+// a disarm function; tests should defer it. Arming the same point again
+// re-arms it with fresh counters.
+func Arm(name string, failAt uint64, err error) (disarm func()) {
+	if err == nil {
+		err = fmt.Errorf("chaos: injected crash at %s", name)
+	}
+	mu.Lock()
+	if points == nil {
+		points = make(map[string]*pointState)
+	}
+	points[name] = &pointState{failAt: failAt, err: err}
+	armedAny.Store(true)
+	mu.Unlock()
+	return func() { Disarm(name) }
+}
+
+// Disarm removes the named point's armed state (hit counting stops too).
+func Disarm(name string) {
+	mu.Lock()
+	delete(points, name)
+	if len(points) == 0 {
+		armedAny.Store(false)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every point. Tests that arm several points in one
+// schedule call Reset between iterations.
+func Reset() {
+	mu.Lock()
+	points = nil
+	armedAny.Store(false)
+	mu.Unlock()
+}
+
+// Hits returns how many times the named point has been traversed since
+// it was armed (0 when not armed). Useful for sizing failAt sweeps.
+func Hits(name string) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if st, ok := points[name]; ok {
+		return st.hits
+	}
+	return 0
+}
+
+// Fired reports whether the named point's injected error was returned.
+func Fired(name string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	st, ok := points[name]
+	return ok && st.fired
+}

@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FaultConfig sets the misbehaviour probabilities of a FaultyChannel.
+// All probabilities are in [0, 1] and are rolled independently per
+// message, in the order drop → duplicate → delay.
+type FaultConfig struct {
+	// Drop is the probability a message is silently lost.
+	Drop float64
+	// Duplicate is the probability a delivered message is delivered
+	// twice (modelling at-least-once notification transports).
+	Duplicate float64
+	// Delay is the probability a message is held back instead of
+	// delivered; held messages are released — in shuffled order, which
+	// is what reorders the stream — by later Sends and by Flush.
+	Delay float64
+	// MaxHeld bounds the hold-back buffer; when full, the oldest held
+	// message is released before a new one is admitted, so delay can
+	// never turn into silent loss.
+	MaxHeld int
+}
+
+// FaultStats counts what a FaultyChannel did to its traffic.
+type FaultStats struct {
+	Sent       int // messages offered by the producer
+	Delivered  int // deliveries to the consumer (duplicates included)
+	Dropped    int
+	Duplicated int
+	Delayed    int
+}
+
+// FaultyChannel wraps a delivery function with seed-deterministic
+// drops, duplicates, delays, and reorders. It is the wire between a
+// source and the integrator in the soak tests: the producer calls Send
+// where it would have called the delivery function directly.
+type FaultyChannel[T any] struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	cfg     FaultConfig
+	deliver func(T)
+	held    []T
+	stats   FaultStats
+}
+
+// NewFaultyChannel builds a channel delivering through fn with the
+// given seed and fault configuration. A MaxHeld of 0 defaults to 16.
+func NewFaultyChannel[T any](seed int64, cfg FaultConfig, fn func(T)) *FaultyChannel[T] {
+	if cfg.MaxHeld <= 0 {
+		cfg.MaxHeld = 16
+	}
+	return &FaultyChannel[T]{rng: rand.New(rand.NewSource(seed)), cfg: cfg, deliver: fn}
+}
+
+// SetDeliver re-targets the channel (after a consumer crash-restart the
+// same channel, with its held messages, feeds the recovered consumer).
+func (c *FaultyChannel[T]) SetDeliver(fn func(T)) {
+	c.mu.Lock()
+	c.deliver = fn
+	c.mu.Unlock()
+}
+
+// Send offers one message to the channel, which delivers, drops,
+// duplicates, or holds it according to the seeded schedule. Held
+// messages from earlier sends may be released first, reordering the
+// stream.
+func (c *FaultyChannel[T]) Send(msg T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Sent++
+	// Each send may first shake loose a previously held message.
+	if len(c.held) > 0 && c.rng.Float64() < 0.5 {
+		c.releaseLocked(c.rng.Intn(len(c.held)))
+	}
+	switch {
+	case c.rng.Float64() < c.cfg.Drop:
+		c.stats.Dropped++
+	case c.rng.Float64() < c.cfg.Duplicate:
+		c.stats.Duplicated++
+		c.deliverLocked(msg)
+		c.deliverLocked(msg)
+	case c.rng.Float64() < c.cfg.Delay:
+		c.stats.Delayed++
+		if len(c.held) >= c.cfg.MaxHeld {
+			c.releaseLocked(0)
+		}
+		c.held = append(c.held, msg)
+	default:
+		c.deliverLocked(msg)
+	}
+}
+
+// Flush releases every held message in seed-shuffled order. Soak tests
+// call it before comparing against the oracle so delay never counts as
+// loss.
+func (c *FaultyChannel[T]) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.held) > 0 {
+		c.releaseLocked(c.rng.Intn(len(c.held)))
+	}
+}
+
+// Held returns how many messages are currently held back.
+func (c *FaultyChannel[T]) Held() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.held)
+}
+
+// Stats returns the channel's fault counters.
+func (c *FaultyChannel[T]) Stats() FaultStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// releaseLocked delivers and removes the i-th held message.
+func (c *FaultyChannel[T]) releaseLocked(i int) {
+	msg := c.held[i]
+	c.held = append(c.held[:i], c.held[i+1:]...)
+	c.deliverLocked(msg)
+}
+
+func (c *FaultyChannel[T]) deliverLocked(msg T) {
+	c.stats.Delivered++
+	if c.deliver != nil {
+		c.deliver(msg)
+	}
+}

@@ -1,0 +1,353 @@
+// Package journal is the integrator's write-ahead log. Every source
+// notification is appended — length-prefixed, CRC32-checksummed, and
+// fsync'd — before its refresh runs, so a crashed integrator recovers
+// by loading the latest snapshot and replaying the journal suffix past
+// the snapshot's per-source watermarks. Recovery therefore needs the
+// warehouse's own disk state and the reported updates only, never a
+// source connection: it is the paper's update-independence property
+// (w' = W(u(W⁻¹(w))), Definition 4.1) made crash-safe.
+//
+// On-disk layout:
+//
+//	magic "DWJL" (4 bytes)
+//	repeated records:
+//	    uint32 payload length (big endian)
+//	    uint32 CRC32/IEEE of payload
+//	    payload: gob(wireRecord{Source, Seq, Ins, Del})
+//
+// A torn tail — a record cut short by a crash mid-append — is detected
+// by the length prefix and tolerated: replay stops cleanly before it
+// and the next append truncates it away. A checksum mismatch or an
+// implausible length earlier in the file means real corruption and
+// fails replay with ErrCorrupt.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/chaos"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/snapshot"
+)
+
+// magic opens every journal file.
+var magic = [4]byte{'D', 'W', 'J', 'L'}
+
+// maxRecord bounds one record's payload; longer prefixes are treated as
+// corruption rather than honored with a giant allocation.
+const maxRecord = 1 << 28
+
+// ErrCorrupt reports a record that is present in full but fails its
+// checksum (or carries an implausible length) — unlike a torn tail,
+// this means the file cannot be trusted past that point.
+var ErrCorrupt = errors.New("journal: corrupt record")
+
+// Record is one journaled notification: the reporting source, its
+// per-source sequence number, and the update it reported.
+type Record struct {
+	Source string
+	Seq    uint64
+	Update *catalog.Update
+}
+
+// wireRecord is the gob shape of a Record; relations ride on the
+// snapshot package's wire codec so values round-trip identically in
+// both durability formats.
+type wireRecord struct {
+	Source string
+	Seq    uint64
+	Ins    map[string]snapshot.WireRelation
+	Del    map[string]snapshot.WireRelation
+}
+
+func toWire(rec Record) wireRecord {
+	w := wireRecord{Source: rec.Source, Seq: rec.Seq}
+	for _, name := range rec.Update.Touched() {
+		if ins := rec.Update.Inserts(name); ins != nil && !ins.IsEmpty() {
+			if w.Ins == nil {
+				w.Ins = make(map[string]snapshot.WireRelation)
+			}
+			w.Ins[name] = snapshot.ToWireRelation(ins)
+		}
+		if del := rec.Update.Deletes(name); del != nil && !del.IsEmpty() {
+			if w.Del == nil {
+				w.Del = make(map[string]snapshot.WireRelation)
+			}
+			w.Del[name] = snapshot.ToWireRelation(del)
+		}
+	}
+	return w
+}
+
+func fromWire(w wireRecord, db *catalog.Database) (Record, error) {
+	u := catalog.NewUpdate()
+	restore := func(m map[string]snapshot.WireRelation, schedule func(string, relation.Tuple) error) error {
+		for name, wr := range m {
+			sc, ok := db.Schema(name)
+			if !ok {
+				return fmt.Errorf("journal: record references unknown relation %q: %w", name, algebra.ErrUnknownRelation)
+			}
+			rel, err := snapshot.FromWireRelation(wr)
+			if err != nil {
+				return fmt.Errorf("journal: relation %s: %w", name, err)
+			}
+			var schedErr error
+			attrs := sc.AttrNames()
+			rel.Each(func(t relation.Tuple) {
+				if schedErr != nil {
+					return
+				}
+				aligned := make(relation.Tuple, len(attrs))
+				for i, a := range attrs {
+					p, ok := rel.Pos(a)
+					if !ok {
+						schedErr = fmt.Errorf("journal: relation %s row missing attribute %q", name, a)
+						return
+					}
+					aligned[i] = t[p]
+				}
+				schedErr = schedule(name, aligned)
+			})
+			if schedErr != nil {
+				return schedErr
+			}
+		}
+		return nil
+	}
+	if err := restore(w.Ins, func(name string, t relation.Tuple) error { return u.Insert(name, db, t) }); err != nil {
+		return Record{}, err
+	}
+	if err := restore(w.Del, func(name string, t relation.Tuple) error { return u.Delete(name, db, t) }); err != nil {
+		return Record{}, err
+	}
+	return Record{Source: w.Source, Seq: w.Seq, Update: u}, nil
+}
+
+// Writer appends records to a journal file with write-ahead semantics:
+// Append returns only after the record (and everything before it) is
+// fsync'd, so a crash after Append cannot lose the record. Safe for
+// concurrent use.
+type Writer struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Open opens (or creates) the journal at path for appending. An
+// existing file keeps its records; a torn tail from a previous crash is
+// truncated away so new appends start on a clean record boundary.
+func Open(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	end, err := scan(f, nil, nil)
+	if err != nil && !errors.Is(err, errTorn) {
+		f.Close()
+		return nil, err
+	}
+	if errors.Is(err, errTorn) {
+		if terr := f.Truncate(end); terr != nil {
+			f.Close()
+			return nil, terr
+		}
+	}
+	// Position at the clean boundary before writing anything (scan left
+	// the offset wherever reading stopped).
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if end == 0 {
+		// Fresh (or empty) file: write the magic.
+		if _, err := f.Write(magic[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &Writer{f: f, path: path}, nil
+}
+
+// Append journals one record: encode, frame, write, fsync. The chaos
+// points model a crash before the write ("journal.append") and between
+// write and sync ("journal.sync").
+func (w *Writer) Append(rec Record) error {
+	if err := chaos.Point("journal.append"); err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(toWire(rec)); err != nil {
+		return fmt.Errorf("journal: encode: %w", err)
+	}
+	if payload.Len() > maxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds limit", payload.Len())
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("journal: writer is closed")
+	}
+	if _, err := w.f.Write(append(hdr[:], payload.Bytes()...)); err != nil {
+		return err
+	}
+	if err := chaos.Point("journal.sync"); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Reset truncates the journal to empty (magic only). Called after a
+// checkpoint snapshot has been durably renamed into place: everything
+// the journal held is now reflected in the snapshot and its watermarks,
+// so the journal can restart from zero length instead of growing
+// forever.
+func (w *Writer) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("journal: writer is closed")
+	}
+	if err := w.f.Truncate(int64(len(magic))); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(int64(len(magic)), io.SeekStart); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Path returns the journal's file path.
+func (w *Writer) Path() string { return w.path }
+
+// Close syncs and closes the journal file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// errTorn is scan's internal signal for a torn tail; Replay converts it
+// into a (count, torn=true, nil) result, Open truncates it away.
+var errTorn = errors.New("journal: torn tail")
+
+// scan walks the journal from the start, calling fn for each complete,
+// checksum-valid record (fn may be nil). It returns the offset just
+// past the last valid record; a torn tail is reported as errTorn with
+// the offset still pointing at the clean boundary.
+func scan(f io.ReadSeeker, db *catalog.Database, fn func(Record) error) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	r := newCountingReader(f)
+	var mg [4]byte
+	if _, err := io.ReadFull(r, mg[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil // empty file: fresh journal
+		}
+		return 0, errTorn
+	}
+	if mg != magic {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	end := r.n
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return end, nil // clean end of journal
+			}
+			return end, errTorn // partial length prefix
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		wantCRC := binary.BigEndian.Uint32(hdr[4:8])
+		if length > maxRecord {
+			return end, fmt.Errorf("%w: implausible record length %d at offset %d", ErrCorrupt, length, end)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return end, errTorn // record cut short by a crash
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return end, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, end)
+		}
+		if fn != nil {
+			var wrec wireRecord
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wrec); err != nil {
+				return end, fmt.Errorf("%w: undecodable record at offset %d: %v", ErrCorrupt, end, err)
+			}
+			rec, err := fromWire(wrec, db)
+			if err != nil {
+				return end, err
+			}
+			if err := fn(rec); err != nil {
+				return end, err
+			}
+		}
+		end = r.n
+	}
+}
+
+// countingReader tracks the absolute offset consumed so far.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func newCountingReader(r io.Reader) *countingReader { return &countingReader{r: r} }
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Replay reads the journal at path and calls fn for every record, in
+// append order. A missing file is an empty journal (fresh deployment).
+// A torn tail is tolerated and reported through torn; corruption before
+// the tail fails with an error wrapping ErrCorrupt. If fn returns an
+// error, replay stops and returns it.
+func Replay(path string, db *catalog.Database, fn func(Record) error) (n int, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	defer f.Close()
+	count := 0
+	wrapped := func(rec Record) error {
+		count++
+		return fn(rec)
+	}
+	_, err = scan(f, db, wrapped)
+	if errors.Is(err, errTorn) {
+		return count, true, nil
+	}
+	return count, false, err
+}

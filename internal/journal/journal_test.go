@@ -1,0 +1,242 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/chaos"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/workload"
+)
+
+func testDB(t *testing.T) *catalog.Database {
+	t.Helper()
+	return workload.Figure1(false).DB
+}
+
+func saleIns(t *testing.T, db *catalog.Database, item, clerk string) *catalog.Update {
+	t.Helper()
+	return catalog.NewUpdate().MustInsert("Sale", db, relation.String_(item), relation.String_(clerk))
+}
+
+func TestRoundTrip(t *testing.T) {
+	db := testDB(t)
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Source: "sales", Seq: 1, Update: saleIns(t, db, "TV", "Mary")},
+		{Source: "sales", Seq: 2, Update: catalog.NewUpdate().MustDelete("Sale", db, relation.String_("TV"), relation.String_("Mary"))},
+		{Source: "company", Seq: 1, Update: catalog.NewUpdate().MustInsert("Emp", db, relation.String_("Mary"), relation.Int(23))},
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	n, torn, err := Replay(path, db, func(r Record) error { got = append(got, r); return nil })
+	if err != nil || torn {
+		t.Fatalf("replay: n=%d torn=%v err=%v", n, torn, err)
+	}
+	if n != 3 {
+		t.Fatalf("replayed %d records, want 3", n)
+	}
+	for i, r := range got {
+		if r.Source != recs[i].Source || r.Seq != recs[i].Seq {
+			t.Errorf("record %d: got %s/%d", i, r.Source, r.Seq)
+		}
+		if r.Update.String() != recs[i].Update.String() {
+			t.Errorf("record %d update:\ngot  %s\nwant %s", i, r.Update, recs[i].Update)
+		}
+	}
+}
+
+func TestMissingFileIsEmpty(t *testing.T) {
+	n, torn, err := Replay(filepath.Join(t.TempDir(), "absent"), testDB(t), func(Record) error {
+		t.Fatal("callback on empty journal")
+		return nil
+	})
+	if n != 0 || torn || err != nil {
+		t.Fatalf("n=%d torn=%v err=%v", n, torn, err)
+	}
+}
+
+// TestTornTail: cutting bytes off the end (a crash mid-append) loses
+// only the torn record; replay reports torn=true and reopening for
+// append truncates the tail so new records land on a clean boundary.
+func TestTornTail(t *testing.T) {
+	db := testDB(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if err := w.Append(Record{Source: "sales", Seq: i, Update: saleIns(t, db, "TV", "Mary")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the last record.
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, torn, err := Replay(path, db, func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || !torn {
+		t.Fatalf("n=%d torn=%v, want 2 true", n, torn)
+	}
+	// Reopen + append: the torn tail is gone, the new record follows
+	// the two survivors.
+	w2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(Record{Source: "sales", Seq: 4, Update: saleIns(t, db, "PC", "John")}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	var seqs []uint64
+	n, torn, err = Replay(path, db, func(r Record) error { seqs = append(seqs, r.Seq); return nil })
+	if err != nil || torn {
+		t.Fatalf("after reopen: torn=%v err=%v", torn, err)
+	}
+	if n != 3 || seqs[2] != 4 {
+		t.Fatalf("after reopen: n=%d seqs=%v", n, seqs)
+	}
+}
+
+// TestCorruptMiddle: a bit flip in an interior record is corruption,
+// not a torn tail — replay must fail with ErrCorrupt.
+func TestCorruptMiddle(t *testing.T) {
+	db := testDB(t)
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if err := w.Append(Record{Source: "sales", Seq: i, Update: saleIns(t, db, "TV", "Mary")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Replay(path, db, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt middle: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(path, []byte("GARBAGE DATA"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Replay(path, testDB(t), func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err=%v, want ErrCorrupt", err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with bad magic: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	db := testDB(t)
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(Record{Source: "sales", Seq: 1, Update: saleIns(t, db, "TV", "Mary")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Source: "sales", Seq: 2, Update: saleIns(t, db, "PC", "John")}); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	n, torn, err := Replay(path, db, func(r Record) error { seqs = append(seqs, r.Seq); return nil })
+	if err != nil || torn {
+		t.Fatalf("torn=%v err=%v", torn, err)
+	}
+	if n != 1 || seqs[0] != 2 {
+		t.Fatalf("after reset: n=%d seqs=%v", n, seqs)
+	}
+}
+
+// TestCrashPointInAppend: an injected crash before the write leaves the
+// journal exactly as it was — the record is not half-written.
+func TestCrashPointInAppend(t *testing.T) {
+	db := testDB(t)
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(Record{Source: "sales", Seq: 1, Update: saleIns(t, db, "TV", "Mary")}); err != nil {
+		t.Fatal(err)
+	}
+	chaos.Arm("journal.append", 1, errors.New("injected crash"))
+	defer chaos.Reset()
+	if err := w.Append(Record{Source: "sales", Seq: 2, Update: saleIns(t, db, "PC", "John")}); err == nil {
+		t.Fatal("armed append did not fail")
+	}
+	chaos.Reset()
+	n, torn, err := Replay(path, db, func(Record) error { return nil })
+	if err != nil || torn {
+		t.Fatalf("torn=%v err=%v", torn, err)
+	}
+	if n != 1 {
+		t.Fatalf("crashed append left %d records, want 1", n)
+	}
+}
+
+func TestEmptyUpdateRoundTrips(t *testing.T) {
+	db := testDB(t)
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Source: "sales", Seq: 1, Update: catalog.NewUpdate()}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	n, _, err := Replay(path, db, func(r Record) error {
+		if !r.Update.IsEmpty() {
+			t.Errorf("empty update came back as %s", r.Update)
+		}
+		return nil
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}

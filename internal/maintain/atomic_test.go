@@ -1,0 +1,148 @@
+package maintain
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/chaos"
+	"dwcomplement/internal/core"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/warehouse"
+	"dwcomplement/internal/workload"
+)
+
+// stateFingerprint captures the warehouse state bitwise: every relation
+// name, attribute order, and sorted tuple content.
+func stateFingerprint(w *warehouse.Warehouse) string {
+	names := w.Names()
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		r, _ := w.Relation(n)
+		b.WriteString(n)
+		b.WriteByte('[')
+		b.WriteString(strings.Join(r.Attrs(), ","))
+		b.WriteString("]=")
+		b.WriteString(r.Fingerprint())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// mixedUpdate touches both base relations so the refresh has deltas for
+// several warehouse targets.
+func mixedUpdate(sc workload.Scenario) *catalog.Update {
+	return catalog.NewUpdate().
+		MustInsert("Sale", sc.DB, relation.String_("Computer"), relation.String_("Paula")).
+		MustInsert("Emp", sc.DB, relation.String_("Zoe"), relation.Int(41)).
+		MustDelete("Sale", sc.DB, relation.String_("TV set"), relation.String_("Mary"))
+}
+
+// TestAtomicRefreshRollbackEveryK is the fault-injection sweep of the
+// atomic-apply guarantee: for every delta-apply position k, a refresh
+// failing right after the k-th apply must leave the warehouse bitwise
+// unchanged, and retrying the same update afterwards must succeed and
+// produce exactly the state a clean refresh produces.
+func TestAtomicRefreshRollbackEveryK(t *testing.T) {
+	chaos.Reset()
+	sc := workload.Figure1(false)
+	st := workload.Figure1State(sc.DB)
+	u := mixedUpdate(sc)
+
+	// Reference run: count the apply points and capture the clean
+	// post-refresh state.
+	wRef, compRef := buildWarehouse(t, sc, core.Proposition22(), st)
+	chaos.Arm("refresh.apply", 0, nil) // count-only
+	if _, err := NewMaintainer(compRef).RefreshContext(context.Background(), wRef, u); err != nil {
+		t.Fatal(err)
+	}
+	applies := chaos.Hits("refresh.apply")
+	chaos.Reset()
+	if applies < 2 {
+		t.Fatalf("scenario exercises only %d apply points; need ≥ 2 for the sweep", applies)
+	}
+	wantPost := stateFingerprint(wRef)
+
+	for k := uint64(1); k <= applies; k++ {
+		t.Run(fmt.Sprintf("fail_after_apply_%d", k), func(t *testing.T) {
+			w, comp := buildWarehouse(t, sc, core.Proposition22(), st)
+			m := NewMaintainer(comp)
+			pre := stateFingerprint(w)
+
+			boom := errors.New("injected crash")
+			chaos.Arm("refresh.apply", k, boom)
+			defer chaos.Reset()
+			_, err := m.RefreshContext(context.Background(), w, u)
+			if !errors.Is(err, boom) {
+				t.Fatalf("refresh with armed apply %d: err=%v, want injected crash", k, err)
+			}
+			if got := stateFingerprint(w); got != pre {
+				t.Fatalf("warehouse changed by failed refresh (k=%d):\npre:\n%s\npost:\n%s", k, pre, got)
+			}
+
+			// A second refresh of the same update succeeds and lands on
+			// the clean-run state.
+			chaos.Reset()
+			if _, err := m.RefreshContext(context.Background(), w, u); err != nil {
+				t.Fatalf("retry after rollback: %v", err)
+			}
+			if got := stateFingerprint(w); got != wantPost {
+				t.Fatalf("retried refresh diverged from clean run:\ngot:\n%s\nwant:\n%s", got, wantPost)
+			}
+			assertTheorem41(t, w, comp, st, u)
+		})
+	}
+}
+
+// failingConsumer errors on its n-th Consume call.
+type failingConsumer struct {
+	calls, failAt int
+}
+
+func (f *failingConsumer) Consume(string, Delta, *relation.Relation) error {
+	f.calls++
+	if f.calls == f.failAt {
+		return errors.New("consumer exploded")
+	}
+	return nil
+}
+
+// TestConsumerErrorRollsBack: a delta consumer failing part-way through
+// the refresh aborts it with the warehouse untouched.
+func TestConsumerErrorRollsBack(t *testing.T) {
+	sc := workload.Figure1(false)
+	st := workload.Figure1State(sc.DB)
+	w, comp := buildWarehouse(t, sc, core.Proposition22(), st)
+	m := NewMaintainer(comp)
+	m.AddConsumer(&failingConsumer{failAt: 1})
+	pre := stateFingerprint(w)
+	if _, err := m.RefreshContext(context.Background(), w, mixedUpdate(sc)); err == nil {
+		t.Fatal("refresh with failing consumer succeeded")
+	}
+	if got := stateFingerprint(w); got != pre {
+		t.Fatal("warehouse changed by refresh whose consumer failed")
+	}
+}
+
+// TestCanceledRefreshLeavesStateUntouched extends the PR-1 guarantee to
+// the apply loop: cancellation between applies rolls back completely.
+func TestCanceledRefreshLeavesStateUntouched(t *testing.T) {
+	sc := workload.Figure1(false)
+	st := workload.Figure1State(sc.DB)
+	w, comp := buildWarehouse(t, sc, core.Proposition22(), st)
+	m := NewMaintainer(comp)
+	pre := stateFingerprint(w)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RefreshContext(ctx, w, mixedUpdate(sc)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if got := stateFingerprint(w); got != pre {
+		t.Fatal("canceled refresh mutated the warehouse")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"dwcomplement/internal/algebra"
 	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/chaos"
 	"dwcomplement/internal/core"
 	"dwcomplement/internal/relation"
 	"dwcomplement/internal/warehouse"
@@ -313,19 +314,40 @@ func (m *Maintainer) refresh(ec *algebra.EvalContext, w *warehouse.Warehouse, u 
 			deltas[i] = pending{tg.name, d, time.Since(start)}
 		}
 	}
-	// All deltas are computed; a cancellation past this point would leave
-	// the warehouse half-refreshed, so this is the last check.
-	if err := ec.Err(); err != nil {
-		return stats, err
-	}
+	// Apply phase — all deltas or none. Every changed relation is
+	// applied to a copy first (copy-on-write apply set); an error or
+	// cancellation anywhere before the final commit loop discards the
+	// copies and leaves the warehouse bitwise unchanged, so a failed
+	// refresh can simply be retried with the same update.
 	stats.Spans = make([]RefreshSpan, 0, len(deltas))
+	type staged struct {
+		name  string
+		post  *relation.Relation // copy with the delta applied
+		exact Delta
+		dirty bool // post differs from the live relation
+	}
+	commit := make([]staged, 0, len(deltas))
 	for _, p := range deltas {
+		if err := ec.Err(); err != nil {
+			return stats, err
+		}
 		r, ok := w.Relation(p.name)
 		if !ok {
 			return stats, fmt.Errorf("maintain: warehouse has no relation %q", p.name)
 		}
 		exact := p.d.Exact(r)
-		exact.ApplyTo(r)
+		post := r
+		dirty := exact.Size() > 0
+		if dirty {
+			post = r.Clone()
+			exact.ApplyTo(post)
+		}
+		// Crash point between delta applications: the fault-injection
+		// tests arm it at every position k and assert rollback.
+		if err := chaos.Point("refresh.apply"); err != nil {
+			return stats, fmt.Errorf("maintain: apply %s: %w", p.name, err)
+		}
+		commit = append(commit, staged{p.name, post, exact, dirty})
 		stats.Changed[p.name] = exact.Size()
 		stats.Spans = append(stats.Spans, RefreshSpan{
 			Target:   p.name,
@@ -334,10 +356,22 @@ func (m *Maintainer) refresh(ec *algebra.EvalContext, w *warehouse.Warehouse, u 
 			Applied:  exact.Size(),
 			Wall:     p.wall,
 		})
+	}
+	// Consumers see the post-state copies before anything is installed:
+	// a consumer error aborts the refresh with the warehouse untouched.
+	// (Consumers with their own materialized state must tolerate a
+	// retried delta; package aggregate's tables are rebuilt from the
+	// warehouse on recovery, so this holds.)
+	for _, c := range commit {
 		for _, consumer := range m.consumers {
-			if err := consumer.Consume(p.name, exact, r); err != nil {
-				return stats, fmt.Errorf("maintain: consumer for %s: %w", p.name, err)
+			if err := consumer.Consume(c.name, c.exact, c.post); err != nil {
+				return stats, fmt.Errorf("maintain: consumer for %s: %w", c.name, err)
 			}
+		}
+	}
+	for _, c := range commit {
+		if c.dirty {
+			w.Install(c.name, c.post)
 		}
 	}
 	stats.RestrictedLookups, stats.FullReconstructions = vst.LookupStats()

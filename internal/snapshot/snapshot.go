@@ -4,27 +4,49 @@
 // without ever contacting the sources, which is the whole point of an
 // independent warehouse: its state is self-contained.
 //
-// The format is a gob stream of a small versioned wire structure; values
-// round-trip exactly (kind-tagged), and relations restore with their
-// attribute order and set semantics intact.
+// The on-disk format is crash-safe end to end: a fixed binary header
+// carrying a CRC32 of the gob payload (so truncated or bit-rotted files
+// are rejected with ErrCorrupt instead of being half-loaded), written to
+// a temp file that is fsync'd and atomically renamed into place (so a
+// crash mid-write leaves the previous snapshot intact). Snapshots also
+// carry per-source applied-sequence watermarks, which tell a recovering
+// integrator where in its journal to resume replay.
 package snapshot
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/chaos"
 	"dwcomplement/internal/relation"
 )
 
 // formatVersion guards against reading snapshots from incompatible
-// versions of the wire format.
-const formatVersion = 1
+// versions of the wire format. Version 2 added the CRC header and the
+// applied-sequence watermarks; version 1 files (headerless gob) are no
+// longer readable.
+const formatVersion = 2
 
-// wireValue is the exported mirror of relation.Value for gob.
-type wireValue struct {
+// magic opens every snapshot file; a file without it is not a snapshot.
+var magic = [4]byte{'D', 'W', 'S', 'N'}
+
+// ErrCorrupt reports a snapshot that cannot be trusted: bad magic,
+// truncated payload, or checksum mismatch. Callers distinguish it from
+// I/O errors to decide between "fall back to older snapshot" and
+// "retry the read".
+var ErrCorrupt = errors.New("snapshot: corrupt or truncated")
+
+// WireValue is the exported gob mirror of relation.Value. The journal
+// package reuses it so updates and states share one value codec.
+type WireValue struct {
 	Kind uint8
 	B    bool
 	I    int64
@@ -32,22 +54,24 @@ type wireValue struct {
 	S    string
 }
 
-func toWire(v relation.Value) wireValue {
+// ToWireValue converts a relation value for serialization.
+func ToWireValue(v relation.Value) WireValue {
 	switch v.Kind() {
 	case relation.KindBool:
-		return wireValue{Kind: uint8(relation.KindBool), B: v.AsBool()}
+		return WireValue{Kind: uint8(relation.KindBool), B: v.AsBool()}
 	case relation.KindInt:
-		return wireValue{Kind: uint8(relation.KindInt), I: v.AsInt()}
+		return WireValue{Kind: uint8(relation.KindInt), I: v.AsInt()}
 	case relation.KindFloat:
-		return wireValue{Kind: uint8(relation.KindFloat), F: v.AsFloat()}
+		return WireValue{Kind: uint8(relation.KindFloat), F: v.AsFloat()}
 	case relation.KindString:
-		return wireValue{Kind: uint8(relation.KindString), S: v.AsString()}
+		return WireValue{Kind: uint8(relation.KindString), S: v.AsString()}
 	default:
-		return wireValue{Kind: uint8(relation.KindNull)}
+		return WireValue{Kind: uint8(relation.KindNull)}
 	}
 }
 
-func fromWire(w wireValue) (relation.Value, error) {
+// FromWireValue restores a relation value.
+func FromWireValue(w WireValue) (relation.Value, error) {
 	switch relation.Kind(w.Kind) {
 	case relation.KindNull:
 		return relation.Null(), nil
@@ -64,87 +88,205 @@ func fromWire(w wireValue) (relation.Value, error) {
 	}
 }
 
-// wireRelation is one serialized relation.
-type wireRelation struct {
+// WireRelation is one serialized relation: attribute order plus rows in
+// that order.
+type WireRelation struct {
 	Attrs []string
-	Rows  [][]wireValue
+	Rows  [][]WireValue
 }
 
-// wireSnapshot is the on-disk structure.
+// ToWireRelation serializes a relation (rows in canonical sorted order,
+// so equal relations serialize identically).
+func ToWireRelation(r *relation.Relation) WireRelation {
+	wr := WireRelation{Attrs: append([]string(nil), r.Attrs()...)}
+	for _, t := range r.SortedTuples() {
+		row := make([]WireValue, len(t))
+		for i, v := range t {
+			row[i] = ToWireValue(v)
+		}
+		wr.Rows = append(wr.Rows, row)
+	}
+	return wr
+}
+
+// FromWireRelation restores a relation.
+func FromWireRelation(wr WireRelation) (*relation.Relation, error) {
+	rel := relation.New(wr.Attrs...)
+	for _, row := range wr.Rows {
+		t := make(relation.Tuple, len(row))
+		for i, wv := range row {
+			v, err := FromWireValue(wv)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = v
+		}
+		rel.Insert(t)
+	}
+	return rel, nil
+}
+
+// wireSnapshot is the gob payload behind the binary header.
 type wireSnapshot struct {
 	Version   int
-	Relations map[string]wireRelation
+	Relations map[string]WireRelation
+	// Marks are per-source applied-sequence watermarks: every journal
+	// record with Seq ≤ Marks[source] is already reflected in the
+	// relations and must be skipped during replay.
+	Marks map[string]uint64
 }
 
-// Save writes the relation map to w.
+// Save writes the relation map to w (no watermarks).
 func Save(w io.Writer, ms map[string]*relation.Relation) error {
+	return SaveMarks(w, ms, nil)
+}
+
+// SaveMarks writes the relation map plus per-source applied-sequence
+// watermarks to w: header (magic, CRC32, payload length) then payload.
+func SaveMarks(w io.Writer, ms map[string]*relation.Relation, marks map[string]uint64) error {
 	out := wireSnapshot{
 		Version:   formatVersion,
-		Relations: make(map[string]wireRelation, len(ms)),
+		Relations: make(map[string]WireRelation, len(ms)),
 	}
 	for name, r := range ms {
-		wr := wireRelation{Attrs: append([]string(nil), r.Attrs()...)}
-		for _, t := range r.SortedTuples() {
-			row := make([]wireValue, len(t))
-			for i, v := range t {
-				row[i] = toWire(v)
-			}
-			wr.Rows = append(wr.Rows, row)
-		}
-		out.Relations[name] = wr
+		out.Relations[name] = ToWireRelation(r)
 	}
-	return gob.NewEncoder(w).Encode(out)
+	if len(marks) > 0 {
+		out.Marks = make(map[string]uint64, len(marks))
+		for s, q := range marks {
+			out.Marks[s] = q
+		}
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(out); err != nil {
+		return fmt.Errorf("snapshot: encode: %w", err)
+	}
+	var hdr [16]byte
+	copy(hdr[:4], magic[:])
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
 }
 
-// Load reads a relation map from r.
+// Load reads a relation map from r, discarding any watermarks.
 func Load(r io.Reader) (algebra.MapState, error) {
+	ms, _, err := LoadMarks(r)
+	return ms, err
+}
+
+// LoadMarks reads a relation map and its watermarks from r. Corrupt or
+// truncated input fails with an error wrapping ErrCorrupt.
+func LoadMarks(r io.Reader) (algebra.MapState, map[string]uint64, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[:4], magic[:]) {
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	wantCRC := binary.BigEndian.Uint32(hdr[4:8])
+	length := binary.BigEndian.Uint64(hdr[8:16])
+	const maxPayload = 1 << 32
+	if length > maxPayload {
+		return nil, nil, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, nil, fmt.Errorf("%w: truncated payload: %v", ErrCorrupt, err)
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
 	var in wireSnapshot
-	if err := gob.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("snapshot: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&in); err != nil {
+		return nil, nil, fmt.Errorf("%w: undecodable payload: %v", ErrCorrupt, err)
 	}
 	if in.Version != formatVersion {
-		return nil, fmt.Errorf("snapshot: unsupported format version %d (want %d)", in.Version, formatVersion)
+		return nil, nil, fmt.Errorf("snapshot: unsupported format version %d (want %d)", in.Version, formatVersion)
 	}
 	out := make(algebra.MapState, len(in.Relations))
 	for name, wr := range in.Relations {
-		rel := relation.New(wr.Attrs...)
-		for _, row := range wr.Rows {
-			t := make(relation.Tuple, len(row))
-			for i, wv := range row {
-				v, err := fromWire(wv)
-				if err != nil {
-					return nil, fmt.Errorf("snapshot: relation %s: %w", name, err)
-				}
-				t[i] = v
-			}
-			rel.Insert(t)
+		rel, err := FromWireRelation(wr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("snapshot: relation %s: %w", name, err)
 		}
 		out[name] = rel
 	}
-	return out, nil
+	return out, in.Marks, nil
 }
 
-// SaveFile writes the relation map to a file (created or truncated).
+// SaveFile writes the relation map to a file atomically (see
+// SaveFileMarks).
 func SaveFile(path string, ms map[string]*relation.Relation) error {
-	f, err := os.Create(path)
+	return SaveFileMarks(path, ms, nil)
+}
+
+// SaveFileMarks writes the relation map and watermarks to path with
+// crash-safe semantics: the bytes go to a temp file in the target
+// directory, the temp file is fsync'd, then renamed over path. A crash
+// at any point leaves either the old complete snapshot or the new
+// complete snapshot — never a torn mix.
+func SaveFileMarks(path string, ms map[string]*relation.Relation, marks map[string]uint64) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
 	if err != nil {
 		return err
 	}
-	if err := Save(f, ms); err != nil {
-		f.Close()
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := chaos.Point("snapshot.write"); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := SaveMarks(tmp, ms, marks); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := chaos.Point("snapshot.rename"); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		tmp = nil
+		return err
+	}
+	tmp = nil
+	// Persist the rename itself: fsync the directory (best effort on
+	// filesystems that refuse directory fsync).
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // LoadFile reads a relation map from a file.
 func LoadFile(path string) (algebra.MapState, error) {
+	ms, _, err := LoadFileMarks(path)
+	return ms, err
+}
+
+// LoadFileMarks reads a relation map and its watermarks from a file.
+func LoadFileMarks(path string) (algebra.MapState, map[string]uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	return LoadMarks(f)
 }
 
 // Verify checks that a restored state matches the warehouse layout

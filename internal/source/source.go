@@ -41,7 +41,8 @@ type Source struct {
 	state   *catalog.State
 	seq     uint64
 	notify  func(Notification)
-	queries atomic.Int64 // ad-hoc query attempts, sealed or not
+	history []Notification // reports kept for Resend (gap recovery)
+	queries atomic.Int64   // ad-hoc query attempts, sealed or not
 }
 
 // NewSource creates a source owning the given relations of db. The state
@@ -102,10 +103,57 @@ func (s *Source) Apply(u *catalog.Update) (uint64, error) {
 	s.state = trial
 	s.seq++
 	n := Notification{Source: s.name, Seq: s.seq, Update: nu}
+	s.history = append(s.history, n)
 	if s.notify != nil {
 		s.notify(n)
 	}
 	return s.seq, nil
+}
+
+// Resend re-delivers every retained report with sequence number ≥ from
+// through the notification callback — the reporting channel of Figure 1,
+// not the query interface, so a sealed source can serve gap recovery
+// without weakening its seal. Reports older than the retained history
+// (see TrimHistory) cannot be resent.
+func (s *Source) Resend(from uint64) error {
+	s.mu.Lock()
+	fn := s.notify
+	var batch []Notification
+	for _, n := range s.history {
+		if n.Seq >= from {
+			batch = append(batch, n)
+		}
+	}
+	trimmed := len(s.history) > 0 && s.history[0].Seq > from
+	if len(s.history) == 0 && s.seq >= from {
+		trimmed = true
+	}
+	s.mu.Unlock()
+	if trimmed {
+		return fmt.Errorf("source: %s cannot resend from seq %d: history trimmed", s.name, from)
+	}
+	if fn == nil {
+		return fmt.Errorf("source: %s has no notification callback", s.name)
+	}
+	// Deliver outside the lock: the integrator's Receive may take its own
+	// lock and, transitively, run a warehouse refresh.
+	for _, n := range batch {
+		fn(n)
+	}
+	return nil
+}
+
+// TrimHistory drops retained reports with sequence number ≤ upTo —
+// typically the integrator's checkpointed watermark, after which those
+// reports can never be re-requested.
+func (s *Source) TrimHistory(upTo uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := 0
+	for i < len(s.history) && s.history[i].Seq <= upTo {
+		i++
+	}
+	s.history = append([]Notification(nil), s.history[i:]...)
 }
 
 // checkLocal verifies the locally visible constraints on a trial state.

@@ -93,6 +93,15 @@ func (w *Warehouse) Relation(name string) (*relation.Relation, bool) {
 // package maintain mutates it through Refresh.
 func (w *Warehouse) State() algebra.MapState { return w.state }
 
+// Install replaces one materialized relation. It is the commit
+// primitive of the atomic refresh: package maintain applies every delta
+// to copies first and installs them only once all of them (and all
+// delta consumers) have succeeded, so a failed refresh leaves the
+// warehouse bitwise unchanged.
+func (w *Warehouse) Install(name string, r *relation.Relation) {
+	w.state[name] = r
+}
+
 // Names returns the materialized relation names in sorted order.
 func (w *Warehouse) Names() []string {
 	out := make([]string, 0, len(w.state))
