@@ -1,6 +1,6 @@
 // Command dwbench regenerates every evaluation artifact of the paper —
 // Figures 1–3, Examples 1.1–2.4 and 4.1, and the Section 4/5 claims — as
-// named experiments E1..E14 (see DESIGN.md's experiment index and
+// named experiments E1..E16 (see DESIGN.md's experiment index and
 // EXPERIMENTS.md for the recorded outcomes). Each experiment prints the
 // paper's expectation next to what this implementation measures.
 //
@@ -37,9 +37,18 @@ type experiment struct {
 
 // config carries the shared knobs.
 type config struct {
-	quick bool
-	seed  int64
-	out   io.Writer
+	quick   bool
+	seed    int64
+	out     io.Writer
+	metrics map[string]float64
+}
+
+// metric records a named measurement for the experiment's JSON record.
+func (c *config) metric(name string, v float64) {
+	if c.metrics == nil {
+		c.metrics = map[string]float64{}
+	}
+	c.metrics[name] = v
 }
 
 func (c *config) printf(format string, args ...interface{}) {
@@ -79,12 +88,13 @@ func (c *config) table(headers []string, rows [][]string) {
 
 // expResult is one experiment's record in the JSON report.
 type expResult struct {
-	ID     string `json:"id"`
-	Title  string `json:"title"`
-	Paper  string `json:"paper"`
-	OK     bool   `json:"ok"`
-	Error  string `json:"error,omitempty"`
-	WallNs int64  `json:"wallNs"`
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Paper   string             `json:"paper"`
+	OK      bool               `json:"ok"`
+	Error   string             `json:"error,omitempty"`
+	WallNs  int64              `json:"wallNs"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchReport is the machine-readable outcome of one dwbench run.
@@ -115,14 +125,16 @@ func runExperiments(cfg *config, selected map[string]bool) benchReport {
 		}
 		cfg.printf("\n%s — %s\n", e.id, e.title)
 		cfg.printf("reproduces: %s\n", e.paper)
+		cfg.metrics = nil
 		start := time.Now()
 		err := e.run(cfg)
 		res := expResult{
-			ID:     e.id,
-			Title:  e.title,
-			Paper:  e.paper,
-			OK:     err == nil,
-			WallNs: time.Since(start).Nanoseconds(),
+			ID:      e.id,
+			Title:   e.title,
+			Paper:   e.paper,
+			OK:      err == nil,
+			WallNs:  time.Since(start).Nanoseconds(),
+			Metrics: cfg.metrics,
 		}
 		if err != nil {
 			cfg.printf("  FAILED: %v\n", err)
@@ -183,7 +195,7 @@ func main() {
 func experiments() []experiment {
 	exps := []experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(),
-		e8(), e9(), e10(), e11(), e12(), e13(), e14(), e15(),
+		e8(), e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(),
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// E1..E9 sort before E10 numerically.

@@ -35,11 +35,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	dwc "dwcomplement"
 	"dwcomplement/internal/obs"
+	"dwcomplement/internal/remote"
 )
 
 // parseLevel maps the -log-level flag to a slog level.
@@ -72,6 +74,14 @@ func main() {
 	logLevel := fs.String("log-level", "info", "request log level (debug|info|warn|error)")
 	logJSON := fs.Bool("log-json", false, "emit JSON log records instead of text")
 	debugAddr := fs.String("debug", "", "serve net/http/pprof on this address (off when empty; keep private)")
+	var remoteSources []string
+	fs.Func("source", "attach a remote dwsource as name=http://host:port (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want name=url, got %q", v)
+		}
+		remoteSources = append(remoteSources, v)
+		return nil
+	})
 	_ = fs.Parse(os.Args[1:])
 
 	if *specPath == "" {
@@ -131,6 +141,10 @@ func main() {
 		os.Exit(1)
 	}
 	srv.log = obs.NewLogger(os.Stderr, level, *logJSON)
+	for _, rs := range remoteSources {
+		name, url, _ := strings.Cut(rs, "=")
+		srv.AttachRemote(remote.NewClient(name, url, spec.DB, remote.Config{}))
+	}
 	if srv.replayed > 0 {
 		srv.log.Info("journal replayed", "records", srv.replayed, "seq", srv.seq)
 	}
@@ -155,6 +169,7 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	srv.startRemotes(ctx)
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {

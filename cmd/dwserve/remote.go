@@ -1,0 +1,145 @@
+package main
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dwcomplement/internal/journal"
+	"dwcomplement/internal/remote"
+	"dwcomplement/internal/source"
+)
+
+// AttachRemote registers a remote source client: its reports flow into
+// the warehouse through the same incremental maintenance (and journal)
+// as HTTP updates, keyed by the source's own sequence numbers. Attach
+// every client before the listener starts (the remotes map is read
+// lock-free by handlers afterwards), then call startRemotes.
+func (s *server) AttachRemote(c *remote.Client) {
+	s.mu.Lock()
+	s.remotes[c.Name()] = c
+	s.mu.Unlock()
+	c.SetMetrics(s.reg)
+	c.OnUpdate(s.applyRemote)
+}
+
+// startRemotes rewinds every client to its recovered watermark (so
+// reports applied before a restart are not re-fetched, and reports
+// after it are) and starts the poll loops.
+func (s *server) startRemotes(ctx context.Context) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name, c := range s.remotes {
+		c.Rewind(s.remoteSeq[name])
+		c.Start(ctx)
+	}
+}
+
+// stopRemotes stops every poll loop and waits for them to exit.
+func (s *server) stopRemotes() {
+	s.mu.RLock()
+	clients := make([]*remote.Client, 0, len(s.remotes))
+	for _, c := range s.remotes {
+		clients = append(clients, c)
+	}
+	s.mu.RUnlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+// applyRemote is the delivery callback for remote source reports: dedup
+// by the per-source watermark (retries, hedges and rewinds all cause
+// benign redelivery), refresh, journal at commit, checkpoint on
+// schedule. A failed refresh rewinds the client so the report is
+// re-fetched later instead of being lost; the warehouse serves stale in
+// the meantime.
+func (s *server) applyRemote(n source.Notification) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	applied := s.remoteSeq[n.Source]
+	if n.Seq <= applied {
+		return // duplicate redelivery
+	}
+	if n.Seq != applied+1 {
+		// Sequence gap (possible after a restart races the poll loop):
+		// rewind so the missing range is re-fetched in order.
+		if c := s.remotes[n.Source]; c != nil {
+			c.Rewind(applied)
+		}
+		return
+	}
+	if _, err := s.maintain.RefreshContext(context.Background(), s.w, n.Update); err != nil {
+		s.degraded.Store(true)
+		s.log.Error("remote refresh failed; serving stale", "source", n.Source, "seq", n.Seq, "err", err)
+		if c := s.remotes[n.Source]; c != nil {
+			c.Rewind(n.Seq - 1)
+		}
+		return
+	}
+	// Journal after the refresh committed. If the append fails the
+	// record is not durable — but unlike HTTP updates, remote reports
+	// are re-fetchable: after a crash the client rewinds to the
+	// checkpointed watermark and the source's retained log refills the
+	// hole. Degraded is still flagged so operators see it.
+	if s.jw != nil {
+		if err := s.jw.Append(journal.Record{Source: n.Source, Seq: n.Seq, Update: n.Update}); err != nil {
+			s.degraded.Store(true)
+			s.log.Error("remote journal append failed", "source", n.Source, "seq", n.Seq, "err", err)
+		}
+	}
+	s.remoteSeq[n.Source] = n.Seq
+	s.refreshes++
+	s.sinceCkpt++
+	s.mRefreshes.Inc()
+	if s.cfg.SnapshotDir != "" && s.sinceCkpt >= s.cfg.CheckpointEvery {
+		if err := s.checkpointLocked(); err != nil {
+			s.degraded.Store(true)
+			s.log.Error("checkpoint after remote refresh failed", "err", err)
+			return
+		}
+	}
+	s.degraded.Store(false)
+	s.lastGoodNano.Store(time.Now().UnixNano())
+}
+
+// remoteHealth returns every attached client's health view, sorted by
+// name, plus whether any of them is not fully healthy.
+func (s *server) remoteHealth() ([]remote.Health, bool) {
+	s.mu.RLock()
+	clients := make([]*remote.Client, 0, len(s.remotes))
+	for _, c := range s.remotes {
+		clients = append(clients, c)
+	}
+	s.mu.RUnlock()
+	hs := make([]remote.Health, 0, len(clients))
+	anyDegraded := false
+	for _, c := range clients {
+		h := c.Health()
+		if h.State != "healthy" {
+			anyDegraded = true
+		}
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].Source < hs[j].Source })
+	return hs, anyDegraded
+}
+
+// stalenessHeader builds the X-DW-Staleness value: the warehouse's own
+// staleness first (when degraded), then name=seconds for every remote
+// source whose report stream is stale. Empty when everything is fresh.
+func (s *server) stalenessHeader() string {
+	var parts []string
+	if st := s.staleness(); st > 0 {
+		parts = append(parts, strconv.FormatFloat(st.Seconds(), 'f', 3, 64))
+	}
+	hs, _ := s.remoteHealth()
+	for _, h := range hs {
+		if h.StalenessSec > 0 {
+			parts = append(parts, h.Source+"="+strconv.FormatFloat(h.StalenessSec, 'f', 3, 64))
+		}
+	}
+	return strings.Join(parts, ", ")
+}

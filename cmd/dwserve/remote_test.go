@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	dwc "dwcomplement"
+	"dwcomplement/internal/remote"
+	"dwcomplement/internal/source"
+)
+
+// remoteSpec has no initial state: in the remote deployment the data
+// lives at the sources and arrives through their reporting channels.
+const remoteSpec = `
+relation Sale(item string, clerk string)
+relation Emp(clerk string, age int) key(clerk)
+view Sold = pi{item, clerk, age}(Sale join Emp)
+`
+
+// quickRemoteConfig shrinks every client duration for tests.
+func quickRemoteConfig() remote.Config {
+	return remote.Config{
+		AttemptTimeout:   time.Second,
+		MaxRetries:       -1,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       5 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  20 * time.Millisecond,
+		PollWait:         50 * time.Millisecond,
+		PollInterval:     time.Millisecond,
+	}
+}
+
+// remoteRig is a dwserve server wired to one real dwsource-style HTTP
+// source owning Sale and one owning Emp.
+type remoteRig struct {
+	srv     *server
+	ts      *httptest.Server
+	sales   *source.Source
+	company *source.Source
+	clients map[string]*remote.Client
+}
+
+func newRemoteRig(t *testing.T) *remoteRig {
+	t.Helper()
+	spec, err := dwc.ParseSpec(remoteSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(spec, dwc.Theorem22(), serverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := &remoteRig{srv: srv, clients: map[string]*remote.Client{}}
+	for name, rel := range map[string]string{"sales": "Sale", "company": "Emp"} {
+		src, err := source.NewSource(name, spec.DB, true, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sts := httptest.NewServer(remote.NewSourceServer(src).Handler())
+		t.Cleanup(sts.Close)
+		c := remote.NewClient(name, sts.URL, spec.DB, quickRemoteConfig())
+		srv.AttachRemote(c)
+		rig.clients[name] = c
+		if name == "sales" {
+			rig.sales = src
+		} else {
+			rig.company = src
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	srv.startRemotes(ctx)
+	t.Cleanup(srv.stopRemotes)
+	rig.ts = httptest.NewServer(srv.handler())
+	t.Cleanup(rig.ts.Close)
+	return rig
+}
+
+func waitUntil(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached before deadline")
+}
+
+// TestRemoteSourcesFeedWarehouse: transactions applied at the sources
+// flow over the wire into the warehouse's materialized view, and
+// /readyz reports both sources healthy.
+func TestRemoteSourcesFeedWarehouse(t *testing.T) {
+	rig := newRemoteRig(t)
+	if _, err := rig.company.Apply(mustOps(t, rig.srv.spec, `insert Emp('Mary', 23)`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.sales.Apply(mustOps(t, rig.srv.spec, `insert Sale('TV set', 'Mary')`)); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 5*time.Second, func() bool {
+		var sizes map[string]int
+		getJSON(t, rig.ts.URL+"/relations", &sizes)
+		return sizes["Sold"] == 1
+	})
+
+	var ready struct {
+		Ready    bool `json:"ready"`
+		Degraded bool `json:"degraded"`
+		Sources  map[string]struct {
+			State        string  `json:"state"`
+			Breaker      string  `json:"breaker"`
+			StalenessSec float64 `json:"stalenessSec"`
+		} `json:"sources"`
+	}
+	if code := getJSON(t, rig.ts.URL+"/readyz", &ready); code != http.StatusOK {
+		t.Fatalf("readyz = %d", code)
+	}
+	if !ready.Ready || ready.Degraded {
+		t.Fatalf("readyz body = %+v, want ready and not degraded", ready)
+	}
+	for name, h := range ready.Sources {
+		if h.State != "healthy" || h.Breaker != "closed" {
+			t.Fatalf("source %s health = %+v", name, h)
+		}
+	}
+	if len(ready.Sources) != 2 {
+		t.Fatalf("readyz reported %d sources, want 2", len(ready.Sources))
+	}
+}
+
+// TestQuarantinedSourceDegradesNotUnready: when a remote source goes
+// dark its client quarantines, /readyz flips to degraded — but stays
+// 200, so load balancers keep routing to the warehouse, which serves
+// its last good state with per-source staleness advertised on reads.
+func TestQuarantinedSourceDegradesNotUnready(t *testing.T) {
+	rig := newRemoteRig(t)
+	// Seed one row so reads have something to serve stale.
+	if _, err := rig.company.Apply(mustOps(t, rig.srv.spec, `insert Emp('Mary', 23)`)); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 5*time.Second, func() bool { return rig.clients["company"].Cursor() == 1 })
+
+	// The sales source goes dark: dead endpoint, breaker trips.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	c := rig.clients["sales"]
+	c.Close()
+	c2 := remote.NewClient("sales", deadURL, rig.srv.spec.DB, quickRemoteConfig())
+	rig.srv.AttachRemote(c2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rig.srv.startRemotes(ctx)
+	defer c2.Close()
+	waitUntil(t, 5*time.Second, c2.Quarantined)
+
+	var ready struct {
+		Ready    bool `json:"ready"`
+		Degraded bool `json:"degraded"`
+		Sources  map[string]struct {
+			State string `json:"state"`
+		} `json:"sources"`
+	}
+	code := getJSON(t, rig.ts.URL+"/readyz", &ready)
+	if code != http.StatusOK {
+		t.Fatalf("readyz status = %d, want 200 (degraded, not unready)", code)
+	}
+	if !ready.Ready || !ready.Degraded {
+		t.Fatalf("readyz body = %+v, want ready AND degraded", ready)
+	}
+	if got := ready.Sources["sales"].State; got != "quarantined" {
+		t.Fatalf("sales state = %q, want quarantined", got)
+	}
+
+	// Reads still work and advertise the stale source on the header.
+	resp, err := http.Get(rig.ts.URL + "/relations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read while degraded = %d", resp.StatusCode)
+	}
+	hdr := resp.Header.Get("X-DW-Staleness")
+	if !strings.Contains(hdr, "sales=") {
+		t.Fatalf("X-DW-Staleness = %q, want a sales= entry", hdr)
+	}
+}
+
+// mustOps parses update ops against the spec's database.
+func mustOps(t *testing.T, spec *dwc.Spec, text string) *dwc.Update {
+	t.Helper()
+	u, err := dwc.ParseUpdateOps(spec.DB, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}

@@ -20,6 +20,7 @@ import (
 	"dwcomplement/internal/journal"
 	"dwcomplement/internal/obs"
 	"dwcomplement/internal/relation"
+	"dwcomplement/internal/remote"
 	"dwcomplement/internal/snapshot"
 )
 
@@ -80,6 +81,13 @@ type server struct {
 	jw        *journal.Writer
 	snapshot  string // legacy markless save path ("" = off)
 
+	// Remote sources (dwsource processes consumed over the wire). The
+	// remotes map is populated by AttachRemote before the listener
+	// starts and read lock-free by handlers afterwards; the per-source
+	// applied watermarks live under mu like seq.
+	remotes   map[string]*remote.Client
+	remoteSeq map[string]uint64
+
 	log *slog.Logger
 	reg *obs.Registry
 
@@ -138,6 +146,8 @@ func newServer(spec *dwc.Spec, opts dwc.Options, cfg serverConfig) (*server, err
 		journalOK: true,
 		log:       obs.NopLogger(),
 		reg:       obs.NewRegistry(),
+		remotes:   make(map[string]*remote.Client),
+		remoteSeq: make(map[string]uint64),
 	}
 
 	// Materialize: a marked checkpoint wins, then the legacy -state
@@ -152,6 +162,11 @@ func newServer(spec *dwc.Spec, opts dwc.Options, cfg serverConfig) (*server, err
 			}
 			w.LoadState(ms)
 			s.seq = marks[httpSource]
+			for src, seq := range marks {
+				if src != httpSource {
+					s.remoteSeq[src] = seq
+				}
+			}
 			loaded = true
 		case os.IsNotExist(err):
 			// first boot in this directory
@@ -185,17 +200,27 @@ func newServer(spec *dwc.Spec, opts dwc.Options, cfg serverConfig) (*server, err
 		// A torn tail reported by Replay is a crash mid-append of an
 		// unacknowledged update: safe to drop (Open truncates it).
 		_, _, err := journal.Replay(cfg.JournalPath, spec.DB, func(rec journal.Record) error {
-			if rec.Source != httpSource || rec.Seq <= s.seq {
-				return nil // foreign or already-checkpointed record
+			// Records are keyed by their origin: the HTTP API's own
+			// sequence, or a remote source's watermark.
+			applied := s.seq
+			if rec.Source != httpSource {
+				applied = s.remoteSeq[rec.Source]
+			}
+			if rec.Seq <= applied {
+				return nil // already covered by the checkpoint
 			}
 			if _, rerr := s.maintain.RefreshContext(context.Background(), w, rec.Update); rerr != nil {
 				if s.wedgedErr == nil {
-					s.wedgedErr = fmt.Errorf("replay of update %d: %w", rec.Seq, rerr)
+					s.wedgedErr = fmt.Errorf("replay of %s update %d: %w", rec.Source, rec.Seq, rerr)
 				}
 				s.journalOK = false
 				return nil // keep replaying later records
 			}
-			s.seq = rec.Seq
+			if rec.Source == httpSource {
+				s.seq = rec.Seq
+			} else {
+				s.remoteSeq[rec.Source] = rec.Seq
+			}
 			s.replayed++
 			return nil
 		})
@@ -367,14 +392,28 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // materialized, the journal replayed without wedging, and the server is
 // not draining. A liveness probe should use /healthz instead — a wedged
 // or draining server is alive, just not accepting its share of traffic.
+//
+// Remote sources report per-source readiness: a degraded or quarantined
+// source flips the body to degraded but NOT the status to 503 — the
+// warehouse still answers queries from its last good state (serve
+// stale), so load balancers should keep routing to it.
 func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	sources, sourcesDegraded := s.remoteHealth()
 	body := map[string]any{
 		"snapshotLoaded":  s.snapshotLoaded,
 		"journalReplayed": s.journalOK,
 		"replayedRecords": s.replayed,
 		"draining":        s.draining.Load(),
-		"degraded":        s.degraded.Load(),
+		"degraded":        s.degraded.Load() || sourcesDegraded,
 		"stalenessSec":    s.staleness().Seconds(),
+	}
+	if len(sources) > 0 {
+		perSource := map[string]remote.Health{}
+		for _, h := range sources {
+			perSource[h.Source] = h
+		}
+		body["sources"] = perSource
+		body["sourcesDegraded"] = sourcesDegraded
 	}
 	if s.wedgedErr != nil {
 		body["wedged"] = s.wedgedErr.Error()
@@ -414,12 +453,15 @@ func (s *server) handleComplement(w http.ResponseWriter, _ *http.Request) {
 }
 
 // markStale advertises degraded reads: when the last refresh (or its
-// persistence) failed, answers are still served from the last good state
-// — warehouse-only, per the paper — with their staleness in seconds on
-// the X-DW-Staleness header so callers can decide whether to trust them.
+// persistence) failed, or a remote source's report stream is stale,
+// answers are still served from the last good state — warehouse-only,
+// per the paper — with the staleness on the X-DW-Staleness header so
+// callers can decide whether to trust them. The header carries the
+// warehouse's own staleness in seconds when its last refresh failed,
+// then name=seconds for each stale remote source (e.g. "sales=2.310").
 func (s *server) markStale(w http.ResponseWriter) {
-	if st := s.staleness(); st > 0 {
-		w.Header().Set("X-DW-Staleness", strconv.FormatFloat(st.Seconds(), 'f', 3, 64))
+	if hdr := s.stalenessHeader(); hdr != "" {
+		w.Header().Set("X-DW-Staleness", hdr)
 	}
 }
 
@@ -653,6 +695,9 @@ func (s *server) checkpointLocked() error {
 		return nil
 	}
 	marks := map[string]uint64{httpSource: s.seq}
+	for src, seq := range s.remoteSeq {
+		marks[src] = seq
+	}
 	if err := snapshot.SaveFileMarks(checkpointPath(s.cfg.SnapshotDir), s.w.State(), marks); err != nil {
 		return err
 	}
@@ -668,9 +713,10 @@ func (s *server) checkpointLocked() error {
 func (s *server) beginDrain() { s.draining.Store(true) }
 
 // shutdown finishes a graceful stop after the HTTP listener has
-// drained: write a final checkpoint (so the next boot replays nothing)
-// and release the journal.
+// drained: stop the remote poll loops, write a final checkpoint (so the
+// next boot replays nothing) and release the journal.
 func (s *server) shutdown() error {
+	s.stopRemotes()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := s.checkpointLocked()

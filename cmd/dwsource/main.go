@@ -1,0 +1,134 @@
+// Command dwsource runs one autonomous source database as an HTTP
+// service — the source side of Figure 1 with its reporting channel on
+// the wire. It owns a subset of the schema's relations, applies local
+// transactions POSTed to /apply, and serves the resulting change
+// reports to polling integrators (dwserve -source, or any
+// remote.Client):
+//
+//	dwsource -spec warehouse.dw -name sales -owns Sale [-addr :9101]
+//	         [-unsealed]
+//
+// Endpoints:
+//
+//	POST /apply             apply update ops (insert R(...)/delete R(...))
+//	GET  /reports?from=N    change reports with seq ≥ N (&wait=ms long-polls)
+//	GET  /resend?from=N     immediate re-delivery for gap resync
+//	GET  /healthz           source name, latest seq, retained reports
+//
+// The source is sealed by default: there is deliberately no query
+// endpoint, so an integrator consuming this server can never issue the
+// dashed-arrow ad-hoc queries the paper's update independence forbids.
+// All relations named in -owns must exist in the spec; updates touching
+// foreign relations are refused.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	dwc "dwcomplement"
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/remote"
+	"dwcomplement/internal/source"
+)
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// newSourceHandler mounts the wire reporting channel plus the local
+// transaction endpoint. Split out of main for tests.
+func newSourceHandler(src *source.Source, db *catalog.Database) http.Handler {
+	srv := remote.NewSourceServer(src)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("POST /apply", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		u, err := dwc.ParseUpdateOps(db, string(body))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		seq, err := src.Apply(u)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"seq": seq, "changes": u.Size()})
+	})
+	return mux
+}
+
+func main() {
+	fs := flag.NewFlagSet("dwsource", flag.ExitOnError)
+	specPath := fs.String("spec", "", "path to the .dw specification defining the schema (required)")
+	name := fs.String("name", "", "source name, as reported to integrators (required)")
+	owns := fs.String("owns", "", "comma-separated relations this source owns (required)")
+	addr := fs.String("addr", ":9101", "listen address")
+	unsealed := fs.Bool("unsealed", false, "permit in-process ad-hoc queries (the wire never exposes them)")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "graceful shutdown deadline")
+	_ = fs.Parse(os.Args[1:])
+
+	if *specPath == "" || *name == "" || *owns == "" {
+		fmt.Fprintln(os.Stderr, "dwsource: -spec, -name and -owns are required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwsource:", err)
+		os.Exit(1)
+	}
+	spec, err := dwc.ParseSpec(string(raw))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwsource:", err)
+		os.Exit(1)
+	}
+	var rels []string
+	for _, r := range strings.Split(*owns, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rels = append(rels, r)
+		}
+	}
+	src, err := source.NewSource(*name, spec.DB, !*unsealed, rels...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwsource:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("dwsource: source %q owns %s (sealed=%v)\nlistening on %s\n",
+		*name, strings.Join(rels, ", "), !*unsealed, *addr)
+	httpSrv := &http.Server{Addr: *addr, Handler: newSourceHandler(src, spec.DB)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "dwsource:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "dwsource: drain:", err)
+	}
+	fmt.Printf("dwsource: shutdown complete, seq %d\n", src.Seq())
+}

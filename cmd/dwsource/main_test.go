@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	dwc "dwcomplement"
+	"dwcomplement/internal/source"
+)
+
+const testSpec = `
+relation Sale(item string, clerk string)
+relation Emp(clerk string, age int) key(clerk)
+view Sold = pi{item, clerk, age}(Sale join Emp)
+`
+
+// TestApplyAndReport drives the full dwsource surface: local
+// transactions through POST /apply, reports out of GET /reports,
+// ownership enforcement, and health.
+func TestApplyAndReport(t *testing.T) {
+	spec, err := dwc.ParseSpec(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := source.NewSource("sales", spec.DB, true, "Sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newSourceHandler(src, spec.DB))
+	defer ts.Close()
+
+	post := func(body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/apply", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	code, out := post(`insert Sale('TV set', 'Mary')`)
+	if code != http.StatusOK || out["seq"] != float64(1) {
+		t.Fatalf("apply = %d %v", code, out)
+	}
+	// A foreign relation is refused: this source owns Sale only.
+	if code, out = post(`insert Emp('Mary', 23)`); code != http.StatusUnprocessableEntity {
+		t.Fatalf("foreign apply = %d %v, want 422", code, out)
+	}
+	// Garbage is a 400.
+	if code, _ = post(`frobnicate`); code != http.StatusBadRequest {
+		t.Fatalf("bad ops = %d, want 400", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/reports?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var batch struct {
+		Source  string `json:"source"`
+		Seq     uint64 `json:"seq"`
+		Reports []struct {
+			Seq uint64 `json:"seq"`
+		} `json:"reports"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Source != "sales" || batch.Seq != 1 || len(batch.Reports) != 1 || batch.Reports[0].Seq != 1 {
+		t.Fatalf("reports = %+v", batch)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h struct {
+		Source string `json:"source"`
+		Sealed bool   `json:"sealed"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Source != "sales" || !h.Sealed {
+		t.Fatalf("healthz = %+v", h)
+	}
+}

@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// faultTestServer counts requests and returns a fixed body.
+func faultTestServer(t *testing.T, body string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func doGet(t *testing.T, rt http.RoundTripper, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+// TestFaultyTransportDrop: a dropped request fails before reaching the
+// server.
+func TestFaultyTransportDrop(t *testing.T) {
+	ts, hits := faultTestServer(t, "ok")
+	ft := NewFaultyTransport(1, HTTPFaultConfig{Drop: 1.0}, nil)
+	if _, err := doGet(t, ft, ts.URL); err == nil {
+		t.Fatal("dropped request returned a response")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("dropped request reached the server")
+	}
+	if s := ft.Stats(); s.Dropped != 1 || s.Requests != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestFaultyTransportLoseResponse: the request reaches the server but
+// the caller sees a failure — the duplication-inducing fault, since a
+// retry re-executes work the server already did.
+func TestFaultyTransportLoseResponse(t *testing.T) {
+	ts, hits := faultTestServer(t, "ok")
+	ft := NewFaultyTransport(1, HTTPFaultConfig{LoseResponse: 1.0}, nil)
+	if _, err := doGet(t, ft, ts.URL); err == nil {
+		t.Fatal("lost response still returned to the caller")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server hits = %d, want 1 (request must go through)", hits.Load())
+	}
+	if s := ft.Stats(); s.LostResponses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestFaultyTransport5xx: an injected 503 never reaches the server.
+func TestFaultyTransport5xx(t *testing.T) {
+	ts, hits := faultTestServer(t, "ok")
+	ft := NewFaultyTransport(1, HTTPFaultConfig{Err5xx: 1.0}, nil)
+	resp, err := doGet(t, ft, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("injected 503 reached the server")
+	}
+	if s := ft.Stats(); s.Injected5xx != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestFaultyTransportPartialBody: the response arrives but its body is
+// truncated mid-stream with io.ErrUnexpectedEOF.
+func TestFaultyTransportPartialBody(t *testing.T) {
+	ts, _ := faultTestServer(t, strings.Repeat("x", 1024))
+	ft := NewFaultyTransport(1, HTTPFaultConfig{PartialBody: 1.0}, nil)
+	resp, err := doGet(t, ft, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(data) >= 1024 || len(data) == 0 {
+		t.Fatalf("read %d bytes of 1024, want a strict truncation", len(data))
+	}
+	if s := ft.Stats(); s.Truncated != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestFaultyTransportDelayHonorsContext: a delayed request respects an
+// already-expiring context instead of sleeping through it.
+func TestFaultyTransportDelayHonorsContext(t *testing.T) {
+	ts, _ := faultTestServer(t, "ok")
+	ft := NewFaultyTransport(1, HTTPFaultConfig{Delay: 1.0, MaxDelay: time.Minute}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := ft.RoundTrip(req); err == nil {
+		t.Fatal("delayed request beyond its context still succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delay ignored the canceled context")
+	}
+}
+
+// TestFaultyTransportDisabledAndDeterministic: SetEnabled(false) makes
+// it a clean passthrough, and two transports with the same seed inject
+// the same fault schedule.
+func TestFaultyTransportDisabledAndDeterministic(t *testing.T) {
+	ts, hits := faultTestServer(t, "ok")
+	cfg := HTTPFaultConfig{Drop: 0.3, Err5xx: 0.3, LoseResponse: 0.2}
+	ft := NewFaultyTransport(42, cfg, nil)
+	ft.SetEnabled(false)
+	for i := 0; i < 5; i++ {
+		resp, err := doGet(t, ft, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if hits.Load() != 5 {
+		t.Fatalf("disabled transport dropped traffic: %d/5 hits", hits.Load())
+	}
+	if s := ft.Stats(); s.Dropped+s.Injected5xx+s.LostResponses != 0 {
+		t.Fatalf("disabled transport recorded faults: %+v", s)
+	}
+
+	// Same seed, same schedule.
+	outcome := func(seed int64) []bool {
+		tr := NewFaultyTransport(seed, cfg, nil)
+		var out []bool
+		for i := 0; i < 20; i++ {
+			resp, err := doGet(t, tr, ts.URL)
+			ok := err == nil && resp.StatusCode == http.StatusOK
+			if resp != nil {
+				resp.Body.Close()
+			}
+			out = append(out, ok)
+		}
+		return out
+	}
+	a, b := outcome(99), outcome(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %v vs %v", i, a, b)
+		}
+	}
+}

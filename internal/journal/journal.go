@@ -70,26 +70,33 @@ type wireRecord struct {
 	Del    map[string]snapshot.WireRelation
 }
 
-func toWire(rec Record) wireRecord {
-	w := wireRecord{Source: rec.Source, Seq: rec.Seq}
-	for _, name := range rec.Update.Touched() {
-		if ins := rec.Update.Inserts(name); ins != nil && !ins.IsEmpty() {
-			if w.Ins == nil {
-				w.Ins = make(map[string]snapshot.WireRelation)
+// ToWireUpdate serializes an update's insert and delete sets on the
+// snapshot package's relation codec. It is the single update codec of
+// the repo: the journal's records and the remote reporting protocol
+// (internal/remote) both ride on it, so an update round-trips
+// identically whether it crossed a disk or a network boundary.
+func ToWireUpdate(u *catalog.Update) (ins, del map[string]snapshot.WireRelation) {
+	for _, name := range u.Touched() {
+		if r := u.Inserts(name); r != nil && !r.IsEmpty() {
+			if ins == nil {
+				ins = make(map[string]snapshot.WireRelation)
 			}
-			w.Ins[name] = snapshot.ToWireRelation(ins)
+			ins[name] = snapshot.ToWireRelation(r)
 		}
-		if del := rec.Update.Deletes(name); del != nil && !del.IsEmpty() {
-			if w.Del == nil {
-				w.Del = make(map[string]snapshot.WireRelation)
+		if r := u.Deletes(name); r != nil && !r.IsEmpty() {
+			if del == nil {
+				del = make(map[string]snapshot.WireRelation)
 			}
-			w.Del[name] = snapshot.ToWireRelation(del)
+			del[name] = snapshot.ToWireRelation(r)
 		}
 	}
-	return w
+	return ins, del
 }
 
-func fromWire(w wireRecord, db *catalog.Database) (Record, error) {
+// FromWireUpdate restores an update from its wire form, re-aligning
+// each row to the schema's attribute order and rejecting references to
+// relations the database does not declare.
+func FromWireUpdate(db *catalog.Database, ins, del map[string]snapshot.WireRelation) (*catalog.Update, error) {
 	u := catalog.NewUpdate()
 	restore := func(m map[string]snapshot.WireRelation, schedule func(string, relation.Tuple) error) error {
 		for name, wr := range m {
@@ -124,10 +131,24 @@ func fromWire(w wireRecord, db *catalog.Database) (Record, error) {
 		}
 		return nil
 	}
-	if err := restore(w.Ins, func(name string, t relation.Tuple) error { return u.Insert(name, db, t) }); err != nil {
-		return Record{}, err
+	if err := restore(ins, func(name string, t relation.Tuple) error { return u.Insert(name, db, t) }); err != nil {
+		return nil, err
 	}
-	if err := restore(w.Del, func(name string, t relation.Tuple) error { return u.Delete(name, db, t) }); err != nil {
+	if err := restore(del, func(name string, t relation.Tuple) error { return u.Delete(name, db, t) }); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+func toWire(rec Record) wireRecord {
+	w := wireRecord{Source: rec.Source, Seq: rec.Seq}
+	w.Ins, w.Del = ToWireUpdate(rec.Update)
+	return w
+}
+
+func fromWire(w wireRecord, db *catalog.Database) (Record, error) {
+	u, err := FromWireUpdate(db, w.Ins, w.Del)
+	if err != nil {
 		return Record{}, err
 	}
 	return Record{Source: w.Source, Seq: w.Seq, Update: u}, nil

@@ -31,6 +31,20 @@ var contextFreeWrappers = []struct {
 	{"dwcomplement/internal/maintain", "Maintainer", "Refresh", "RefreshContext"},
 	{"dwcomplement/internal/core", "Complement", "MaterializeWarehouse", "MaterializeWarehouseCtx"},
 	{"dwcomplement/internal/core", "Complement", "Reconstruct", "ReconstructCtx"},
+	// The net/http convenience calls carry no context, so a remote
+	// source that stops responding would hang library code forever.
+	// internal/remote (and any other internal package talking HTTP)
+	// must build requests with http.NewRequestWithContext so the
+	// per-attempt deadlines and breaker-driven cancellation propagate.
+	{"net/http", "", "Get", "NewRequestWithContext + Client.Do"},
+	{"net/http", "", "Post", "NewRequestWithContext + Client.Do"},
+	{"net/http", "", "PostForm", "NewRequestWithContext + Client.Do"},
+	{"net/http", "", "Head", "NewRequestWithContext + Client.Do"},
+	{"net/http", "", "NewRequest", "NewRequestWithContext"},
+	{"net/http", "Client", "Get", "NewRequestWithContext + Client.Do"},
+	{"net/http", "Client", "Post", "NewRequestWithContext + Client.Do"},
+	{"net/http", "Client", "PostForm", "NewRequestWithContext + Client.Do"},
+	{"net/http", "Client", "Head", "NewRequestWithContext + Client.Do"},
 }
 
 func runEvalCtx(pass *Pass) {

@@ -4,6 +4,9 @@
 package evalctx
 
 import (
+	"context"
+	"net/http"
+
 	"dwcomplement/internal/algebra"
 	"dwcomplement/internal/view"
 )
@@ -13,6 +16,22 @@ func contextFree(e algebra.Expr, st algebra.State, v *view.PSJ, vs *view.Set) {
 	_ = algebra.MustEval(e, st) // want "context-free algebra.MustEval"
 	_, _ = v.Eval(st)           // want "context-free view.PSJ.Eval"
 	_, _ = vs.Eval(st)          // want "context-free view.Set.Eval"
+}
+
+func contextFreeHTTP(c *http.Client) {
+	_, _ = http.Get("http://src")                    // want "context-free http.Get"
+	_, _ = http.Post("http://src", "", nil)          // want "context-free http.Post"
+	_, _ = http.Head("http://src")                   // want "context-free http.Head"
+	_, _ = http.NewRequest("GET", "http://src", nil) // want "context-free http.NewRequest"
+	_, _ = c.Get("http://src")                       // want "context-free http.Client.Get"
+	_, _ = c.Head("http://src")                      // want "context-free http.Client.Head"
+}
+
+func contextAwareHTTP(ctx context.Context, c *http.Client) {
+	req, err := http.NewRequestWithContext(ctx, "GET", "http://src", nil)
+	if err == nil {
+		_, _ = c.Do(req)
+	}
 }
 
 func contextAware(e algebra.Expr, st algebra.State, v *view.PSJ, vs *view.Set) {

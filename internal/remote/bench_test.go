@@ -1,0 +1,105 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/core"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/source"
+	"dwcomplement/internal/workload"
+)
+
+// BenchmarkRemoteRefresh measures the end-to-end latency of one source
+// transaction reaching the maintained warehouse — first with the
+// in-process wiring NewEnvironment sets up (the apply itself drives the
+// refresh synchronously), then with the source behind a real loopback
+// HTTP server and the resilient client in between (long-poll pickup,
+// wire decode, then the same refresh). The difference is the cost of
+// the wire.
+func BenchmarkRemoteRefresh(b *testing.B) {
+	b.Run("inproc", func(b *testing.B) {
+		env, sales := benchEnv(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchInsert(b, sales, i)
+		}
+		b.StopTimer()
+		benchSettled(b, env, sales)
+	})
+	b.Run("remote", func(b *testing.B) {
+		env, sales := benchEnv(b)
+		integ := env.Integrator
+		srv := NewSourceServer(sales) // displaces the in-process callback
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		c := NewClient("sales", ts.URL, sales.Snapshot().Database(), Config{
+			AttemptTimeout: time.Second,
+			MaxRetries:     -1,
+			PollWait:       250 * time.Millisecond,
+			PollInterval:   50 * time.Microsecond,
+		})
+		c.OnUpdate(integ.Receive)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		c.Start(ctx)
+		defer c.Close()
+
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seq := benchInsert(b, sales, i)
+			for integ.Marks()["sales"] < seq {
+				time.Sleep(10 * time.Microsecond)
+			}
+		}
+		b.StopTimer()
+		benchSettled(b, env, sales)
+	})
+}
+
+// benchEnv builds the Figure 1 pipeline with a single sales source
+// owning Sale (Emp stays static, so every insert touches the join).
+func benchEnv(b *testing.B) (*source.Environment, *source.Source) {
+	b.Helper()
+	sc := workload.Figure1(false)
+	comp := core.MustCompute(sc.DB, sc.Views, core.Proposition22())
+	env, err := source.NewEnvironment(comp, map[string][]string{
+		"sales":   {"Sale"},
+		"company": {"Emp"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs, _ := env.Source("sales")
+	return env, srcs
+}
+
+// benchInsert applies one unique Sale row and returns its Seq.
+func benchInsert(b *testing.B, sales *source.Source, i int) uint64 {
+	b.Helper()
+	db := sales.Snapshot().Database()
+	u := catalog.NewUpdate().MustInsert("Sale", db,
+		relation.String_(fmt.Sprintf("bench-item-%d", i)), relation.String_("Mary"))
+	seq, err := sales.Apply(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return seq
+}
+
+// benchSettled asserts the pipeline applied everything exactly once
+// without ever querying the source — a benchmark that silently dropped
+// work would report a meaningless latency.
+func benchSettled(b *testing.B, env *source.Environment, sales *source.Source) {
+	b.Helper()
+	if marks := env.Integrator.Marks(); marks["sales"] != sales.Seq() {
+		b.Fatalf("pipeline lost work: mark %d, source seq %d", marks["sales"], sales.Seq())
+	}
+	if n := env.TotalQueryAttempts(); n != 0 {
+		b.Fatalf("pipeline issued %d ad-hoc source queries", n)
+	}
+}

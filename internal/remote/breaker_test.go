@@ -1,0 +1,104 @@
+package remote
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine walks the full closed → open → half-open →
+// closed cycle on an injected clock.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(3, 100*time.Millisecond)
+	b.SetClock(func() time.Time { return now })
+
+	// Closed: failures below the threshold keep passing traffic.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Failure()
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", got)
+	}
+	// A success resets the consecutive count.
+	b.Success()
+	for i := 0; i < 2; i++ {
+		b.Failure()
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("failure count survived a success: state = %v", got)
+	}
+
+	// Third consecutive failure trips the circuit.
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", b.Opens())
+	}
+
+	// Open fails fast until the cooldown elapses.
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	now = now.Add(99 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request 1ms early")
+	}
+
+	// Cooldown over: exactly one half-open probe is admitted.
+	now = now.Add(2 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a second request while probing")
+	}
+
+	// A failed probe re-opens and restarts the cooldown.
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("opens = %d, want 2", b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a request before new cooldown")
+	}
+
+	// Second probe succeeds: circuit closes, completing one cycle.
+	now = now.Add(101 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if b.Cycles() != 1 {
+		t.Fatalf("cycles = %d, want 1", b.Cycles())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic after recovery")
+	}
+}
+
+// TestBreakerStateStrings pins the metric/health label names.
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerHalfOpen: "half-open",
+		BreakerOpen:     "open",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("state %d String() = %q, want %q", state, got, want)
+		}
+	}
+}

@@ -1,0 +1,526 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/obs"
+	"dwcomplement/internal/source"
+)
+
+// ErrQuarantined reports that the client's circuit breaker is open: the
+// source is quarantined and requests fail fast without touching the
+// network until the cooldown admits a probe.
+var ErrQuarantined = errors.New("remote: source quarantined (circuit open)")
+
+// Config tunes a Client's fault handling. The zero value gets sensible
+// production defaults; soak tests shrink every duration.
+type Config struct {
+	// AttemptTimeout is the per-attempt deadline (default 2s). The
+	// long-poll wait is added on top for /reports requests.
+	AttemptTimeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried with
+	// backoff before the fetch gives up (default 3). Only idempotent
+	// GETs are ever issued, so retrying is always safe — duplicated
+	// deliveries are deduped by the integrator via Seq.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// retries (defaults 10ms and 1s); each delay is jittered by a
+	// seeded ±50%.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed makes the jitter (and hedge) schedule deterministic.
+	Seed int64
+	// BreakerThreshold consecutive failures open the circuit (default
+	// 5); BreakerCooldown later a single probe is admitted (default
+	// 500ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HedgeDelay, when positive, arms hedged reads for Resend: if the
+	// first request has not completed after this delay, a second
+	// identical request races it and the first success wins.
+	HedgeDelay time.Duration
+	// PollWait is the long-poll wait the poll loop requests (default
+	// 2s); PollInterval is the idle pause between unproductive rounds
+	// (default 10ms).
+	PollWait     time.Duration
+	PollInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 2 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 500 * time.Millisecond
+	}
+	if c.PollWait <= 0 {
+		c.PollWait = 2 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 10 * time.Millisecond
+	}
+	return c
+}
+
+// Health is a point-in-time view of a remote source's client-side
+// state, surfaced by dwserve's /readyz.
+type Health struct {
+	Source              string    `json:"source"`
+	State               string    `json:"state"` // healthy | degraded | quarantined
+	Breaker             string    `json:"breaker"`
+	ConsecutiveFailures int       `json:"consecutiveFailures"`
+	LastSuccess         time.Time `json:"lastSuccess"`
+	LastError           string    `json:"lastError,omitempty"`
+	StalenessSec        float64   `json:"stalenessSec"`
+	Cursor              uint64    `json:"cursor"`
+}
+
+// Client consumes one remote source's reporting channel: it long-polls
+// GET /reports, delivers each report through the registered callback,
+// and re-requests ranges on demand via GET /resend. It implements
+// source.Reporter, so an integrator wired to a Client cannot tell it is
+// talking across a network — except through the fault-handling state
+// the Client additionally exposes (breaker, health, staleness).
+type Client struct {
+	name    string
+	base    string
+	db      *catalog.Database
+	cfg     Config
+	httpc   *http.Client
+	breaker *Breaker
+	started time.Time
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu          sync.Mutex
+	notify      func(source.Notification)
+	cursor      uint64 // highest Seq fetched by the poll loop
+	lastSuccess time.Time
+	lastErr     error
+	consecFails int
+	runCtx      context.Context
+	cancel      context.CancelFunc
+	wg          sync.WaitGroup
+
+	mRetries *obs.Counter
+	mHedges  *obs.Counter
+	mPolls   *obs.Counter
+}
+
+var _ source.Reporter = (*Client)(nil)
+
+// NewClient builds a client for the source served at baseURL (e.g.
+// "http://host:9101"), decoding reports against db.
+func NewClient(name, baseURL string, db *catalog.Database, cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{
+		name:    name,
+		base:    baseURL,
+		db:      db,
+		cfg:     cfg,
+		httpc:   &http.Client{},
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		started: time.Now(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// SetTransport swaps the underlying HTTP transport (tests inject a
+// chaos.FaultyTransport here).
+func (c *Client) SetTransport(rt http.RoundTripper) { c.httpc.Transport = rt }
+
+// Name returns the remote source's name.
+func (c *Client) Name() string { return c.name }
+
+// Breaker exposes the client's circuit breaker.
+func (c *Client) Breaker() *Breaker { return c.breaker }
+
+// OnUpdate registers the delivery callback, exactly like
+// Source.OnUpdate. Register before Start.
+func (c *Client) OnUpdate(fn func(source.Notification)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.notify = fn
+}
+
+// Cursor returns the highest sequence number fetched so far.
+func (c *Client) Cursor() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cursor
+}
+
+// Rewind moves the poll cursor back to `to`, so the next poll re-fetches
+// everything after it. The consumer calls this when it had to discard a
+// delivered report (e.g. a failed refresh) and needs redelivery.
+func (c *Client) Rewind(to uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if to < c.cursor {
+		c.cursor = to
+	}
+}
+
+// Start launches the poll loop; it stops when ctx is done or Close is
+// called.
+func (c *Client) Start(ctx context.Context) {
+	c.mu.Lock()
+	if c.cancel != nil {
+		c.mu.Unlock()
+		return // already running
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	c.runCtx, c.cancel = rctx, cancel
+	c.wg.Add(1)
+	c.mu.Unlock()
+	go c.loop(rctx)
+}
+
+// Close stops the poll loop and waits for it to exit.
+func (c *Client) Close() {
+	c.mu.Lock()
+	cancel := c.cancel
+	c.cancel = nil
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	c.wg.Wait()
+}
+
+// loop is the report pump: long-poll from the cursor, deliver, repeat.
+// Failures (including quarantine) pace themselves via idleDelay.
+func (c *Client) loop(ctx context.Context) {
+	defer c.wg.Done()
+	for ctx.Err() == nil {
+		inc(c.mPolls)
+		batch, err := c.fetch(ctx, "/reports", c.Cursor()+1, c.cfg.PollWait)
+		if err != nil {
+			c.sleep(ctx, c.idleDelay())
+			continue
+		}
+		if !c.deliver(batch) {
+			c.sleep(ctx, c.cfg.PollInterval)
+		}
+	}
+}
+
+// idleDelay paces the poll loop after a failed round: a quarantined
+// source waits out (a fraction of) the breaker cooldown instead of
+// hammering the fast-fail path.
+func (c *Client) idleDelay() time.Duration {
+	if c.breaker.State() != BreakerClosed {
+		d := c.cfg.BreakerCooldown / 2
+		if d < c.cfg.PollInterval {
+			d = c.cfg.PollInterval
+		}
+		return d
+	}
+	return c.cfg.PollInterval
+}
+
+// Resend re-requests reports with Seq ≥ from through the resync
+// endpoint and delivers them — the Reporter face of gap recovery. With
+// HedgeDelay configured the read is hedged: a second request races the
+// first after the delay and the first success wins.
+func (c *Client) Resend(from uint64) error {
+	ctx := c.currentCtx()
+	batch, err := c.fetchHedged(ctx, "/resend", from)
+	if err != nil {
+		return fmt.Errorf("remote: resend %s from %d: %w", c.name, from, err)
+	}
+	c.deliver(batch)
+	return nil
+}
+
+// currentCtx is the running poll context, or Background before Start.
+func (c *Client) currentCtx() context.Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.runCtx != nil && c.runCtx.Err() == nil {
+		return c.runCtx
+	}
+	return context.Background()
+}
+
+// deliver pushes a batch through the callback in order and advances the
+// cursor; it reports whether the cursor moved.
+func (c *Client) deliver(batch []source.Notification) bool {
+	if len(batch) == 0 {
+		return false
+	}
+	c.mu.Lock()
+	fn := c.notify
+	before := c.cursor
+	c.mu.Unlock()
+	for _, n := range batch {
+		if fn != nil {
+			fn(n)
+		}
+		c.mu.Lock()
+		if n.Seq > c.cursor {
+			c.cursor = n.Seq
+		}
+		c.mu.Unlock()
+	}
+	return c.Cursor() > before
+}
+
+// fetch GETs path?from=N with per-attempt deadlines, retrying with
+// exponential backoff and jitter up to MaxRetries times. Every attempt
+// first consults the breaker; a quarantined source fails fast with
+// ErrQuarantined.
+func (c *Client) fetch(ctx context.Context, path string, from uint64, wait time.Duration) ([]source.Notification, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !c.breaker.Allow() {
+			c.noteFailure(ErrQuarantined)
+			return nil, ErrQuarantined
+		}
+		batch, err := c.get(ctx, path, from, wait)
+		if err == nil {
+			c.breaker.Success()
+			c.noteSuccess()
+			return batch, nil
+		}
+		c.breaker.Failure()
+		c.noteFailure(err)
+		lastErr = err
+		if attempt >= c.cfg.MaxRetries || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		inc(c.mRetries)
+		c.sleep(ctx, c.backoff(attempt))
+	}
+}
+
+// fetchHedged is fetch with hedged reads: when the first request is
+// still in flight after HedgeDelay, an identical second request is
+// launched and the first success wins. Safe because every request is an
+// idempotent GET and deliveries are deduped downstream by Seq.
+func (c *Client) fetchHedged(ctx context.Context, path string, from uint64) ([]source.Notification, error) {
+	if c.cfg.HedgeDelay <= 0 {
+		return c.fetch(ctx, path, from, 0)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		batch []source.Notification
+		err   error
+	}
+	results := make(chan result, 2)
+	launch := func() {
+		b, e := c.fetch(hctx, path, from, 0)
+		results <- result{b, e}
+	}
+	go launch()
+	outstanding, hedged := 1, false
+	timer := time.NewTimer(c.cfg.HedgeDelay)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				return r.batch, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				inc(c.mHedges)
+				outstanding++
+				go launch()
+			}
+		}
+	}
+}
+
+// get performs one attempt against path with the per-attempt deadline.
+func (c *Client) get(ctx context.Context, path string, from uint64, wait time.Duration) ([]source.Notification, error) {
+	q := url.Values{}
+	q.Set("from", strconv.FormatUint(from, 10))
+	if wait > 0 {
+		q.Set("wait", strconv.FormatInt(wait.Milliseconds(), 10))
+	}
+	attemptCtx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout+wait)
+	defer cancel()
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodGet, c.base+path+"?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("remote: %s%s: status %d: %s", c.base, path, resp.StatusCode, string(body))
+	}
+	var rb ReportBatch
+	if err := json.NewDecoder(resp.Body).Decode(&rb); err != nil {
+		return nil, fmt.Errorf("remote: %s%s: decoding response: %w", c.base, path, err)
+	}
+	batch := make([]source.Notification, 0, len(rb.Reports))
+	for _, wn := range rb.Reports {
+		n, err := FromWire(wn, c.db)
+		if err != nil {
+			return nil, err
+		}
+		batch = append(batch, n)
+	}
+	return batch, nil
+}
+
+// backoff returns the jittered exponential delay before retry #attempt.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase << uint(attempt)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	c.rngMu.Lock()
+	jitter := 0.5 + c.rng.Float64() // ±50%
+	c.rngMu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// sleep waits for d or until ctx is done.
+func (c *Client) sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+func (c *Client) noteSuccess() {
+	c.mu.Lock()
+	c.lastSuccess = time.Now()
+	c.lastErr = nil
+	c.consecFails = 0
+	c.mu.Unlock()
+}
+
+func (c *Client) noteFailure(err error) {
+	c.mu.Lock()
+	c.lastErr = err
+	c.consecFails++
+	c.mu.Unlock()
+}
+
+// Quarantined reports whether the breaker has the source quarantined
+// (open or probing half-open).
+func (c *Client) Quarantined() bool { return c.breaker.State() != BreakerClosed }
+
+// Staleness is how long the source's report stream has been stale: zero
+// while the last contact succeeded, else the age of the last success
+// (or of the client itself if it never succeeded).
+func (c *Client) Staleness() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastErr == nil {
+		return 0
+	}
+	since := c.lastSuccess
+	if since.IsZero() {
+		since = c.started
+	}
+	return time.Since(since)
+}
+
+// Health returns the client's degradation view: healthy (last contact
+// succeeded), degraded (recent failures, circuit still closed), or
+// quarantined (circuit open; requests fail fast until a probe passes).
+func (c *Client) Health() Health {
+	c.mu.Lock()
+	lastErr := c.lastErr
+	h := Health{
+		Source:              c.name,
+		Breaker:             c.breaker.State().String(),
+		ConsecutiveFailures: c.consecFails,
+		LastSuccess:         c.lastSuccess,
+		Cursor:              c.cursor,
+	}
+	c.mu.Unlock()
+	if lastErr != nil {
+		h.LastError = lastErr.Error()
+	}
+	switch {
+	case c.breaker.State() != BreakerClosed:
+		h.State = "quarantined"
+	case lastErr != nil:
+		h.State = "degraded"
+	default:
+		h.State = "healthy"
+	}
+	h.StalenessSec = c.Staleness().Seconds()
+	return h
+}
+
+// SetMetrics registers the client's fault-handling instruments with an
+// obs registry, labeled by source: retry and hedge counters, poll
+// rounds, a breaker-state gauge (0 closed, 1 half-open, 2 open), and a
+// per-source staleness gauge.
+func (c *Client) SetMetrics(reg *obs.Registry) {
+	labels := obs.Labels{"source": c.name}
+	c.mu.Lock()
+	c.mRetries = reg.Counter("dw_remote_retries_total",
+		"Remote report fetch attempts retried after a failure.", labels)
+	c.mHedges = reg.Counter("dw_remote_hedges_total",
+		"Hedged resync reads launched because the first request was slow.", labels)
+	c.mPolls = reg.Counter("dw_remote_poll_rounds_total",
+		"Report poll rounds issued against the remote source.", labels)
+	c.mu.Unlock()
+	reg.GaugeFunc("dw_remote_breaker_state",
+		"Circuit breaker position per source: 0 closed, 1 half-open, 2 open.", labels,
+		func() float64 { return float64(c.breaker.State()) })
+	reg.GaugeFunc("dw_remote_source_staleness_seconds",
+		"Seconds since the source's report stream was last fetched successfully; 0 while healthy.", labels,
+		func() float64 { return c.Staleness().Seconds() })
+}
+
+func inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}

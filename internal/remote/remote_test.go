@@ -1,0 +1,378 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/chaos"
+	"dwcomplement/internal/obs"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/source"
+	"dwcomplement/internal/workload"
+)
+
+// fixture builds one sealed Figure 1 source owning Sale, served over a
+// real httptest listener.
+func fixture(t *testing.T) (workload.Scenario, *source.Source, *httptest.Server) {
+	t.Helper()
+	sc, src, _, ts := fixtureServer(t)
+	return sc, src, ts
+}
+
+func fixtureServer(t *testing.T) (workload.Scenario, *source.Source, *SourceServer, *httptest.Server) {
+	t.Helper()
+	sc := workload.Figure1(false)
+	src, err := source.NewSource("sales", sc.DB, true, "Sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewSourceServer(src)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return sc, src, srv, ts
+}
+
+// sell applies one Sale insert to src.
+func sell(t *testing.T, sc workload.Scenario, src *source.Source, item, clerk string) uint64 {
+	t.Helper()
+	u := catalog.NewUpdate().MustInsert("Sale", sc.DB, relation.String_(item), relation.String_(clerk))
+	seq, err := src.Apply(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+// quickConfig shrinks every duration so tests run in milliseconds.
+func quickConfig() Config {
+	return Config{
+		AttemptTimeout:   time.Second,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       5 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  20 * time.Millisecond,
+		PollWait:         50 * time.Millisecond,
+		PollInterval:     time.Millisecond,
+	}
+}
+
+// TestServerReportsAndResend covers the wire protocol directly with an
+// HTTP client: report ranges, paging fields, resend, and 410 Gone after
+// the retained history is trimmed.
+func TestServerReportsAndResend(t *testing.T) {
+	sc, src, srv, ts := fixtureServer(t)
+	for i := 0; i < 3; i++ {
+		sell(t, sc, src, fmt.Sprintf("item-%d", i), "Mary")
+	}
+
+	get := func(path string) (int, ReportBatch) {
+		t.Helper()
+		req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rb ReportBatch
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&rb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, rb
+	}
+
+	code, rb := get("/reports?from=1")
+	if code != http.StatusOK || len(rb.Reports) != 3 || rb.Seq != 3 || rb.Source != "sales" {
+		t.Fatalf("reports from 1: code=%d batch=%+v", code, rb)
+	}
+	for i, wn := range rb.Reports {
+		if wn.Seq != uint64(i+1) {
+			t.Fatalf("report %d has seq %d", i, wn.Seq)
+		}
+	}
+	code, rb = get("/reports?from=3")
+	if code != http.StatusOK || len(rb.Reports) != 1 || rb.Reports[0].Seq != 3 {
+		t.Fatalf("reports from 3: code=%d batch=%+v", code, rb)
+	}
+	code, rb = get("/reports?from=4")
+	if code != http.StatusOK || len(rb.Reports) != 0 {
+		t.Fatalf("reports past the end: code=%d batch=%+v", code, rb)
+	}
+	code, rb = get("/resend?from=2")
+	if code != http.StatusOK || len(rb.Reports) != 2 {
+		t.Fatalf("resend from 2: code=%d batch=%+v", code, rb)
+	}
+
+	// Trimmed history answers 410 Gone — the wire form of the
+	// in-process "history trimmed" error. Source and server trim from
+	// the same watermark.
+	src.TrimHistory(2)
+	srv.TrimLog(2)
+	if code, _ = get("/resend?from=1"); code != http.StatusGone {
+		t.Fatalf("resend of trimmed history: code=%d, want 410", code)
+	}
+	if code, _ = get("/resend?from=3"); code != http.StatusOK {
+		t.Fatalf("resend of retained suffix: code=%d, want 200", code)
+	}
+
+	if code, _ = get("/reports?from=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad from parameter: code=%d, want 400", code)
+	}
+}
+
+// TestServerLongPoll: a /reports request with wait blocks until the
+// next transaction lands and then returns it.
+func TestServerLongPoll(t *testing.T) {
+	sc, src, ts := fixture(t)
+	sell(t, sc, src, "TV set", "Mary")
+
+	done := make(chan ReportBatch, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, ts.URL+"/reports?from=2&wait=2000", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		var rb ReportBatch
+		_ = json.NewDecoder(resp.Body).Decode(&rb)
+		done <- rb
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let the poller block
+	sell(t, sc, src, "VCR", "John")
+
+	select {
+	case rb := <-done:
+		if len(rb.Reports) != 1 || rb.Reports[0].Seq != 2 {
+			t.Fatalf("long-poll returned %+v, want the seq-2 report", rb)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("long-poll did not wake on the new report")
+	}
+}
+
+// TestServerHealth checks the health endpoint's fields.
+func TestServerHealth(t *testing.T) {
+	sc, src, ts := fixture(t)
+	sell(t, sc, src, "TV set", "Mary")
+	req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, ts.URL+"/healthz", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Source != "sales" || h.Seq != 1 || h.Retained != 1 || !h.Sealed {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+// failFirst is a deterministic transport: the first n requests fail
+// with a connection error, the rest pass through.
+type failFirst struct {
+	mu   sync.Mutex
+	n    int
+	seen int
+}
+
+func (f *failFirst) RoundTrip(r *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	f.seen++
+	fail := f.seen <= f.n
+	f.mu.Unlock()
+	if fail {
+		return nil, errors.New("injected connection failure")
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+// TestClientRetriesTransientFailures: a fetch that fails twice succeeds
+// on the third attempt within one Resend call, and the retry counter
+// records both backoff rounds.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	sc, src, ts := fixture(t)
+	sell(t, sc, src, "TV set", "Mary")
+
+	cfg := quickConfig()
+	cfg.MaxRetries = 3
+	cfg.BreakerThreshold = 10 // keep the breaker out of this test
+	c := NewClient("sales", ts.URL, sc.DB, cfg)
+	c.SetTransport(&failFirst{n: 2})
+	reg := obs.NewRegistry()
+	c.SetMetrics(reg)
+
+	var got []source.Notification
+	var mu sync.Mutex
+	c.OnUpdate(func(n source.Notification) {
+		mu.Lock()
+		got = append(got, n)
+		mu.Unlock()
+	})
+	if err := c.Resend(1); err != nil {
+		t.Fatalf("resend across transient failures: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Seq != 1 || got[0].Source != "sales" {
+		t.Fatalf("delivered = %+v", got)
+	}
+	if v := c.mRetries.Value(); v != 2 {
+		t.Fatalf("retries counter = %d, want 2", v)
+	}
+	if h := c.Health(); h.State != "healthy" || h.StalenessSec != 0 {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+}
+
+// TestClientQuarantineAndRecovery: consecutive failures open the
+// breaker (fetches fail fast with ErrQuarantined, health reports
+// quarantined and growing staleness); after the cooldown a probe
+// against a healed transport closes it again, completing a cycle.
+func TestClientQuarantineAndRecovery(t *testing.T) {
+	sc, src, ts := fixture(t)
+	sell(t, sc, src, "TV set", "Mary")
+
+	cfg := quickConfig()
+	cfg.MaxRetries = -1 // no retries: each Resend is exactly one attempt
+	c := NewClient("sales", ts.URL, sc.DB, cfg)
+	faults := chaos.NewFaultyTransport(1, chaos.HTTPFaultConfig{Drop: 1.0}, nil)
+	c.SetTransport(faults)
+	c.OnUpdate(func(source.Notification) {})
+
+	// Two failed attempts trip the threshold-2 breaker.
+	for i := 0; i < 2; i++ {
+		if err := c.Resend(1); err == nil {
+			t.Fatalf("attempt %d succeeded through a dropping transport", i)
+		}
+	}
+	if got := c.Breaker().State(); got != BreakerOpen {
+		t.Fatalf("breaker = %v after threshold failures, want open", got)
+	}
+	if err := c.Resend(1); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined resend error = %v, want ErrQuarantined", err)
+	}
+	if !c.Quarantined() {
+		t.Fatal("Quarantined() = false with the circuit open")
+	}
+	if h := c.Health(); h.State != "quarantined" {
+		t.Fatalf("health = %+v, want quarantined", h)
+	}
+	if c.Staleness() <= 0 {
+		t.Fatal("staleness did not grow while quarantined")
+	}
+
+	// Heal the network; after the cooldown the probe closes the circuit.
+	faults.SetEnabled(false)
+	time.Sleep(cfg.BreakerCooldown + 5*time.Millisecond)
+	if err := c.Resend(1); err != nil {
+		t.Fatalf("probe resend failed: %v", err)
+	}
+	if got := c.Breaker().State(); got != BreakerClosed {
+		t.Fatalf("breaker = %v after successful probe, want closed", got)
+	}
+	if c.Breaker().Cycles() != 1 {
+		t.Fatalf("cycles = %d, want 1", c.Breaker().Cycles())
+	}
+	if got := c.Staleness(); got != 0 {
+		t.Fatalf("staleness = %v after recovery, want 0", got)
+	}
+}
+
+// TestClientPollDeliversInOrder: the poll loop streams reports through
+// the callback in sequence order and advances the cursor, including
+// reports applied while the loop is already running (long-poll wake).
+func TestClientPollDeliversInOrder(t *testing.T) {
+	sc, src, ts := fixture(t)
+	for i := 0; i < 3; i++ {
+		sell(t, sc, src, fmt.Sprintf("item-%d", i), "Mary")
+	}
+
+	c := NewClient("sales", ts.URL, sc.DB, quickConfig())
+	var mu sync.Mutex
+	var seqs []uint64
+	c.OnUpdate(func(n source.Notification) {
+		mu.Lock()
+		seqs = append(seqs, n.Seq)
+		mu.Unlock()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.Start(ctx)
+	defer c.Close()
+
+	waitFor(t, time.Second, func() bool { return c.Cursor() == 3 })
+	sell(t, sc, src, "item-3", "John")
+	waitFor(t, time.Second, func() bool { return c.Cursor() == 4 })
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("delivery order = %v", seqs)
+		}
+	}
+}
+
+// TestClientHedgedResend: with every response delayed past HedgeDelay,
+// Resend launches a hedge and still succeeds; the hedge counter
+// records it.
+func TestClientHedgedResend(t *testing.T) {
+	sc, src, ts := fixture(t)
+	sell(t, sc, src, "TV set", "Mary")
+
+	cfg := quickConfig()
+	cfg.HedgeDelay = 2 * time.Millisecond
+	c := NewClient("sales", ts.URL, sc.DB, cfg)
+	c.SetTransport(chaos.NewFaultyTransport(7, chaos.HTTPFaultConfig{
+		Delay: 1.0, MaxDelay: 30 * time.Millisecond,
+	}, nil))
+	reg := obs.NewRegistry()
+	c.SetMetrics(reg)
+	var delivered int
+	var mu sync.Mutex
+	c.OnUpdate(func(source.Notification) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+	if err := c.Resend(1); err != nil {
+		t.Fatalf("hedged resend: %v", err)
+	}
+	mu.Lock()
+	if delivered < 1 {
+		t.Fatal("hedged resend delivered nothing")
+	}
+	mu.Unlock()
+	if c.mHedges.Value() < 1 {
+		t.Fatal("hedge counter did not record the hedged request")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached before deadline")
+}

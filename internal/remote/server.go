@@ -1,0 +1,226 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dwcomplement/internal/source"
+)
+
+// maxLongPoll caps how long one /reports request may be held open.
+const maxLongPoll = 30 * time.Second
+
+// defaultMaxBatch bounds one response's report count; a client that is
+// far behind pages through the backlog with successive requests.
+const defaultMaxBatch = 256
+
+// SourceServer exposes one autonomous source's reporting channel over
+// HTTP — the wire form of Figure 1's solid arrow. It registers itself
+// as the source's notification callback, retains an ordered report log,
+// and serves it to polling integrator clients:
+//
+//	GET /healthz            source name, latest seq, retained reports
+//	GET /reports?from=N     reports with Seq ≥ N; &wait=ms long-polls
+//	GET /resend?from=N      immediate re-delivery for gap resync
+//
+// The server never exposes a query endpoint: a sealed source stays
+// sealed across the network boundary by construction.
+type SourceServer struct {
+	src *source.Source
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	log      []source.Notification // retained reports, ascending Seq
+	maxBatch int
+}
+
+// NewSourceServer wraps src, registering itself as the notification
+// callback and backfilling reports applied before the wrap.
+func NewSourceServer(src *source.Source) *SourceServer {
+	s := &SourceServer{src: src, maxBatch: defaultMaxBatch}
+	s.cond = sync.NewCond(&s.mu)
+	src.OnUpdate(s.Notify)
+	// Backfill: re-deliver the retained history into our log so a
+	// server attached after traffic started can still serve it.
+	_ = src.Resend(1)
+	return s
+}
+
+// Source returns the wrapped source.
+func (s *SourceServer) Source() *source.Source { return s.src }
+
+// Notify appends one report to the retained log (idempotently, in
+// sequence order — Resend-driven backfill may deliver out of order).
+func (s *SourceServer) Notify(n source.Notification) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.log), func(i int) bool { return s.log[i].Seq >= n.Seq })
+	if i < len(s.log) && s.log[i].Seq == n.Seq {
+		return // duplicate
+	}
+	s.log = append(s.log, source.Notification{})
+	copy(s.log[i+1:], s.log[i:])
+	s.log[i] = n
+	s.cond.Broadcast()
+}
+
+// TrimLog drops retained reports with Seq ≤ upTo — the wire-side twin
+// of Source.TrimHistory, typically driven by the same checkpointed
+// watermark. Requests for trimmed ranges answer 410 Gone afterwards.
+func (s *SourceServer) TrimLog(upTo uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := 0
+	for i < len(s.log) && s.log[i].Seq <= upTo {
+		i++
+	}
+	s.log = append([]source.Notification(nil), s.log[i:]...)
+}
+
+// Handler returns the HTTP routing table.
+func (s *SourceServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /reports", s.handleReports)
+	mux.HandleFunc("GET /resend", s.handleResend)
+	return mux
+}
+
+func (s *SourceServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	retained := len(s.log)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, healthBody{
+		Source:   s.src.Name(),
+		Seq:      s.src.Seq(),
+		Retained: retained,
+		Sealed:   s.src.Sealed(),
+	})
+}
+
+// handleReports serves reports with Seq ≥ from. With wait > 0 and no
+// such report retained yet, the request blocks until one arrives, the
+// wait elapses, or the client goes away — the long-poll that gives the
+// pull-based wire push-like report latency.
+func (s *SourceServer) handleReports(w http.ResponseWriter, r *http.Request) {
+	from, err := seqParam(r, "from", 1)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	wait, err := waitParam(r)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	if wait > 0 {
+		s.awaitReport(r.Context(), from, wait)
+	}
+	s.respondBatch(w, from)
+}
+
+// handleResend serves the resync path: an immediate batch from the
+// retained log. Asking for reports older than the log answers 410 Gone
+// — the wire form of "history trimmed".
+func (s *SourceServer) handleResend(w http.ResponseWriter, r *http.Request) {
+	from, err := seqParam(r, "from", 1)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	trimmed := len(s.log) > 0 && s.log[0].Seq > from && s.src.Seq() >= from
+	if len(s.log) == 0 && s.src.Seq() >= from {
+		trimmed = true
+	}
+	s.mu.Unlock()
+	if trimmed {
+		writeJSONError(w, http.StatusGone,
+			fmt.Errorf("remote: %s cannot resend from seq %d: history trimmed", s.src.Name(), from))
+		return
+	}
+	s.respondBatch(w, from)
+}
+
+// awaitReport blocks until a report with Seq ≥ from is retained, the
+// wait elapses, or ctx is done.
+func (s *SourceServer) awaitReport(ctx context.Context, from uint64, wait time.Duration) {
+	deadline := time.Now().Add(wait)
+	wake := time.AfterFunc(wait, s.cond.Broadcast)
+	defer wake.Stop()
+	stop := context.AfterFunc(ctx, s.cond.Broadcast)
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.hasLocked(from) && time.Now().Before(deadline) && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+}
+
+// hasLocked reports whether a report with Seq ≥ from is retained.
+func (s *SourceServer) hasLocked(from uint64) bool {
+	return len(s.log) > 0 && s.log[len(s.log)-1].Seq >= from
+}
+
+// respondBatch writes the (possibly empty) batch of retained reports
+// with Seq ≥ from, capped at maxBatch.
+func (s *SourceServer) respondBatch(w http.ResponseWriter, from uint64) {
+	s.mu.Lock()
+	i := sort.Search(len(s.log), func(i int) bool { return s.log[i].Seq >= from })
+	batch := make([]WireNotification, 0, min(len(s.log)-i, s.maxBatch))
+	for ; i < len(s.log) && len(batch) < s.maxBatch; i++ {
+		batch = append(batch, ToWire(s.log[i]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ReportBatch{
+		Source:  s.src.Name(),
+		Seq:     s.src.Seq(),
+		Reports: batch,
+	})
+}
+
+// seqParam parses an unsigned sequence query parameter.
+func seqParam(r *http.Request, name string, def uint64) (uint64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("remote: bad %s parameter %q", name, raw)
+	}
+	return v, nil
+}
+
+// waitParam parses the long-poll wait in milliseconds, capped.
+func waitParam(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return 0, nil
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, fmt.Errorf("remote: bad wait parameter %q", raw)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > maxLongPoll {
+		d = maxLongPoll
+	}
+	return d, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,67 @@
+// Package remote turns the source boundary of Figure 1 into a real
+// network boundary. A SourceServer exposes one autonomous source's
+// reporting channel over HTTP (report polling with long-poll, resend
+// for gap resync, a health endpoint); a Client implements the
+// source.Reporter interface over that wire with full fault handling:
+// per-attempt deadlines, retries with exponential backoff and jitter
+// (idempotent GETs only — replays are deduped by the integrator via
+// sequence numbers), a per-source circuit breaker with half-open probe
+// requests, optional hedged reads for resync, and health/quarantine
+// state that feeds the warehouse's serve-stale degradation.
+//
+// The wire format deliberately rides the journal's update codec
+// (journal.ToWireUpdate/FromWireUpdate over snapshot.WireRelation), so
+// an update serializes identically whether it crosses a disk or a
+// network boundary, and carries the same Seq the recovery protocol
+// keys on. Everything is plain JSON over HTTP/1.1 — debuggable with
+// curl, no third-party dependencies.
+package remote
+
+import (
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/journal"
+	"dwcomplement/internal/snapshot"
+	"dwcomplement/internal/source"
+)
+
+// WireNotification is one change report on the wire: the reporting
+// source, its per-source sequence number, and the update's insert and
+// delete sets in the shared relation codec.
+type WireNotification struct {
+	Source string                           `json:"source"`
+	Seq    uint64                           `json:"seq"`
+	Ins    map[string]snapshot.WireRelation `json:"ins,omitempty"`
+	Del    map[string]snapshot.WireRelation `json:"del,omitempty"`
+}
+
+// ToWire serializes a notification for transport.
+func ToWire(n source.Notification) WireNotification {
+	ins, del := journal.ToWireUpdate(n.Update)
+	return WireNotification{Source: n.Source, Seq: n.Seq, Ins: ins, Del: del}
+}
+
+// FromWire restores a notification against the shared database schema.
+func FromWire(w WireNotification, db *catalog.Database) (source.Notification, error) {
+	u, err := journal.FromWireUpdate(db, w.Ins, w.Del)
+	if err != nil {
+		return source.Notification{}, err
+	}
+	return source.Notification{Source: w.Source, Seq: w.Seq, Update: u}, nil
+}
+
+// ReportBatch is the response body of GET /reports and GET /resend: the
+// source's name and latest sequence number, plus every retained report
+// in the requested range, in ascending sequence order.
+type ReportBatch struct {
+	Source  string             `json:"source"`
+	Seq     uint64             `json:"seq"`
+	Reports []WireNotification `json:"reports"`
+}
+
+// healthBody is the response body of GET /healthz.
+type healthBody struct {
+	Source   string `json:"source"`
+	Seq      uint64 `json:"seq"`
+	Retained int    `json:"retained"`
+	Sealed   bool   `json:"sealed"`
+}

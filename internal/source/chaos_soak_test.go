@@ -1,6 +1,7 @@
 package source
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -197,7 +198,9 @@ func soak(t *testing.T, seed int64) {
 	}
 	settled := false
 	for round := 0; round < 50; round++ {
-		integ.Redrive()
+		if err := integ.Redrive(context.Background()); err != nil {
+			t.Fatal(err)
+		}
 		if _, err := integ.Resync(); err != nil {
 			t.Fatal(err)
 		}

@@ -233,15 +233,18 @@ func (g *Integrator) Offer(n Notification) error {
 		}
 	}
 	g.pending[n.Source] = append(g.pending[n.Source], n)
-	g.drainLocked(n.Source)
+	g.drainLocked(context.Background(), n.Source)
 	return nil
 }
 
 // drainLocked applies buffered notifications in sequence order until it
-// reaches a gap or a refresh failure. Stale entries (Seq ≤ applied) are
-// discarded — a duplicate sorting to the head of the queue must never
-// block the drain loop.
-func (g *Integrator) drainLocked(src string) {
+// reaches a gap, a refresh failure, or ctx cancellation. Stale entries
+// (Seq ≤ applied) are discarded — a duplicate sorting to the head of
+// the queue must never block the drain loop. A canceled refresh leaves
+// its notification at the head for a later drive without wedging the
+// source or recording a dead letter: cancellation is the caller's
+// choice, not a pipeline fault.
+func (g *Integrator) drainLocked(ctx context.Context, src string) {
 	queue := g.pending[src]
 	sort.Slice(queue, func(i, j int) bool { return queue[i].Seq < queue[j].Seq })
 	next := g.applied[src] + 1
@@ -255,7 +258,15 @@ loop:
 			inc(g.mDups)
 			i++
 		case queue[i].Seq == next:
-			if _, err := g.m.RefreshContext(context.Background(), g.w, queue[i].Update); err != nil {
+			if ctx.Err() != nil {
+				break loop
+			}
+			if _, err := g.m.RefreshContext(ctx, g.w, queue[i].Update); err != nil {
+				if ctx.Err() != nil {
+					// Canceled mid-refresh: the atomic refresh left the
+					// warehouse unchanged; redrive later.
+					break loop
+				}
 				// The atomic refresh left the warehouse unchanged; the
 				// notification stays at the head for redelivery and the
 				// failure is recorded, not swallowed.
@@ -356,13 +367,26 @@ func (g *Integrator) Resync() ([]*GapError, error) {
 }
 
 // Redrive re-attempts every source's buffered notifications, clearing
-// wedges whose cause (e.g. a transient refresh failure) has passed.
-func (g *Integrator) Redrive() {
+// wedges whose cause (e.g. a transient refresh failure) has passed. It
+// honors ctx: cancellation is checked before each source's drain and
+// inside the drain loop before each refresh, and the first non-nil
+// ctx.Err() is returned promptly — partially driven sources simply keep
+// their remaining notifications buffered for the next call.
+func (g *Integrator) Redrive(ctx context.Context) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	srcs := make([]string, 0, len(g.pending))
 	for src := range g.pending {
-		g.drainLocked(src)
+		srcs = append(srcs, src)
 	}
+	sort.Strings(srcs)
+	for _, src := range srcs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		g.drainLocked(ctx, src)
+	}
+	return ctx.Err()
 }
 
 // Wedged returns the sources whose head notification keeps failing to

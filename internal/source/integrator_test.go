@@ -1,8 +1,10 @@
 package source
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"dwcomplement/internal/journal"
 	"dwcomplement/internal/obs"
 	"dwcomplement/internal/relation"
+	"dwcomplement/internal/snapshot"
 	"dwcomplement/internal/workload"
 )
 
@@ -244,7 +247,9 @@ func TestRefreshFailureDeadLetters(t *testing.T) {
 
 	// Fault cleared: redrive applies the held notification.
 	chaos.Reset()
-	integ.Redrive()
+	if err := integ.Redrive(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	if !integ.Flush() {
 		t.Fatal("redrive did not recover the wedged source")
 	}
@@ -401,4 +406,123 @@ func fingerprintAll(w interface {
 		out += fmt.Sprintf("%s=%s\n", n, r.Fingerprint())
 	}
 	return out
+}
+
+// TestRedriveHonorsContext is the regression test for the Redrive
+// cancellation bug: a pre-canceled context must return ctx.Err()
+// promptly without draining anything, and the held notification must
+// stay buffered — neither wedged nor dead-lettered — for a later,
+// uncanceled redrive to apply.
+func TestRedriveHonorsContext(t *testing.T) {
+	integ, sc := detachedIntegrator(t)
+	boom := errors.New("injected refresh crash")
+	chaos.Arm("refresh.apply", 1, boom)
+	integ.Receive(Notification{Source: "all", Seq: 1, Update: saleInsert(t, sc, "TV set", "Mary")})
+	chaos.Reset()
+	if len(integ.Wedged()) != 1 {
+		t.Fatalf("setup: wedged = %v, want source all held", integ.Wedged())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := integ.Redrive(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Redrive(canceled) = %v, want context.Canceled", err)
+	}
+	if marks := integ.Marks(); marks["all"] != 0 {
+		t.Fatalf("canceled redrive advanced the watermark: %v", marks)
+	}
+	if dead := integ.DeadLetters(); len(dead) != 1 {
+		t.Fatalf("canceled redrive recorded extra dead letters: %v", dead)
+	}
+
+	// The same notification applies once the caller's context allows it.
+	if err := integ.Redrive(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if marks := integ.Marks(); marks["all"] != 1 {
+		t.Fatalf("marks = %v, want all:1 after uncanceled redrive", marks)
+	}
+	if !integ.Flush() || len(integ.Wedged()) != 0 {
+		t.Fatalf("pipeline not clean: wedged=%v", integ.Wedged())
+	}
+}
+
+// TestRecoverZeroMarksAndEmptyJournal pins the degenerate recovery
+// inputs: a checkpoint written before any update (zero watermarks), a
+// journal path that does not exist, and a journal file that exists but
+// is empty. All three must recover to a clean, serviceable integrator
+// — no phantom marks, nothing pending, and a warehouse equal to the
+// initial materialization.
+func TestRecoverZeroMarksAndEmptyJournal(t *testing.T) {
+	sc := workload.Figure1(false)
+	comp := core.MustCompute(sc.DB, sc.Views, core.Proposition22())
+	env, err := NewEnvironment(comp, map[string][]string{"all": {"Sale", "Emp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "state.snap")
+
+	// Checkpoint with zero updates applied: the marks map is empty.
+	if err := env.Integrator.Checkpoint(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	ms, marks, err := snapshot.LoadFileMarks(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(marks) != 0 {
+		t.Fatalf("fresh checkpoint carries marks %v, want none", marks)
+	}
+	if ms == nil {
+		t.Fatal("fresh checkpoint has no state")
+	}
+
+	// Missing journal: Replay reports nothing and recovery proceeds.
+	missing := filepath.Join(dir, "missing.dwj")
+	if n, torn, err := journal.Replay(missing, sc.DB, func(journal.Record) error {
+		t.Fatal("replay of a missing journal delivered a record")
+		return nil
+	}); n != 0 || torn || err != nil {
+		t.Fatalf("Replay(missing) = (%d, %v, %v), want (0, false, nil)", n, torn, err)
+	}
+	got, err := Recover(comp, snapPath, missing)
+	if err != nil {
+		t.Fatalf("recovery with zero marks + missing journal: %v", err)
+	}
+	if marks := got.Marks(); len(marks) != 0 {
+		t.Fatalf("recovered marks = %v, want none", marks)
+	}
+	if !got.Flush() || len(got.Wedged()) != 0 {
+		t.Fatal("recovered integrator not clean")
+	}
+	if a, b := fingerprintAll(got.Warehouse()), fingerprintAll(env.Integrator.Warehouse()); a != b {
+		t.Fatalf("recovered warehouse diverged:\ngot:\n%s\nwant:\n%s", a, b)
+	}
+
+	// Empty journal file (created, never written): same result.
+	empty := filepath.Join(dir, "empty.dwj")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, err := journal.Replay(empty, sc.DB, func(journal.Record) error { return nil }); n != 0 || err != nil {
+		t.Fatalf("Replay(empty) = (%d, _, %v), want (0, _, nil)", n, err)
+	}
+	got2, err := Recover(comp, snapPath, empty)
+	if err != nil {
+		t.Fatalf("recovery with zero marks + empty journal: %v", err)
+	}
+	if marks := got2.Marks(); len(marks) != 0 {
+		t.Fatalf("recovered marks = %v, want none", marks)
+	}
+
+	// The recovered pipeline is live: an update applies normally.
+	src, _ := env.Source("all")
+	src.OnUpdate(got2.Receive)
+	if _, err := src.Apply(saleInsert(t, sc, "TV set", "Mary")); err != nil {
+		t.Fatal(err)
+	}
+	if marks := got2.Marks(); marks["all"] != 1 {
+		t.Fatalf("post-recovery apply: marks = %v, want all:1", marks)
+	}
 }

@@ -27,6 +27,24 @@ type Notification struct {
 	Update *catalog.Update
 }
 
+// Reporter is the reporting-channel face of a source — the only surface
+// the integrator side of Figure 1 may depend on. It carries reports
+// forward (OnUpdate) and re-delivers retained ones on request (Resend);
+// it deliberately has no query method, so depending on a Reporter can
+// never weaken the sealed-source property. *Source implements it
+// in-process; remote.Client implements it over HTTP.
+type Reporter interface {
+	// Name identifies the source in notifications and watermarks.
+	Name() string
+	// OnUpdate registers the delivery callback for change reports.
+	OnUpdate(fn func(Notification))
+	// Resend re-delivers every retained report with sequence ≥ from
+	// through the registered callback.
+	Resend(from uint64) error
+}
+
+var _ Reporter = (*Source)(nil)
+
 // Source is one autonomous operational database. It owns a subset of the
 // schema set D (its local relations), applies transactions locally, and
 // reports each applied update. When sealed, ad-hoc queries are rejected —
@@ -64,6 +82,16 @@ func NewSource(name string, db *catalog.Database, sealed bool, owned ...string) 
 
 // Name returns the source's name.
 func (s *Source) Name() string { return s.name }
+
+// Seq returns the sequence number of the last applied transaction.
+func (s *Source) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Sealed reports whether the source rejects ad-hoc queries.
+func (s *Source) Sealed() bool { return s.sealed }
 
 // Owns reports whether the source owns the named relation.
 func (s *Source) Owns(rel string) bool { return s.local.Has(rel) }
