@@ -30,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
 	"net/http"
 	"os"
@@ -143,7 +144,12 @@ func main() {
 	srv.log = obs.NewLogger(os.Stderr, level, *logJSON)
 	for _, rs := range remoteSources {
 		name, url, _ := strings.Cut(rs, "=")
-		srv.AttachRemote(remote.NewClient(name, url, spec.DB, remote.Config{}))
+		// Distinct jitter seed per client: with a shared schedule the
+		// backoff and hedge timing would synchronize across sources under
+		// correlated faults, defeating the jitter.
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(name))
+		srv.AttachRemote(remote.NewClient(name, url, spec.DB, remote.Config{Seed: int64(h.Sum64())}))
 	}
 	if srv.replayed > 0 {
 		srv.log.Info("journal replayed", "records", srv.replayed, "seq", srv.seq)

@@ -6,7 +6,7 @@
 // remote.Client):
 //
 //	dwsource -spec warehouse.dw -name sales -owns Sale [-addr :9101]
-//	         [-unsealed]
+//	         [-unsealed] [-retain 65536]
 //
 // Endpoints:
 //
@@ -48,10 +48,17 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
+// trimInterval paces the mirror of server-side log trims into the
+// wrapped Source's own history, so neither retained copy grows without
+// bound.
+const trimInterval = 30 * time.Second
+
 // newSourceHandler mounts the wire reporting channel plus the local
-// transaction endpoint. Split out of main for tests.
-func newSourceHandler(src *source.Source, db *catalog.Database) http.Handler {
+// transaction endpoint, retaining at most retain reports for resync
+// (0 = unbounded). Split out of main for tests.
+func newSourceHandler(src *source.Source, db *catalog.Database, retain int) (http.Handler, *remote.SourceServer) {
 	srv := remote.NewSourceServer(src)
+	srv.SetMaxRetain(retain)
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.HandleFunc("POST /apply", func(w http.ResponseWriter, r *http.Request) {
@@ -72,7 +79,7 @@ func newSourceHandler(src *source.Source, db *catalog.Database) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"seq": seq, "changes": u.Size()})
 	})
-	return mux
+	return mux, srv
 }
 
 func main() {
@@ -82,6 +89,7 @@ func main() {
 	owns := fs.String("owns", "", "comma-separated relations this source owns (required)")
 	addr := fs.String("addr", ":9101", "listen address")
 	unsealed := fs.Bool("unsealed", false, "permit in-process ad-hoc queries (the wire never exposes them)")
+	retain := fs.Int("retain", 65536, "max reports retained for resync (oldest trimmed past the cap; 0 = unbounded)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "graceful shutdown deadline")
 	_ = fs.Parse(os.Args[1:])
 
@@ -112,11 +120,27 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("dwsource: source %q owns %s (sealed=%v)\nlistening on %s\n",
-		*name, strings.Join(rels, ", "), !*unsealed, *addr)
-	httpSrv := &http.Server{Addr: *addr, Handler: newSourceHandler(src, spec.DB)}
+	fmt.Printf("dwsource: source %q owns %s (sealed=%v, retain=%d)\nlistening on %s\n",
+		*name, strings.Join(rels, ", "), !*unsealed, *retain, *addr)
+	handler, rsrv := newSourceHandler(src, spec.DB, *retain)
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// The server's retained log is the single serving copy; the Source's
+	// own history only feeds the construction-time backfill. Mirror the
+	// server's trims into it periodically so both stay bounded by -retain.
+	go func() {
+		tick := time.NewTicker(trimInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				src.TrimHistory(rsrv.Trimmed())
+			}
+		}
+	}()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {

@@ -29,7 +29,8 @@ func TestApplyAndReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newSourceHandler(src, spec.DB))
+	handler, _ := newSourceHandler(src, spec.DB, 0)
+	ts := httptest.NewServer(handler)
 	defer ts.Close()
 
 	post := func(body string) (int, map[string]any) {

@@ -124,6 +124,16 @@ func (b *Breaker) Failure() {
 	b.probing = false
 }
 
+// Abandon reports that an admitted request was deliberately canceled
+// (shutdown, a hedged loser) before completing: it releases the
+// half-open probe slot without counting success or failure, so a
+// canceled probe cannot wedge the breaker half-open or re-trip it.
+func (b *Breaker) Abandon() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
 // trip moves to open and stamps the cooldown start. Caller holds mu.
 func (b *Breaker) trip() {
 	b.state = BreakerOpen

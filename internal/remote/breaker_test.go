@@ -90,6 +90,35 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 }
 
+// TestBreakerAbandonReleasesProbe: a half-open probe that is canceled
+// on purpose (not failed) must free the probe slot — otherwise the
+// breaker wedges half-open, rejecting every request forever.
+func TestBreakerAbandonReleasesProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(1, 100*time.Millisecond)
+	b.SetClock(func() time.Time { return now })
+
+	b.Failure() // threshold 1: trips open
+	now = now.Add(101 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	b.Abandon()
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after abandoned probe = %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("abandoned probe slot was not released")
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful replacement probe = %v, want closed", got)
+	}
+	if b.Cycles() != 1 {
+		t.Fatalf("cycles = %d, want 1", b.Cycles())
+	}
+}
+
 // TestBreakerStateStrings pins the metric/health label names.
 func TestBreakerStateStrings(t *testing.T) {
 	for state, want := range map[BreakerState]string{

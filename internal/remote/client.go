@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,6 +23,12 @@ import (
 // source is quarantined and requests fail fast without touching the
 // network until the cooldown admits a probe.
 var ErrQuarantined = errors.New("remote: source quarantined (circuit open)")
+
+// ErrTrimmed reports a 410 Gone from the source: the requested reports
+// precede its retained log, so retrying cannot bring them back — the
+// warehouse must be re-seeded from a snapshot. The client surfaces this
+// as the "wedged" health state instead of looping on gap rewinds.
+var ErrTrimmed = errors.New("remote: requested reports were trimmed from the source's retained log")
 
 // Config tunes a Client's fault handling. The zero value gets sensible
 // production defaults; soak tests shrink every duration.
@@ -91,7 +98,7 @@ func (c Config) withDefaults() Config {
 // state, surfaced by dwserve's /readyz.
 type Health struct {
 	Source              string    `json:"source"`
-	State               string    `json:"state"` // healthy | degraded | quarantined
+	State               string    `json:"state"` // healthy | degraded | quarantined | wedged
 	Breaker             string    `json:"breaker"`
 	ConsecutiveFailures int       `json:"consecutiveFailures"`
 	LastSuccess         time.Time `json:"lastSuccess"`
@@ -233,9 +240,14 @@ func (c *Client) loop(ctx context.Context) {
 
 // idleDelay paces the poll loop after a failed round: a quarantined
 // source waits out (a fraction of) the breaker cooldown instead of
-// hammering the fast-fail path.
+// hammering the fast-fail path, and a wedged client (history trimmed —
+// no retry can help) slows down the same way instead of re-asking at
+// full poll speed.
 func (c *Client) idleDelay() time.Duration {
-	if c.breaker.State() != BreakerClosed {
+	c.mu.Lock()
+	wedged := errors.Is(c.lastErr, ErrTrimmed)
+	c.mu.Unlock()
+	if wedged || c.breaker.State() != BreakerClosed {
 		d := c.cfg.BreakerCooldown / 2
 		if d < c.cfg.PollInterval {
 			d = c.cfg.PollInterval
@@ -269,8 +281,13 @@ func (c *Client) currentCtx() context.Context {
 	return context.Background()
 }
 
-// deliver pushes a batch through the callback in order and advances the
-// cursor; it reports whether the cursor moved.
+// deliver pushes a batch through the callback in order and reports
+// whether the cursor advanced. The cursor moves to each report's Seq
+// BEFORE its callback runs, so a Rewind issued inside the callback (the
+// consumer discarding a report after a failed refresh or sequence gap)
+// survives and the next poll re-fetches the unapplied report; delivery
+// of the rest of the batch stops at a rewind, since every later report
+// would only be re-fetched anyway.
 func (c *Client) deliver(batch []source.Notification) bool {
 	if len(batch) == 0 {
 		return false
@@ -280,14 +297,20 @@ func (c *Client) deliver(batch []source.Notification) bool {
 	before := c.cursor
 	c.mu.Unlock()
 	for _, n := range batch {
-		if fn != nil {
-			fn(n)
-		}
 		c.mu.Lock()
 		if n.Seq > c.cursor {
 			c.cursor = n.Seq
 		}
 		c.mu.Unlock()
+		if fn != nil {
+			fn(n)
+		}
+		c.mu.Lock()
+		rewound := c.cursor < n.Seq
+		c.mu.Unlock()
+		if rewound {
+			break
+		}
 	}
 	return c.Cursor() > before
 }
@@ -311,6 +334,23 @@ func (c *Client) fetch(ctx context.Context, path string, from uint64, wait time.
 			c.breaker.Success()
 			c.noteSuccess()
 			return batch, nil
+		}
+		if ctx.Err() != nil {
+			// Deliberate cancellation — shutdown, or the losing half of a
+			// hedged read canceled after the winner returned — is not a
+			// source fault: release any half-open probe slot without
+			// charging the breaker or the staleness state.
+			c.breaker.Abandon()
+			return nil, err
+		}
+		if errors.Is(err, ErrTrimmed) {
+			// 410 is a definitive answer over a working transport: record
+			// the contact on the breaker (a probe closes the circuit) but
+			// keep the client visibly wedged via lastErr, and don't retry
+			// — the trimmed history will not come back.
+			c.breaker.Success()
+			c.noteFailure(err)
+			return nil, err
 		}
 		c.breaker.Failure()
 		c.noteFailure(err)
@@ -389,6 +429,10 @@ func (c *Client) get(ctx context.Context, path string, from uint64, wait time.Du
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("remote: %s%s: %s: %w", c.base, path, strings.TrimSpace(string(body)), ErrTrimmed)
+	}
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		return nil, fmt.Errorf("remote: %s%s: status %d: %s", c.base, path, resp.StatusCode, string(body))
@@ -469,8 +513,10 @@ func (c *Client) Staleness() time.Duration {
 }
 
 // Health returns the client's degradation view: healthy (last contact
-// succeeded), degraded (recent failures, circuit still closed), or
-// quarantined (circuit open; requests fail fast until a probe passes).
+// succeeded), degraded (recent failures, circuit still closed),
+// quarantined (circuit open; requests fail fast until a probe passes),
+// or wedged (the source trimmed history below our cursor — no retry
+// can recover; the warehouse must be re-seeded from a snapshot).
 func (c *Client) Health() Health {
 	c.mu.Lock()
 	lastErr := c.lastErr
@@ -486,6 +532,8 @@ func (c *Client) Health() Health {
 		h.LastError = lastErr.Error()
 	}
 	switch {
+	case errors.Is(lastErr, ErrTrimmed):
+		h.State = "wedged"
 	case c.breaker.State() != BreakerClosed:
 		h.State = "quarantined"
 	case lastErr != nil:

@@ -364,6 +364,144 @@ func TestClientHedgedResend(t *testing.T) {
 	}
 }
 
+// TestClientRewindInCallbackSurvives is the documented recovery path of
+// applyRemote: a consumer that rewinds inside the delivery callback
+// (because its refresh failed) must see the same report again on a
+// later poll — the cursor advance must not clobber the rewind, or the
+// watermark wedges and the warehouse serves stale forever.
+func TestClientRewindInCallbackSurvives(t *testing.T) {
+	sc, src, ts := fixture(t)
+	sell(t, sc, src, "TV set", "Mary")
+	sell(t, sc, src, "VCR", "John")
+
+	c := NewClient("sales", ts.URL, sc.DB, quickConfig())
+	var mu sync.Mutex
+	var applied []uint64
+	failedOnce := false
+	c.OnUpdate(func(n source.Notification) {
+		mu.Lock()
+		defer mu.Unlock()
+		if n.Seq == 2 && !failedOnce {
+			failedOnce = true
+			c.Rewind(n.Seq - 1) // "refresh failed, redeliver later"
+			return
+		}
+		if len(applied) > 0 && n.Seq <= applied[len(applied)-1] {
+			return // duplicate redelivery, like applyRemote's dedup
+		}
+		applied = append(applied, n.Seq)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.Start(ctx)
+	defer c.Close()
+
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(applied) == 2
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if applied[0] != 1 || applied[1] != 2 || !failedOnce {
+		t.Fatalf("applied = %v (failedOnce=%v), want [1 2] with one rejected delivery", applied, failedOnce)
+	}
+}
+
+// roundTripFunc adapts a function to http.RoundTripper.
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// TestClientCancellationNotCountedAsFailure: a request canceled on
+// purpose (shutdown, a hedged loser) is not a source fault — it must
+// not charge the breaker or the failure/staleness state. Otherwise a
+// canceled hedge completing while the breaker is half-open re-trips it.
+func TestClientCancellationNotCountedAsFailure(t *testing.T) {
+	sc, _, ts := fixture(t)
+	cfg := quickConfig()
+	cfg.MaxRetries = -1
+	c := NewClient("sales", ts.URL, sc.DB, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.SetTransport(roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		cancel()
+		<-r.Context().Done()
+		return nil, r.Context().Err()
+	}))
+	if _, err := c.fetch(ctx, "/reports", 1, 0); err == nil {
+		t.Fatal("fetch succeeded through a canceling transport")
+	}
+	if got := c.Breaker().State(); got != BreakerClosed {
+		t.Fatalf("breaker = %v after a deliberate cancellation, want closed", got)
+	}
+	if h := c.Health(); h.State != "healthy" || h.ConsecutiveFailures != 0 {
+		t.Fatalf("health after cancellation = %+v, want healthy with 0 failures", h)
+	}
+}
+
+// TestTrimmedHistoryGoes410AndWedges: once the retain cap drops old
+// reports, both report endpoints answer 410 Gone for the trimmed range,
+// and a client below it stops retrying and surfaces the wedge in
+// Health instead of silently looping on gap rewinds.
+func TestTrimmedHistoryGoes410AndWedges(t *testing.T) {
+	sc, src, srv, ts := fixtureServer(t)
+	srv.SetMaxRetain(2)
+	for i := 0; i < 4; i++ {
+		sell(t, sc, src, fmt.Sprintf("item-%d", i), "Mary")
+	}
+	if got := srv.Trimmed(); got != 2 {
+		t.Fatalf("trimmed watermark = %d after cap enforcement, want 2", got)
+	}
+
+	status := func(path string) int {
+		t.Helper()
+		req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, ts.URL+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := status("/reports?from=1"); code != http.StatusGone {
+		t.Fatalf("/reports below the log = %d, want 410", code)
+	}
+	if code := status("/resend?from=2"); code != http.StatusGone {
+		t.Fatalf("/resend below the log = %d, want 410", code)
+	}
+	if code := status("/reports?from=3"); code != http.StatusOK {
+		t.Fatalf("/reports at the retained suffix = %d, want 200", code)
+	}
+
+	cfg := quickConfig()
+	cfg.MaxRetries = 3
+	c := NewClient("sales", ts.URL, sc.DB, cfg)
+	reg := obs.NewRegistry()
+	c.SetMetrics(reg)
+	c.OnUpdate(func(source.Notification) {})
+	err := c.Resend(1)
+	if !errors.Is(err, ErrTrimmed) {
+		t.Fatalf("resend below the log: err = %v, want ErrTrimmed", err)
+	}
+	if v := c.mRetries.Value(); v != 0 {
+		t.Fatalf("retries = %d against a definitive 410, want 0", v)
+	}
+	if got := c.Breaker().State(); got != BreakerClosed {
+		t.Fatalf("breaker = %v after a 410 (transport works), want closed", got)
+	}
+	if h := c.Health(); h.State != "wedged" {
+		t.Fatalf("health = %+v, want wedged", h)
+	}
+	// The retained suffix still serves, and a success clears the wedge.
+	if err := c.Resend(3); err != nil {
+		t.Fatalf("resend of the retained suffix: %v", err)
+	}
+	if h := c.Health(); h.State != "healthy" {
+		t.Fatalf("health after a successful fetch = %+v, want healthy", h)
+	}
+}
+
 // waitFor polls cond until it holds or the deadline passes.
 func waitFor(t *testing.T, d time.Duration, cond func() bool) {
 	t.Helper()

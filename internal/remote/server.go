@@ -34,10 +34,12 @@ const defaultMaxBatch = 256
 type SourceServer struct {
 	src *source.Source
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	log      []source.Notification // retained reports, ascending Seq
-	maxBatch int
+	mu        sync.Mutex
+	cond      *sync.Cond
+	log       []source.Notification // retained reports, ascending Seq
+	trimmed   uint64                // highest Seq dropped from the log (0 = none)
+	maxRetain int                   // retained-report cap (0 = unbounded)
+	maxBatch  int
 }
 
 // NewSourceServer wraps src, registering itself as the notification
@@ -56,7 +58,8 @@ func NewSourceServer(src *source.Source) *SourceServer {
 func (s *SourceServer) Source() *source.Source { return s.src }
 
 // Notify appends one report to the retained log (idempotently, in
-// sequence order — Resend-driven backfill may deliver out of order).
+// sequence order — Resend-driven backfill may deliver out of order) and
+// enforces the retain cap.
 func (s *SourceServer) Notify(n source.Notification) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -67,6 +70,7 @@ func (s *SourceServer) Notify(n source.Notification) {
 	s.log = append(s.log, source.Notification{})
 	copy(s.log[i+1:], s.log[i:])
 	s.log[i] = n
+	s.enforceCapLocked()
 	s.cond.Broadcast()
 }
 
@@ -80,7 +84,65 @@ func (s *SourceServer) TrimLog(upTo uint64) {
 	for i < len(s.log) && s.log[i].Seq <= upTo {
 		i++
 	}
+	if upTo > s.trimmed {
+		s.trimmed = upTo
+	}
 	s.log = append([]source.Notification(nil), s.log[i:]...)
+}
+
+// SetMaxRetain caps the retained log at n reports: once a new report
+// would exceed the cap the oldest are dropped, exactly as if TrimLog
+// had been called at their sequence numbers. Zero (the default)
+// retains everything; prefer TrimLog from a consumer-acknowledged
+// watermark when one is available.
+func (s *SourceServer) SetMaxRetain(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxRetain = n
+	s.enforceCapLocked()
+}
+
+// Trimmed returns the highest sequence number dropped from the
+// retained log (0 when nothing was trimmed). dwsource mirrors it into
+// the wrapped Source's own history on a schedule, so neither retained
+// copy grows without bound.
+func (s *SourceServer) Trimmed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trimmed
+}
+
+// enforceCapLocked drops the oldest reports past maxRetain, advancing
+// the trimmed watermark. Caller holds mu.
+func (s *SourceServer) enforceCapLocked() {
+	if s.maxRetain <= 0 || len(s.log) <= s.maxRetain {
+		return
+	}
+	drop := len(s.log) - s.maxRetain
+	if seq := s.log[drop-1].Seq; seq > s.trimmed {
+		s.trimmed = seq
+	}
+	s.log = append([]source.Notification(nil), s.log[drop:]...)
+}
+
+// trimmedFor reports whether reports from `from` can no longer be
+// served because older history was dropped from the retained log. The
+// source's seq is read before taking mu: Notify arrives under the
+// source's own lock, so the reverse order would invert lock acquisition.
+func (s *SourceServer) trimmedFor(from uint64) bool {
+	seq := s.src.Seq()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq < from {
+		return false // nothing at or past from exists yet
+	}
+	if from <= s.trimmed {
+		return true
+	}
+	if len(s.log) > 0 {
+		return s.log[0].Seq > from
+	}
+	return true // the report exists but nothing is retained
 }
 
 // Handler returns the HTTP routing table.
@@ -107,7 +169,9 @@ func (s *SourceServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // handleReports serves reports with Seq ≥ from. With wait > 0 and no
 // such report retained yet, the request blocks until one arrives, the
 // wait elapses, or the client goes away — the long-poll that gives the
-// pull-based wire push-like report latency.
+// pull-based wire push-like report latency. A from below the retained
+// log answers 410 Gone like /resend: silently serving only the later
+// suffix would leave a behind client rewinding on the gap forever.
 func (s *SourceServer) handleReports(w http.ResponseWriter, r *http.Request) {
 	from, err := seqParam(r, "from", 1)
 	if err != nil {
@@ -122,6 +186,13 @@ func (s *SourceServer) handleReports(w http.ResponseWriter, r *http.Request) {
 	if wait > 0 {
 		s.awaitReport(r.Context(), from, wait)
 	}
+	// Checked after the wait: trimming only ever advances, so a range
+	// trimmed mid-poll is still caught here.
+	if s.trimmedFor(from) {
+		writeJSONError(w, http.StatusGone,
+			fmt.Errorf("remote: %s cannot serve reports from seq %d: history trimmed", s.src.Name(), from))
+		return
+	}
 	s.respondBatch(w, from)
 }
 
@@ -134,13 +205,7 @@ func (s *SourceServer) handleResend(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	trimmed := len(s.log) > 0 && s.log[0].Seq > from && s.src.Seq() >= from
-	if len(s.log) == 0 && s.src.Seq() >= from {
-		trimmed = true
-	}
-	s.mu.Unlock()
-	if trimmed {
+	if s.trimmedFor(from) {
 		writeJSONError(w, http.StatusGone,
 			fmt.Errorf("remote: %s cannot resend from seq %d: history trimmed", s.src.Name(), from))
 		return
