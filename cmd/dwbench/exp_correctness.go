@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,7 +45,7 @@ func e1() experiment {
 			}
 			u := catalog.NewUpdate().MustInsert("Sale", sc.DB,
 				relation.String_("Computer"), relation.String_("Paula"))
-			stats, err := maintain.NewMaintainer(comp).Refresh(w, u)
+			stats, err := maintain.NewMaintainer(comp).RefreshContext(context.Background(), w, u)
 			if err != nil {
 				return err
 			}
@@ -105,7 +106,7 @@ func e2() experiment {
 				return err
 			}
 			c.printf("  augmented warehouse translation:\n    Q̂ = %s\n", qHat)
-			ans, err := w.Answer(q)
+			ans, _, err := w.AnswerContext(context.Background(), q)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -181,7 +182,7 @@ func e9() experiment {
 				if err := wInc.Initialize(st); err != nil {
 					return err
 				}
-				if _, err := maintain.NewMaintainer(comp).Refresh(wInc, u); err != nil {
+				if _, err := maintain.NewMaintainer(comp).RefreshContext(context.Background(), wInc, u); err != nil {
 					return err
 				}
 				wRec := warehouse.New(comp)
@@ -401,7 +402,7 @@ func e12() experiment {
 					m := maintain.NewMaintainer(comp)
 					tInc, err := timeIt(5, func() error {
 						w.LoadState(cloneState(snapshot))
-						_, err := m.Refresh(w, u)
+						_, err := m.RefreshContext(context.Background(), w, u)
 						return err
 					})
 					if err != nil {

@@ -1,0 +1,684 @@
+package main
+
+// E17 measures what the columnar batch engine buys over the engine this
+// repo shipped before the redesign: a row-at-a-time reference that keys
+// tuples by formatted strings (the old probe path) run head to head with
+// the hashed, vectorized operators on 10k-row inputs — bulk natural join,
+// semijoin probing, and incremental warehouse refresh — plus the probe
+// path's allocation profile measured with the benchmark harness.
+//
+// The reference is a deliberate miniature of the pre-redesign engine, op
+// for op: set membership through a map keyed by the tuple's formatted
+// string encoding, join/semijoin probing through string-bucket indexes
+// that are cached per relation and dropped wholesale on any mutation,
+// Clone re-inserting every tuple (re-formatting every key), and union
+// implemented as clone-the-left-insert-the-right. The refresh reference
+// replays the maintainer's restricted plan — normalize against the
+// virtual pre-state, per-target restricted lookups through the inverses
+// C_X ∪ π(Sold), copy-on-write apply — on that representation.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/core"
+	"dwcomplement/internal/maintain"
+	"dwcomplement/internal/relation"
+	"dwcomplement/internal/warehouse"
+	"dwcomplement/internal/workload"
+)
+
+// timeItMedian runs fn once untimed (first-use caches — hash indexes on
+// one side, string buckets on the other — build symmetrically outside
+// the measurement) and then returns the median of the per-round times,
+// which is robust to GC pauses that a mean would smear into either side.
+func timeItMedian(rounds int, fn func() error) (time.Duration, error) {
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	times := make([]time.Duration, rounds)
+	for i := range times {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], nil
+}
+
+// refKey formats the tuple values at the given positions into the string
+// key the pre-hash engine probed with.
+func refKey(t relation.Tuple, pos []int) string {
+	var sb strings.Builder
+	for _, p := range pos {
+		v := t[p]
+		switch v.Kind() {
+		case relation.KindNull:
+			sb.WriteString("∅")
+		case relation.KindBool:
+			sb.WriteString(strconv.FormatBool(v.AsBool()))
+		case relation.KindInt, relation.KindFloat:
+			sb.WriteString(strconv.FormatFloat(v.AsFloat(), 'g', -1, 64))
+		case relation.KindString:
+			sb.WriteString(strconv.Quote(v.AsString()))
+		}
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// refRel is the pre-redesign relation in miniature: rows plus a
+// string-keyed membership map, with string-bucket indexes cached until
+// the next mutation. Every insert formats the full tuple key and clones
+// the tuple; every clone re-inserts every row.
+type refRel struct {
+	attrs   []string
+	pos     map[string]int
+	all     []int // identity positions, for full-width keys
+	rows    []relation.Tuple
+	set     map[string]int
+	buckets map[string]map[string][]int // attr-list key -> bucket index
+}
+
+func newRefRel(attrs ...string) *refRel {
+	r := &refRel{
+		attrs: attrs,
+		pos:   make(map[string]int, len(attrs)),
+		all:   make([]int, len(attrs)),
+		set:   map[string]int{},
+	}
+	for i, a := range attrs {
+		r.pos[a] = i
+		r.all[i] = i
+	}
+	return r
+}
+
+func (r *refRel) len() int { return len(r.rows) }
+
+func (r *refRel) posOf(attrs []string) []int {
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		pos[i] = r.pos[a]
+	}
+	return pos
+}
+
+func (r *refRel) insert(t relation.Tuple) bool {
+	k := refKey(t, r.all)
+	if _, dup := r.set[k]; dup {
+		return false
+	}
+	r.set[k] = len(r.rows)
+	r.rows = append(r.rows, append(relation.Tuple(nil), t...))
+	r.buckets = nil // mutation drops cached indexes, as the old engine did
+	return true
+}
+
+func (r *refRel) delete(t relation.Tuple) bool {
+	k := refKey(t, r.all)
+	i, ok := r.set[k]
+	if !ok {
+		return false
+	}
+	last := len(r.rows) - 1
+	if i != last {
+		r.rows[i] = r.rows[last]
+		r.set[refKey(r.rows[i], r.all)] = i
+	}
+	r.rows = r.rows[:last]
+	delete(r.set, k)
+	r.buckets = nil
+	return true
+}
+
+func (r *refRel) contains(t relation.Tuple) bool {
+	_, ok := r.set[refKey(t, r.all)]
+	return ok
+}
+
+// clone mirrors the pre-redesign Relation.Clone: a fresh relation with
+// every tuple re-inserted, string keys re-formatted and rows re-cloned.
+func (r *refRel) clone() *refRel {
+	c := newRefRel(r.attrs...)
+	for _, t := range r.rows {
+		c.insert(t)
+	}
+	return c
+}
+
+// bucketsOn mirrors the old indexFor: a string-bucket index over the
+// given attributes, cached on the relation until the next mutation.
+func (r *refRel) bucketsOn(attrs []string) map[string][]int {
+	ck := strings.Join(attrs, "\x00")
+	if b, ok := r.buckets[ck]; ok {
+		return b
+	}
+	pos := r.posOf(attrs)
+	b := make(map[string][]int, len(r.rows))
+	for i, t := range r.rows {
+		k := refKey(t, pos)
+		b[k] = append(b[k], i)
+	}
+	if r.buckets == nil {
+		r.buckets = map[string]map[string][]int{}
+	}
+	r.buckets[ck] = b
+	return b
+}
+
+// semijoin returns the rows of r matching some probe tuple, the way the
+// old engine did it: a full-width probe goes straight to the membership
+// map, a narrower probe builds (or reuses) a string-bucket index on r.
+func (r *refRel) semijoin(probe *refRel) *refRel {
+	out := newRefRel(r.attrs...)
+	if len(probe.attrs) == len(r.attrs) {
+		perm := probe.posOf(r.attrs)
+		for _, pt := range probe.rows {
+			at := make(relation.Tuple, len(perm))
+			for i, p := range perm {
+				at[i] = pt[p]
+			}
+			if r.contains(at) {
+				out.insert(at)
+			}
+		}
+		return out
+	}
+	b := r.bucketsOn(probe.attrs)
+	for _, pt := range probe.rows {
+		for _, ri := range b[refKey(pt, probe.all)] {
+			out.insert(r.rows[ri])
+		}
+	}
+	return out
+}
+
+// naturalJoin mirrors the old hash join: string buckets on the right
+// input's shared columns, one formatted probe per left row, and every
+// output tuple inserted (re-keyed, re-cloned) into the result.
+func (l *refRel) naturalJoin(r *refRel) *refRel {
+	var shared []string
+	var rOnly []int
+	for i, a := range r.attrs {
+		if _, ok := l.pos[a]; ok {
+			shared = append(shared, a)
+		} else {
+			rOnly = append(rOnly, i)
+		}
+	}
+	outAttrs := append([]string(nil), l.attrs...)
+	for _, p := range rOnly {
+		outAttrs = append(outAttrs, r.attrs[p])
+	}
+	out := newRefRel(outAttrs...)
+	b := r.bucketsOn(shared)
+	lPos := l.posOf(shared)
+	width := len(outAttrs)
+	for _, lt := range l.rows {
+		for _, ri := range b[refKey(lt, lPos)] {
+			rt := r.rows[ri]
+			jt := make(relation.Tuple, 0, width)
+			jt = append(jt, lt...)
+			for _, p := range rOnly {
+				jt = append(jt, rt[p])
+			}
+			out.insert(jt)
+		}
+	}
+	return out
+}
+
+// project returns the projection, deduplicating through the string map.
+func (r *refRel) project(attrs ...string) *refRel {
+	pos := r.posOf(attrs)
+	out := newRefRel(attrs...)
+	for _, t := range r.rows {
+		pt := make(relation.Tuple, len(pos))
+		for i, p := range pos {
+			pt[i] = t[p]
+		}
+		out.insert(pt)
+	}
+	return out
+}
+
+// union mirrors the old UnionStats: clone the left, insert the right.
+func (r *refRel) union(o *refRel) *refRel {
+	out := r.clone()
+	perm := o.posOf(r.attrs)
+	for _, t := range o.rows {
+		at := make(relation.Tuple, len(perm))
+		for i, p := range perm {
+			at[i] = t[p]
+		}
+		out.insert(at)
+	}
+	return out
+}
+
+// refRelOf copies an engine relation into the reference representation
+// with the given canonical attribute order (done outside timed regions).
+func refRelOf(src *relation.Relation, attrs ...string) *refRel {
+	out := newRefRel(attrs...)
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		pos[i], _ = src.Pos(a)
+	}
+	t2 := make(relation.Tuple, len(attrs))
+	for t := range src.All() {
+		for i, p := range pos {
+			t2[i] = t[p]
+		}
+		out.insert(t2)
+	}
+	return out
+}
+
+// refStringWarehouse is the pre-redesign warehouse for Figure 1 under
+// Proposition 22: Sold = π{item,clerk,age}(Sale ⋈ Emp) plus the stored
+// complement C_Sale (dangling sales) and C_Emp (dangling emps), all in
+// the string-keyed representation. Its refresh replays the maintainer's
+// restricted plan: normalize the update against the virtual pre-state,
+// reconstruct the touched slice of each base through its inverse
+// C_X ∪ π(Sold) per target, diff old against new, and apply the deltas
+// copy-on-write — each restricted lookup a string-bucket semijoin, each
+// union a clone, each apply a full re-keyed Clone, exactly the work the
+// old engine's RefreshContext did.
+type refStringWarehouse struct {
+	sold, cSale, cEmp *refRel
+}
+
+func newRefStringWarehouse(w *warehouse.Warehouse) *refStringWarehouse {
+	sold, _ := w.Relation("Sold")
+	cSale, _ := w.Relation("C_Sale")
+	cEmp, _ := w.Relation("C_Emp")
+	return &refStringWarehouse{
+		sold:  refRelOf(sold, "item", "clerk", "age"),
+		cSale: refRelOf(cSale, "item", "clerk"),
+		cEmp:  refRelOf(cEmp, "clerk", "age"),
+	}
+}
+
+// restrictedSale evaluates Sale⁻¹ = C_Sale ∪ π{item,clerk}(Sold) under a
+// probe, the way the old restricted evaluator did: semijoin each branch,
+// project the view branch, union through a clone.
+func (rw *refStringWarehouse) restrictedSale(probe *refRel) *refRel {
+	left := rw.cSale.semijoin(probe)
+	right := rw.sold.semijoin(probe).project("item", "clerk")
+	return left.union(right)
+}
+
+// restrictedEmp evaluates Emp⁻¹ = C_Emp ∪ π{clerk,age}(Sold) likewise.
+func (rw *refStringWarehouse) restrictedEmp(probe *refRel) *refRel {
+	left := rw.cEmp.semijoin(probe)
+	right := rw.sold.semijoin(probe).project("clerk", "age")
+	return left.union(right)
+}
+
+// alignedInserts copies the update's inserts for one base relation into
+// the canonical reference attribute order.
+func alignedInserts(u *catalog.Update, name string, attrs ...string) []relation.Tuple {
+	ins := u.Inserts(name)
+	if ins == nil {
+		return nil
+	}
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		pos[i], _ = ins.Pos(a)
+	}
+	var out []relation.Tuple
+	for t := range ins.All() {
+		at := make(relation.Tuple, len(pos))
+		for i, p := range pos {
+			at[i] = t[p]
+		}
+		out = append(out, at)
+	}
+	return out
+}
+
+// refresh applies one insert-only source update with the pre-redesign
+// engine's restricted-maintenance plan. The join column clerk partitions
+// Sale ⋈ Emp, so every delta is confined to the clerks the update
+// touches; each target reconstructs that slice of the pre-state through
+// the inverses (as the maintainer's per-target Propagate does), computes
+// its delta, and applies it to a re-keyed copy of the stored relation.
+func (rw *refStringWarehouse) refresh(u *catalog.Update) {
+	saleIns := alignedInserts(u, "Sale", "item", "clerk")
+	empIns := alignedInserts(u, "Emp", "clerk", "age")
+
+	// NormalizeUpdate: drop inserts already present in the pre-state,
+	// probing each base's inverse restricted by the update tuples.
+	var dSale, dEmp []relation.Tuple
+	if len(saleIns) > 0 {
+		probe := newRefRel("item", "clerk")
+		for _, t := range saleIns {
+			probe.insert(t)
+		}
+		cur := rw.restrictedSale(probe)
+		for _, t := range saleIns {
+			if !cur.contains(t) {
+				dSale = append(dSale, t)
+			}
+		}
+	}
+	if len(empIns) > 0 {
+		probe := newRefRel("clerk", "age")
+		for _, t := range empIns {
+			probe.insert(t)
+		}
+		cur := rw.restrictedEmp(probe)
+		for _, t := range empIns {
+			if !cur.contains(t) {
+				dEmp = append(dEmp, t)
+			}
+		}
+	}
+	if len(dSale) == 0 && len(dEmp) == 0 {
+		return
+	}
+	clerkProbe := newRefRel("clerk")
+	for _, t := range dSale {
+		clerkProbe.insert(relation.Tuple{t[1]})
+	}
+	for _, t := range dEmp {
+		clerkProbe.insert(relation.Tuple{t[0]})
+	}
+	dSaleRel := newRefRel("item", "clerk")
+	for _, t := range dSale {
+		dSaleRel.insert(t)
+	}
+	dEmpRel := newRefRel("clerk", "age")
+	for _, t := range dEmp {
+		dEmpRel.insert(t)
+	}
+
+	// touchedBases reconstructs the updated bases over the touched
+	// clerks; each per-target propagation calls it afresh, as the
+	// maintainer issues its restricted lookups per target.
+	touchedBases := func() (saleNew, empNew *refRel) {
+		saleNew = rw.restrictedSale(clerkProbe).union(dSaleRel)
+		empNew = rw.restrictedEmp(clerkProbe).union(dEmpRel)
+		return
+	}
+
+	// Propagate Sold: the touched slice of π{item,clerk,age}(Sale ⋈ Emp)
+	// against the stored view (insert-only updates never shrink Sold).
+	saleNew, empNew := touchedBases()
+	soldNewT := saleNew.naturalJoin(empNew).project("item", "clerk", "age")
+	soldOldT := rw.sold.semijoin(clerkProbe)
+	var soldIns []relation.Tuple
+	for _, t := range soldNewT.rows {
+		if !soldOldT.contains(t) {
+			soldIns = append(soldIns, t)
+		}
+	}
+
+	// Propagate C_Sale: dangling sales over the touched clerks.
+	saleNew, empNew = touchedBases()
+	empByClerk := empNew.bucketsOn([]string{"clerk"})
+	cSaleNewT := newRefRel("item", "clerk")
+	for _, t := range saleNew.rows {
+		if len(empByClerk[refKey(t, []int{1})]) == 0 {
+			cSaleNewT.insert(t)
+		}
+	}
+	cSaleOldT := rw.cSale.semijoin(clerkProbe)
+	var cSaleIns, cSaleDel []relation.Tuple
+	for _, t := range cSaleNewT.rows {
+		if !cSaleOldT.contains(t) {
+			cSaleIns = append(cSaleIns, t)
+		}
+	}
+	for _, t := range cSaleOldT.rows {
+		if !cSaleNewT.contains(t) {
+			cSaleDel = append(cSaleDel, t)
+		}
+	}
+
+	// Propagate C_Emp: dangling emps over the touched clerks.
+	saleNew, empNew = touchedBases()
+	saleByClerk := saleNew.bucketsOn([]string{"clerk"})
+	cEmpNewT := newRefRel("clerk", "age")
+	for _, t := range empNew.rows {
+		if len(saleByClerk[refKey(t, []int{0})]) == 0 {
+			cEmpNewT.insert(t)
+		}
+	}
+	cEmpOldT := rw.cEmp.semijoin(clerkProbe)
+	var cEmpIns, cEmpDel []relation.Tuple
+	for _, t := range cEmpNewT.rows {
+		if !cEmpOldT.contains(t) {
+			cEmpIns = append(cEmpIns, t)
+		}
+	}
+	for _, t := range cEmpOldT.rows {
+		if !cEmpNewT.contains(t) {
+			cEmpDel = append(cEmpDel, t)
+		}
+	}
+
+	// Apply phase: copy-on-write per changed relation — the old Clone
+	// re-inserted every tuple, so each apply pays a full re-keying.
+	apply := func(target **refRel, ins, del []relation.Tuple) {
+		if len(ins) == 0 && len(del) == 0 {
+			return
+		}
+		post := (*target).clone()
+		for _, t := range del {
+			post.delete(t)
+		}
+		for _, t := range ins {
+			post.insert(t)
+		}
+		*target = post
+	}
+	apply(&rw.sold, soldIns, nil)
+	apply(&rw.cSale, cSaleIns, cSaleDel)
+	apply(&rw.cEmp, cEmpIns, cEmpDel)
+}
+
+// e17Relations builds the 10k-row join inputs: R(a,b) and S(b,c) with b
+// drawn from an n-value string domain, so the bulk join emits about one
+// row per input row and the semijoin keeps a constant fraction.
+func e17Relations(n int, seed int64) (*relation.Relation, *relation.Relation) {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New("a", "b")
+	s := relation.New("b", "c")
+	for i := 0; i < n; i++ {
+		r.Insert(relation.Tuple{relation.Int(int64(i)), relation.String_("k" + strconv.Itoa(rng.Intn(n)))})
+		s.Insert(relation.Tuple{relation.String_("k" + strconv.Itoa(rng.Intn(n))), relation.Int(int64(i))})
+	}
+	return r, s
+}
+
+// e17 — the columnar batch engine against the string-keyed reference.
+func e17() experiment {
+	return experiment{
+		id:    "E17",
+		title: "columnar batch engine vs string-keyed row-at-a-time reference",
+		paper: "implementation study (engine redesign; not a paper artifact)",
+		run: func(c *config) error {
+			n := 10000
+			rounds := 20
+			if c.quick {
+				// Small inputs make individual rounds noisy; more rounds
+				// keep the medians stable while staying cheap at this size.
+				n, rounds = 2000, 40
+			}
+			r, s := e17Relations(n, c.seed)
+			// The reference inputs are materialized outside the timed
+			// region, exactly as the engine's relations are; bucket
+			// indexes warm up on first use and stay cached on both
+			// sides (the inputs are never mutated).
+			refR := refRelOf(r, "a", "b")
+			refS := refRelOf(s, "b", "c")
+
+			// Bulk natural join.
+			var hashedLen, refLen int
+			tHash, err := timeItMedian(rounds, func() error {
+				hashedLen = relation.NaturalJoin(r, s).Len()
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			tRef, err := timeItMedian(rounds, func() error {
+				refLen = refR.naturalJoin(refS).len()
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if hashedLen != refLen {
+				return fmt.Errorf("join disagreement: hashed %d rows, reference %d", hashedLen, refLen)
+			}
+			joinSpeedup := float64(tRef) / float64(tHash)
+			c.metric("naturalJoinBulkSpeedup", joinSpeedup)
+
+			// Semijoin probing.
+			probe := relation.Project(s, "b")
+			refProbe := refRelOf(probe, "b")
+			var hashedKept, refKept int
+			tHashSemi, err := timeItMedian(rounds, func() error {
+				hashedKept = relation.SemiJoin(r, probe).Len()
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			tRefSemi, err := timeItMedian(rounds, func() error {
+				refKept = refR.semijoin(refProbe).len()
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if hashedKept != refKept {
+				return fmt.Errorf("semijoin disagreement: hashed kept %d, reference %d", hashedKept, refKept)
+			}
+			semiSpeedup := float64(tRefSemi) / float64(tHashSemi)
+			c.metric("semiJoinProbeSpeedup", semiSpeedup)
+
+			// Incremental refresh on the Figure 1 warehouse at n base
+			// tuples, insert-only updates, both sides starting from the
+			// same initialized warehouse and applying the same updates.
+			sc := workload.Figure1(false)
+			comp, err := core.Compute(sc.DB, sc.Views, core.Proposition22())
+			if err != nil {
+				return err
+			}
+			gen := workload.NewGen(sc.DB, c.seed)
+			gen.Domain = n
+			st := gen.State(n / 2) // per relation, so the state totals ~n tuples
+			nUpdates := rounds
+			sts := st.Clone()
+			var ups []*catalog.Update
+			for i := 0; i < nUpdates; i++ {
+				u := gen.Update(sts, 20, 0)
+				if err := u.Apply(sts); err != nil {
+					return err
+				}
+				ups = append(ups, u)
+			}
+
+			w := warehouse.New(comp)
+			if err := w.Initialize(st); err != nil {
+				return err
+			}
+			rw := newRefStringWarehouse(w)
+
+			// Each update is timed on its own and the median reported: the
+			// updates differ slightly in size, but both maintainers apply
+			// the identical sequence, so the medians stay comparable.
+			medianDur := func(ds []time.Duration) time.Duration {
+				sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+				return ds[len(ds)/2]
+			}
+			m := maintain.NewMaintainer(comp)
+			hashDur := make([]time.Duration, 0, nUpdates)
+			for _, u := range ups {
+				start := time.Now()
+				if _, err := m.RefreshContext(context.Background(), w, u); err != nil {
+					return err
+				}
+				hashDur = append(hashDur, time.Since(start))
+			}
+			tHashRefresh := medianDur(hashDur)
+
+			refDur := make([]time.Duration, 0, nUpdates)
+			for _, u := range ups {
+				start := time.Now()
+				rw.refresh(u)
+				refDur = append(refDur, time.Since(start))
+			}
+			tRefRefresh := medianDur(refDur)
+
+			// Both maintainers must land on the same warehouse state.
+			for name, ref := range map[string]*refRel{"Sold": rw.sold, "C_Sale": rw.cSale, "C_Emp": rw.cEmp} {
+				eng, _ := w.Relation(name)
+				if eng.Len() != ref.len() {
+					return fmt.Errorf("refresh disagreement: |%s| hashed %d, reference %d", name, eng.Len(), ref.len())
+				}
+				pos := make([]int, len(ref.attrs))
+				for i, a := range ref.attrs {
+					pos[i], _ = eng.Pos(a)
+				}
+				at := make(relation.Tuple, len(pos))
+				for t := range eng.All() {
+					for i, p := range pos {
+						at[i] = t[p]
+					}
+					if !ref.contains(at) {
+						return fmt.Errorf("refresh disagreement: %s tuple %v missing from reference", name, t)
+					}
+				}
+			}
+			refreshSpeedup := float64(tRefRefresh) / float64(tHashRefresh)
+			c.metric("refreshSpeedup", refreshSpeedup)
+
+			// Probe-path allocations: semijoin against a non-matching probe
+			// emits nothing, so every allocation the harness counts is probe
+			// machinery. Amortized per BatchSize window it must be near zero.
+			miss := relation.New("b")
+			for i := 0; i < 64; i++ {
+				miss.Insert(relation.Tuple{relation.String_("absent" + strconv.Itoa(i))})
+			}
+			relation.SemiJoin(r, miss) // warm the columnar image outside the measurement
+			bres := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					relation.SemiJoin(r, miss)
+				}
+			})
+			batches := (n + relation.BatchSize - 1) / relation.BatchSize
+			allocsPerBatch := float64(bres.AllocsPerOp()) / float64(batches)
+			c.metric("probeAllocsPerBatch", allocsPerBatch)
+			c.metric("probeAllocsPerRow", float64(bres.AllocsPerOp())/float64(n))
+
+			c.table(
+				[]string{"operation", "columnar", "reference", "speedup"},
+				[][]string{
+					{fmt.Sprintf("natural join %d×%d (%d out)", n, n, hashedLen), tHash.String(), tRef.String(), fmt.Sprintf("%.1fx", joinSpeedup)},
+					{fmt.Sprintf("semijoin probe %d (%d kept)", n, hashedKept), tHashSemi.String(), tRefSemi.String(), fmt.Sprintf("%.1fx", semiSpeedup)},
+					{fmt.Sprintf("refresh +20 on %d", st.Size()), tHashRefresh.String(), tRefRefresh.String(), fmt.Sprintf("%.1fx", refreshSpeedup)},
+				})
+			c.printf("  probe path: %d allocs/op over %d batches = %.2f allocs/batch (%.4f per probed row)\n",
+				bres.AllocsPerOp(), batches, allocsPerBatch, float64(bres.AllocsPerOp())/float64(n))
+			c.printf("  (reference = row-at-a-time engine with formatted string keys and\n")
+			c.printf("   invalidate-on-mutation bucket indexes, the representation this repo\n")
+			c.printf("   used before the 64-bit hash + columnar redesign)\n")
+			return nil
+		},
+	}
+}

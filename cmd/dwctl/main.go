@@ -43,6 +43,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -205,11 +206,11 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out, "Q  =", q)
 		fmt.Fprintln(out, "Q̂  =", qHat)
-		ans, err := w.Answer(q)
+		rows, err := dwc.Answer(context.Background(), w, q)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(out, ans)
+		fmt.Fprint(out, rows.Relation())
 		return nil
 
 	case "maintain":
@@ -225,7 +226,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		stats, err := dwc.NewMaintainer(w.Complement()).Refresh(w, u)
+		stats, err := dwc.Refresh(context.Background(), dwc.NewMaintainer(w.Complement()), w, u)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -55,12 +56,12 @@ func runREPL(w *dwc.Warehouse, db *dwc.Database, in io.Reader, out io.Writer) er
 				break
 			}
 			fmt.Fprintln(out, "Q̂ =", qHat)
-			ans, err := w.Answer(q)
+			rows, err := dwc.Answer(context.Background(), w, q)
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				break
 			}
-			fmt.Fprint(out, ans)
+			fmt.Fprint(out, rows.Relation())
 
 		case strings.HasPrefix(line, "explain "):
 			src := strings.TrimPrefix(line, "explain ")
@@ -100,7 +101,7 @@ func runREPL(w *dwc.Warehouse, db *dwc.Database, in io.Reader, out io.Writer) er
 				fmt.Fprintln(out, "error:", err)
 				break
 			}
-			stats, err := m.Refresh(w, u)
+			stats, err := dwc.Refresh(context.Background(), m, w, u)
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				break

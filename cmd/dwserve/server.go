@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -365,6 +366,45 @@ func jsonRelation(r *relation.Relation) map[string]any {
 	}
 }
 
+// jsonRows serializes a query answer from its batch cursor: tuples are
+// gathered column-major from the typed vectors, then sorted in the same
+// total value order as jsonRelation for a deterministic wire order.
+func jsonRows(rs *dwc.Rows) map[string]any {
+	attrs := rs.Attrs()
+	tuples := make([]dwc.Tuple, 0, rs.Len())
+	for b := range rs.Batches() {
+		for i := 0; i < b.Len(); i++ {
+			t := make(dwc.Tuple, len(attrs))
+			for c := range attrs {
+				t[c] = b.Value(c, i)
+			}
+			tuples = append(tuples, t)
+		}
+	}
+	sort.Slice(tuples, func(i, j int) bool {
+		a, b := tuples[i], tuples[j]
+		for c := range a {
+			if !a[c].Equal(b[c]) {
+				return a[c].Less(b[c])
+			}
+		}
+		return false
+	})
+	rows := make([][]any, len(tuples))
+	for i, t := range tuples {
+		row := make([]any, len(t))
+		for c, v := range t {
+			row[c] = jsonValue(v)
+		}
+		rows[i] = row
+	}
+	return map[string]any{
+		"attributes": attrs,
+		"tuples":     rows,
+		"count":      rs.Len(),
+	}
+}
+
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -516,16 +556,10 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ans, stats, err := dwc.EvalExprContext(req.Context(), qHat, s.w)
-	if stats != nil {
+	rows, err := dwc.EvalExpr(req.Context(), qHat, s.w)
+	if err != nil {
 		s.queries.Add(1)
 		s.mQueries.Inc()
-		s.mQueryDur.Observe(stats.Wall.Seconds())
-		s.statsMu.Lock()
-		s.queryStats.Add(*stats)
-		s.statsMu.Unlock()
-	}
-	if err != nil {
 		if canceled(err) {
 			writeError(w, statusClientClosedRequest, err)
 			return
@@ -533,10 +567,17 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	stats := rows.Stats()
+	s.queries.Add(1)
+	s.mQueries.Inc()
+	s.mQueryDur.Observe(stats.Wall.Seconds())
+	s.statsMu.Lock()
+	s.queryStats.Add(*stats)
+	s.statsMu.Unlock()
 	body := map[string]any{
 		"query":      q.String(),
 		"translated": qHat.String(),
-		"result":     jsonRelation(ans),
+		"result":     jsonRows(rows),
 	}
 	if explain >= 1 {
 		// Flat counters at every explain level; the executed plan tree

@@ -1,0 +1,341 @@
+package dwc_test
+
+// Property tests for the columnar batch engine: on randomized relations —
+// including NULLs, mixed value kinds, and string dictionaries forced into
+// overflow — every hashed/vectorized operator must agree tuple-for-tuple
+// with an independent reference implementation backed by plain Go maps
+// over canonical string encodings. The reference shares no code with the
+// relation package's membership machinery, so a hashing or batching bug
+// cannot cancel itself out of the comparison.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+
+	"dwcomplement/internal/relation"
+)
+
+// canonValue encodes a value canonically under relation.Value.Equal:
+// numerically equal int/float values encode identically, -0.0 as 0.0, and
+// every NaN alike.
+func canonValue(v relation.Value) string {
+	switch v.Kind() {
+	case relation.KindNull:
+		return "n"
+	case relation.KindBool:
+		if v.AsBool() {
+			return "b1"
+		}
+		return "b0"
+	case relation.KindInt, relation.KindFloat:
+		f := v.AsFloat()
+		if v.Kind() == relation.KindInt && int64(f) != v.AsInt() {
+			return "i" + strconv.FormatInt(v.AsInt(), 10)
+		}
+		if f == 0 {
+			f = 0 // collapse -0.0
+		}
+		if math.IsNaN(f) {
+			return "fnan"
+		}
+		return "f" + strconv.FormatFloat(f, 'g', -1, 64)
+	case relation.KindString:
+		return "s" + strconv.Itoa(len(v.AsString())) + ":" + v.AsString()
+	default:
+		return "?"
+	}
+}
+
+// refSet is the reference relation: a set of tuples keyed by the
+// canonical encoding of their values in sorted attribute order.
+type refSet struct {
+	attrs []string // sorted
+	rows  map[string]relation.Tuple
+}
+
+func newRefSet(attrs []string) *refSet {
+	sorted := append([]string(nil), attrs...)
+	sort.Strings(sorted)
+	return &refSet{attrs: sorted, rows: make(map[string]relation.Tuple)}
+}
+
+// keyFor encodes tuple t (laid out in r's column order) in sorted
+// attribute order, so layout never affects identity.
+func (s *refSet) keyFor(r *relation.Relation, t relation.Tuple) string {
+	key := ""
+	for _, a := range s.attrs {
+		p, _ := r.Pos(a)
+		key += canonValue(t[p]) + "|"
+	}
+	return key
+}
+
+func (s *refSet) addFrom(r *relation.Relation, t relation.Tuple) {
+	s.rows[s.keyFor(r, t)] = t
+}
+
+// fromRelation snapshots a relation into the reference representation.
+func fromRelation(r *relation.Relation) *refSet {
+	s := newRefSet(r.Attrs())
+	for t := range r.All() {
+		s.addFrom(r, t)
+	}
+	return s
+}
+
+// equalRelation checks the operator result against the reference set.
+func (s *refSet) equalRelation(t *testing.T, label string, r *relation.Relation) {
+	t.Helper()
+	if r.Len() != len(s.rows) {
+		t.Fatalf("%s: got %d tuples, reference has %d", label, r.Len(), len(s.rows))
+	}
+	for tu := range r.All() {
+		if _, ok := s.rows[s.keyFor(r, tu)]; !ok {
+			t.Fatalf("%s: result tuple %v not in reference", label, tu)
+		}
+	}
+}
+
+// randomValue draws from a small mixed-kind domain with NULLs, numeric
+// int/float collisions (Int(k) vs Float(k)), negative zero, and strings
+// drawn from a pool wide enough to overflow a tiny dictionary.
+func randomValue(rng *rand.Rand, stringPool int) relation.Value {
+	switch rng.Intn(10) {
+	case 0:
+		return relation.Null()
+	case 1:
+		return relation.Bool(rng.Intn(2) == 0)
+	case 2, 3:
+		return relation.Float(float64(rng.Intn(6)) - 2.5)
+	case 4:
+		if rng.Intn(4) == 0 {
+			return relation.Float(math.Copysign(0, -1))
+		}
+		return relation.Float(float64(rng.Intn(4)))
+	case 5, 6:
+		return relation.Int(int64(rng.Intn(6)))
+	default:
+		return relation.String_("s" + strconv.Itoa(rng.Intn(stringPool)))
+	}
+}
+
+func randomRelation(rng *rand.Rand, attrs []string, n, stringPool int) *relation.Relation {
+	r := relation.New(attrs...)
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, len(attrs))
+		for j := range t {
+			t[j] = randomValue(rng, stringPool)
+		}
+		r.Insert(t)
+	}
+	return r
+}
+
+// refNaturalJoin joins via a map over the shared columns' canonical keys.
+func refNaturalJoin(l, r *relation.Relation) *refSet {
+	var shared []string
+	var rOnly []string
+	for _, a := range r.Attrs() {
+		if l.HasAttr(a) {
+			shared = append(shared, a)
+		} else {
+			rOnly = append(rOnly, a)
+		}
+	}
+	sort.Strings(shared)
+	keyOf := func(rel *relation.Relation, t relation.Tuple) string {
+		k := ""
+		for _, a := range shared {
+			p, _ := rel.Pos(a)
+			k += canonValue(t[p]) + "|"
+		}
+		return k
+	}
+	buckets := make(map[string][]relation.Tuple)
+	for t := range r.All() {
+		buckets[keyOf(r, t)] = append(buckets[keyOf(r, t)], t)
+	}
+	outAttrs := append(append([]string(nil), l.Attrs()...), rOnly...)
+	out := newRefSet(outAttrs)
+	tmp := relation.New(outAttrs...)
+	for lt := range l.All() {
+		for _, rt := range buckets[keyOf(l, lt)] {
+			row := append([]relation.Value(nil), lt...)
+			for _, a := range rOnly {
+				p, _ := r.Pos(a)
+				row = append(row, rt[p])
+			}
+			out.addFrom(tmp, row)
+		}
+	}
+	return out
+}
+
+// refSemiJoin keeps r-tuples whose probe-column projection appears in
+// probe, via a map of canonical keys.
+func refSemiJoin(r, probe *relation.Relation) *refSet {
+	pAttrs := append([]string(nil), probe.Attrs()...)
+	sort.Strings(pAttrs)
+	seen := make(map[string]bool)
+	for t := range probe.All() {
+		k := ""
+		for _, a := range pAttrs {
+			p, _ := probe.Pos(a)
+			k += canonValue(t[p]) + "|"
+		}
+		seen[k] = true
+	}
+	out := newRefSet(r.Attrs())
+	for t := range r.All() {
+		k := ""
+		for _, a := range pAttrs {
+			p, _ := r.Pos(a)
+			k += canonValue(t[p]) + "|"
+		}
+		if seen[k] {
+			out.addFrom(r, t)
+		}
+	}
+	return out
+}
+
+// refDiff and refIntersect compare full-width canonical keys.
+func refDiff(l, r *relation.Relation) *refSet {
+	rs := fromRelation(r)
+	out := newRefSet(l.Attrs())
+	for t := range l.All() {
+		if _, ok := rs.rows[rs.keyFor(l, t)]; !ok {
+			out.addFrom(l, t)
+		}
+	}
+	return out
+}
+
+func refIntersect(l, r *relation.Relation) *refSet {
+	rs := fromRelation(r)
+	out := newRefSet(l.Attrs())
+	for t := range l.All() {
+		if _, ok := rs.rows[rs.keyFor(l, t)]; ok {
+			out.addFrom(l, t)
+		}
+	}
+	return out
+}
+
+func refUnion(l, r *relation.Relation) *refSet {
+	out := newRefSet(l.Attrs())
+	for t := range l.All() {
+		out.addFrom(l, t)
+	}
+	for t := range r.All() {
+		out.addFrom(r, t)
+	}
+	return out
+}
+
+func refProject(r *relation.Relation, attrs ...string) *refSet {
+	out := newRefSet(attrs)
+	tmp := relation.New(attrs...)
+	for t := range r.All() {
+		row := make(relation.Tuple, len(attrs))
+		for i, a := range attrs {
+			p, _ := r.Pos(a)
+			row[i] = t[p]
+		}
+		out.addFrom(tmp, row)
+	}
+	return out
+}
+
+// TestColumnarOpsMatchMapReference drives every hashed operator against
+// the map-backed reference on randomized relations with NULLs and mixed
+// kinds, with the string dictionary capacity forced low enough that some
+// columns overflow into the generic (ColAny) layout.
+func TestColumnarOpsMatchMapReference(t *testing.T) {
+	prev := relation.SetDictCapacity(4) // force dictionary overflow
+	defer relation.SetDictCapacity(prev)
+
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(120)
+		l := randomRelation(rng, []string{"a", "b", "c"}, n, 12)
+		r := randomRelation(rng, []string{"b", "c", "d"}, n, 12)
+		same := randomRelation(rng, []string{"a", "b", "c"}, n, 12)
+
+		refNaturalJoin(l, r).equalRelation(t, "join", relation.NaturalJoin(l, r))
+
+		probe := relation.Project(r, "b")
+		refSemiJoin(l, probe).equalRelation(t, "semijoin", relation.SemiJoin(l, probe))
+		full := l.Clone()
+		refSemiJoin(l, full).equalRelation(t, "semijoin-full", relation.SemiJoin(l, full))
+
+		d, err := relation.Diff(l, same)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refDiff(l, same).equalRelation(t, "diff", d)
+
+		in, err := relation.Intersect(l, same)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refIntersect(l, same).equalRelation(t, "intersect", in)
+
+		un, err := relation.Union(l, same)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refUnion(l, same).equalRelation(t, "union", un)
+
+		refProject(l, "b", "a").equalRelation(t, "project", relation.Project(l, "b", "a"))
+
+		// Membership through the open-addressed table must agree with the
+		// canonical-key reference for present and absent tuples alike.
+		ls := fromRelation(l)
+		for tu := range same.All() {
+			_, want := ls.rows[ls.keyFor(same, tu)]
+			if got := l.ContainsAligned(tu, same); got != want {
+				t.Fatalf("seed %d: Contains(%v) = %v, reference %v", seed, tu, got, want)
+			}
+		}
+	}
+}
+
+// TestColumnarDictOverflowFallback pins the overflow behavior itself: a
+// string column wider than the dictionary capacity must still build a
+// usable columnar image (generic layout) and batch-iterate every value.
+func TestColumnarDictOverflowFallback(t *testing.T) {
+	prev := relation.SetDictCapacity(8)
+	defer relation.SetDictCapacity(prev)
+
+	r := relation.New("s")
+	for i := 0; i < 64; i++ {
+		r.Insert(relation.Tuple{relation.String_("v" + strconv.Itoa(i))})
+	}
+	cols := r.Columns()
+	if got := cols.Col(0).Kind; got != relation.ColAny {
+		t.Fatalf("64 distinct strings with capacity 8: column kind = %v, want ColAny fallback", got)
+	}
+	seen := make(map[string]bool)
+	for b := range r.Batches() {
+		for i := 0; i < b.Len(); i++ {
+			seen[b.Value(0, i).AsString()] = true
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("batch iteration saw %d distinct strings, want 64", len(seen))
+	}
+
+	// Under the default capacity the same column dictionary-encodes.
+	relation.SetDictCapacity(prev)
+	r2 := relation.New("s")
+	for i := 0; i < 64; i++ {
+		r2.Insert(relation.Tuple{relation.String_("v" + strconv.Itoa(i))})
+	}
+	if got := r2.Columns().Col(0).Kind; got != relation.ColString {
+		t.Fatalf("default capacity: column kind = %v, want ColString", got)
+	}
+}

@@ -28,10 +28,11 @@
 //	    dwc.NewView("Sold", []string{"item", "clerk", "age"}, nil, "Sale", "Emp"))
 //
 //	w, err := dwc.BuildWarehouse(db, views, dwc.Theorem22(), initialState)
-//	answer, err := w.Answer(dwc.MustParseExpr("pi{clerk}(Sale) union pi{clerk}(Emp)"))
+//	rows, err := dwc.Answer(ctx, w, dwc.MustParseExpr("pi{clerk}(Sale) union pi{clerk}(Emp)"))
+//	for batch := range rows.Batches() { ... }   // column-major, no copies
 //
 //	m := dwc.NewMaintainer(w.Complement())
-//	stats, err := m.Refresh(w, update)   // warehouse-only, incremental
+//	stats, err := dwc.Refresh(ctx, m, w, update)   // warehouse-only, incremental
 //
 // The heavy lifting lives in the internal packages (relation, algebra,
 // constraint, catalog, view, core, warehouse, maintain, source, star,
@@ -316,12 +317,6 @@ var (
 	// warehouse layout (e.g. a Complement's Resolver()).
 	VerifySnapshot = snapshot.Verify
 )
-
-// EvalExpr evaluates an expression against any state (a *State, a
-// *Warehouse, or a plain relation map).
-func EvalExpr(e Expr, st algebra.State) (*Relation, error) {
-	return algebra.Eval(e, st)
-}
 
 // OptimizeExpr rewrites an expression with selection and projection
 // pushdown (semantics-preserving); res supplies relation attribute sets —

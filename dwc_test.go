@@ -1,6 +1,7 @@
 package dwc_test
 
 import (
+	"context"
 	"testing"
 
 	dwc "dwcomplement"
@@ -89,7 +90,7 @@ insert Emp('Mary', 23)
 	if err := v.Validate(spec.DB); err != nil {
 		t.Fatal(err)
 	}
-	young, err := dwc.EvalExpr(v.Expr(), spec.State)
+	young, err := dwc.EvalExpr(context.Background(), v.Expr(), spec.State)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,18 +67,62 @@ var (
 	ErrSchemaMismatch = relation.ErrSchemaMismatch
 )
 
-// AnswerContext answers a source query from the warehouse with
-// cancellation and instrumentation: the context is checked at every
-// operator boundary, and the returned EvalStats reports operator counters
-// and wall time. Equivalent to w.AnswerContext.
+// Answer answers a source query from the warehouse: q is translated
+// against the view definitions (Theorem 3.1) and the translated query is
+// evaluated over warehouse relations only. This is the primary query
+// entry point of the facade — context-first, instrumented, and returning
+// a Rows batch cursor over the columnar result. The context is checked at
+// every operator boundary; a canceled context aborts evaluation with an
+// error wrapping the context's error.
+func Answer(ctx context.Context, w *Warehouse, q Expr) (*Rows, error) {
+	r, stats, err := w.AnswerContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(r, stats), nil
+}
+
+// EvalExpr evaluates an expression against any state (a *State, a
+// *Warehouse, or a plain relation map) under cancellation and
+// instrumentation, returning a Rows batch cursor over the result. Like
+// Answer, the context is checked at every operator boundary.
+func EvalExpr(ctx context.Context, e Expr, st algebra.State) (*Rows, error) {
+	ec := algebra.NewEvalContext(ctx)
+	start := time.Now()
+	r, err := algebra.EvalCtx(ec, e, st)
+	if err != nil {
+		return nil, err
+	}
+	stats := ec.Stats()
+	stats.Wall = time.Since(start)
+	return newRows(r, &stats), nil
+}
+
+// Refresh incrementally applies a source update to the warehouse through
+// the maintainer — warehouse-only, never querying the sources (Theorem
+// 4.1). This is the primary maintenance entry point of the facade; the
+// context is checked between propagation steps and at every operator
+// boundary inside them, and a canceled refresh aborts before any delta is
+// applied, leaving the warehouse untouched.
+func Refresh(ctx context.Context, m *Maintainer, w *Warehouse, u *Update) (RefreshStats, error) {
+	return m.RefreshContext(ctx, w, u)
+}
+
+// AnswerContext answers a source query from the warehouse and returns the
+// bare relation and stats.
+//
+// Deprecated: Answer is the primary form; its Rows cursor carries the
+// same relation and stats plus columnar batch iteration.
 func AnswerContext(ctx context.Context, w *Warehouse, q Expr) (*Relation, *EvalStats, error) {
 	return w.AnswerContext(ctx, q)
 }
 
-// EvalExprContext is EvalExpr with cancellation and instrumentation. A
-// canceled context aborts evaluation at the next operator boundary with an
-// error wrapping the context's error; the stats are returned even on
-// failure.
+// EvalExprContext evaluates an expression and returns the bare relation
+// and stats; unlike EvalExpr it reports the partial stats of a failed
+// evaluation.
+//
+// Deprecated: EvalExpr is the primary form; its Rows cursor carries the
+// same relation and stats plus columnar batch iteration.
 func EvalExprContext(ctx context.Context, e Expr, st algebra.State) (*Relation, *EvalStats, error) {
 	ec := algebra.NewEvalContext(ctx)
 	start := time.Now()

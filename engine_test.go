@@ -128,7 +128,7 @@ func TestSentinelErrors(t *testing.T) {
 		MustAddSchema(dwc.NewSchema("S", "b:int"))
 	st := db.NewState()
 
-	_, err := dwc.EvalExpr(dwc.MustParseExpr("Nope"), st)
+	_, err := dwc.EvalExpr(context.Background(), dwc.MustParseExpr("Nope"), st)
 	if !errors.Is(err, dwc.ErrUnknownRelation) {
 		t.Errorf("unknown relation: err = %v", err)
 	}
@@ -137,7 +137,7 @@ func TestSentinelErrors(t *testing.T) {
 		t.Errorf("unknown relation via context API: err = %v", err)
 	}
 
-	_, err = dwc.EvalExpr(dwc.MustParseExpr("R union S"), st)
+	_, err = dwc.EvalExpr(context.Background(), dwc.MustParseExpr("R union S"), st)
 	if !errors.Is(err, dwc.ErrSchemaMismatch) {
 		t.Errorf("schema mismatch: err = %v", err)
 	}

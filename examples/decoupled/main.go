@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -111,9 +112,9 @@ func main() {
 
 	// The warehouse still answers source queries by itself.
 	q := dwc.MustParseExpr("pi{clerk}(Emp) minus pi{clerk}(Sale)")
-	ans, err := w.Answer(q)
+	rows, err := dwc.Answer(context.Background(), w, q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nemployees who sold nothing (answered warehouse-only):\n%s", ans)
+	fmt.Printf("\nemployees who sold nothing (answered warehouse-only):\n%s", rows.Relation())
 }

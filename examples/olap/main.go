@@ -72,14 +72,14 @@ func main() {
 		log.Fatal(err)
 	}
 	var manual int64
-	ans.Each(func(t dwc.Tuple) {
+	for t := range ans.All() {
 		manual += ans.Get(t, "qty").AsInt()
-	})
+	}
 	fmt.Printf("ad-hoc Σqty(paris) via translated query: %d\n", manual)
 	agg := qtyPerSite.Result()
-	agg.Each(func(t dwc.Tuple) {
+	for t := range agg.All() {
 		if agg.Get(t, "loc").AsString() == "paris" {
 			fmt.Printf("summary-table Σqty(paris):               %d\n", agg.Get(t, "sum").AsInt())
 		}
-	})
+	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,17 +65,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ans, err := w.Answer(q)
+		rows, err := dwc.Answer(context.Background(), w, q)
 		if err != nil {
 			log.Fatal(err)
 		}
+		ans := rows.Relation()
 		// Cross-check against direct evaluation on the sources.
-		want, err := dwc.EvalExpr(q, st)
+		want, err := dwc.EvalExpr(context.Background(), q, st)
 		if err != nil {
 			log.Fatal(err)
 		}
 		status := "OK (matches source evaluation)"
-		if !ans.Equal(want) {
+		if !ans.Equal(want.Relation()) {
 			status = "MISMATCH"
 		}
 		fmt.Printf("Q  = %s\nQ̂  = %s\n→ %d tuple(s), %s\n%s\n", q, qHat, ans.Len(), status, ans)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,11 +57,11 @@ func main() {
 	fmt.Println("== Query independence (Example 1.2) ==")
 	fmt.Println("source query:     Q  =", q)
 	fmt.Println("warehouse query:  Q̂  =", qHat)
-	ans, err := w.Answer(q)
+	rows, err := dwc.Answer(context.Background(), w, q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("answer (from the warehouse only):\n%s\n", ans)
+	fmt.Printf("answer (from the warehouse only):\n%s\n", rows.Relation())
 
 	// The paper's driving update: "insert into Sale the tuple
 	// ⟨Computer, Paula⟩". The maintainer joins it with the complement —
@@ -68,7 +69,7 @@ func main() {
 	fmt.Println("== Update independence (Example 1.1's insertion) ==")
 	u := dwc.NewUpdate().MustInsert("Sale", db, dwc.Str("Computer"), dwc.Str("Paula"))
 	m := dwc.NewMaintainer(w.Complement())
-	stats, err := m.Refresh(w, u)
+	stats, err := dwc.Refresh(context.Background(), m, w, u)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -73,7 +74,7 @@ func main() {
 	u := dwc.NewUpdate().
 		MustInsert("R", db, dwc.Int(3), dwc.Int(30)).
 		MustInsert("T", db, dwc.Int(300))
-	stats, err := dwc.NewMaintainer(w.Complement()).Refresh(w, u)
+	stats, err := dwc.Refresh(context.Background(), dwc.NewMaintainer(w.Complement()), w, u)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,12 +87,12 @@ func main() {
 func printComplementSizes(c *dwc.Complement, st *dwc.State) {
 	total := 0
 	for _, e := range c.StoredEntries() {
-		r, err := dwc.EvalExpr(e.Def, st)
+		rows, err := dwc.EvalExpr(context.Background(), e.Def, st)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  stored %-4s: %d tuple(s)\n", e.Name, r.Len())
-		total += r.Len()
+		fmt.Printf("  stored %-4s: %d tuple(s)\n", e.Name, rows.Len())
+		total += rows.Len()
 	}
 	fmt.Printf("  total complement storage on this state: %d tuple(s)\n", total)
 }

@@ -113,13 +113,12 @@ func (v *View) Initialize(fact *relation.Relation) error {
 		return err
 	}
 	v.groups = make(map[string]*groupState)
-	var err error
-	fact.Each(func(t relation.Tuple) {
-		if err == nil {
-			err = v.add(fact, t)
+	for t := range fact.All() {
+		if err := v.add(fact, t); err != nil {
+			return err
 		}
-	})
-	return err
+	}
+	return nil
 }
 
 func (v *View) keyOf(fact *relation.Relation, t relation.Tuple) (string, relation.Tuple) {
@@ -206,21 +205,17 @@ func (v *View) Apply(d maintain.Delta, postFact *relation.Relation) error {
 		return err
 	}
 	rescan := map[string]bool{}
-	d.Del.Each(func(t relation.Tuple) {
+	for t := range d.Del.All() {
 		if needs, key := v.remove(d.Del, t); needs {
 			rescan[key] = true
 		}
-	})
-	var err error
-	d.Ins.Each(func(t relation.Tuple) {
-		if err == nil {
-			err = v.add(d.Ins, t)
+	}
+	// An insert into a group pending rescan refreshes the extremum
+	// anyway; the rescan below recomputes from scratch regardless.
+	for t := range d.Ins.All() {
+		if err := v.add(d.Ins, t); err != nil {
+			return err
 		}
-		// An insert into a group pending rescan refreshes the extremum
-		// anyway; the rescan below recomputes from scratch regardless.
-	})
-	if err != nil {
-		return err
 	}
 	for key := range rescan {
 		if g, ok := v.groups[key]; ok {
@@ -237,17 +232,17 @@ func (v *View) Apply(d maintain.Delta, postFact *relation.Relation) error {
 func (v *View) rebuildGroup(key string, g *groupState, fact *relation.Relation) error {
 	first := true
 	var count int64
-	fact.Each(func(t relation.Tuple) {
+	for t := range fact.All() {
 		k, _ := v.keyOf(fact, t)
 		if k != key {
-			return
+			continue
 		}
 		count++
 		val := fact.Get(t, v.Attr)
 		if first {
 			g.min, g.max = val, val
 			first = false
-			return
+			continue
 		}
 		if val.Less(g.min) {
 			g.min = val
@@ -255,7 +250,7 @@ func (v *View) rebuildGroup(key string, g *groupState, fact *relation.Relation) 
 		if g.max.Less(val) {
 			g.max = val
 		}
-	})
+	}
 	if count == 0 {
 		delete(v.groups, key)
 		return nil

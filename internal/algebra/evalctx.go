@@ -35,6 +35,7 @@ type OpStat struct {
 	Emitted     int64         `json:"emitted"`
 	IndexHits   int64         `json:"indexHits"`
 	IndexBuilds int64         `json:"indexBuilds"`
+	Batches     int64         `json:"batches,omitempty"`
 	Wall        time.Duration `json:"wallNs"`
 }
 
@@ -51,6 +52,7 @@ type EvalStats struct {
 	Emitted       int64         `json:"emitted"`
 	IndexHits     int64         `json:"indexHits"`
 	IndexBuilds   int64         `json:"indexBuilds"`
+	Batches       int64         `json:"batches,omitempty"`
 	Wall          time.Duration `json:"wallNs"`
 	Ops           []OpStat      `json:"ops,omitempty"`
 	Plan          []*PlanNode   `json:"plan,omitempty"`
@@ -69,6 +71,7 @@ func (s *EvalStats) Add(o EvalStats) {
 	s.Emitted += o.Emitted
 	s.IndexHits += o.IndexHits
 	s.IndexBuilds += o.IndexBuilds
+	s.Batches += o.Batches
 	s.Wall += o.Wall
 	if len(o.Ops) > 0 {
 		s.Ops = mergeOps(s.Ops, o.Ops)
@@ -90,6 +93,7 @@ func mergeOps(a, b []OpStat) []OpStat {
 			m.Emitted += o.Emitted
 			m.IndexHits += o.IndexHits
 			m.IndexBuilds += o.IndexBuilds
+			m.Batches += o.Batches
 			m.Wall += o.Wall
 			byOp[o.Op] = m
 		}
@@ -224,6 +228,7 @@ func (ec *EvalContext) finishNode(op string, n *PlanNode, s relation.OpStats, wa
 		n.Emitted = s.Emitted
 		n.IndexHits = s.IndexHits
 		n.IndexBuilds = s.IndexBuilds
+		n.Batches = s.Batches
 		n.Inclusive = wall
 		excl := wall
 		for _, c := range n.Children {
@@ -240,6 +245,7 @@ func (ec *EvalContext) finishNode(op string, n *PlanNode, s relation.OpStats, wa
 	ec.stats.Emitted += s.Emitted
 	ec.stats.IndexHits += s.IndexHits
 	ec.stats.IndexBuilds += s.IndexBuilds
+	ec.stats.Batches += s.Batches
 	if len(ec.stats.Ops) < maxOpRecords {
 		ec.stats.Ops = append(ec.stats.Ops, OpStat{
 			Op:          op,
@@ -248,6 +254,7 @@ func (ec *EvalContext) finishNode(op string, n *PlanNode, s relation.OpStats, wa
 			Emitted:     s.Emitted,
 			IndexHits:   s.IndexHits,
 			IndexBuilds: s.IndexBuilds,
+			Batches:     s.Batches,
 			Wall:        wall,
 		})
 	}
@@ -334,7 +341,7 @@ func evalNode(ec *EvalContext, e Expr, st State, sp *relation.OpStats, pn *PlanN
 		if err != nil {
 			return nil, err
 		}
-		return relation.SelectStats(in, func(row relation.Row) bool { return EvalCond(n.Cond, row) }, sp), nil
+		return vectorSelect(in, n.Cond, sp), nil
 	case *Project:
 		in, err := evalChild(ec, n.Input, st, pn)
 		if err != nil {
@@ -471,7 +478,7 @@ func evalRestrictedNode(ec *EvalContext, e Expr, st State, probe *relation.Relat
 		if err != nil {
 			return nil, err
 		}
-		return relation.SelectStats(in, func(row relation.Row) bool { return EvalCond(n.Cond, row) }, sp), nil
+		return vectorSelect(in, n.Cond, sp), nil
 	case *Project:
 		// probe attrs ⊆ Z ⊆ input attrs, so the probe applies directly to
 		// the input; garbage rows project to non-matching tuples and stay

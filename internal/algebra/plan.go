@@ -27,6 +27,7 @@ type PlanNode struct {
 	Emitted     int64         `json:"emitted"`
 	IndexHits   int64         `json:"indexHits"`
 	IndexBuilds int64         `json:"indexBuilds"`
+	Batches     int64         `json:"batches,omitempty"`
 	Inclusive   time.Duration `json:"inclusiveNs"`
 	Exclusive   time.Duration `json:"exclusiveNs"`
 	Children    []*PlanNode   `json:"children,omitempty"`

@@ -142,16 +142,15 @@ func (u *Update) Normalize(st *State) *Update {
 		cur := st.MustRelation(name)
 		del := u.del[name]
 		out := relation.NewFromSchema(mustSchema(st.db, name))
-		ins.Each(func(t relation.Tuple) {
-			aligned := alignTuple(ins, out, t)
+		for t := range ins.All() {
 			if del != nil && del.ContainsAligned(t, ins) && !cur.ContainsAligned(t, ins) {
-				return // insert+delete of an absent tuple: no-op
+				continue // insert+delete of an absent tuple: no-op
 			}
 			if cur.ContainsAligned(t, ins) {
-				return // already present
+				continue // already present
 			}
-			out.Insert(aligned)
-		})
+			out.Insert(alignTuple(ins, out, t))
+		}
 		if !out.IsEmpty() {
 			n.ins[name] = out
 		}
@@ -160,15 +159,15 @@ func (u *Update) Normalize(st *State) *Update {
 		cur := st.MustRelation(name)
 		ins := u.ins[name]
 		out := relation.NewFromSchema(mustSchema(st.db, name))
-		del.Each(func(t relation.Tuple) {
+		for t := range del.All() {
 			if !cur.ContainsAligned(t, del) {
-				return // not present: nothing to delete
+				continue // not present: nothing to delete
 			}
 			if ins != nil && ins.ContainsAligned(t, del) {
-				return // delete+re-insert of a present tuple: no-op
+				continue // delete+re-insert of a present tuple: no-op
 			}
 			out.Insert(alignTuple(del, out, t))
-		})
+		}
 		if !out.IsEmpty() {
 			n.del[name] = out
 		}
@@ -207,26 +206,19 @@ func (u *Update) Apply(st *State) error {
 		if !ok {
 			return fmt.Errorf("catalog: update references unknown relation %q: %w", name, algebra.ErrUnknownRelation)
 		}
-		del.Each(func(t relation.Tuple) {
+		for t := range del.All() {
 			cur.Delete(alignTuple(del, cur, t))
-		})
+		}
 	}
 	for name, ins := range u.ins {
 		cur, ok := st.Relation(name)
 		if !ok {
 			return fmt.Errorf("catalog: update references unknown relation %q: %w", name, algebra.ErrUnknownRelation)
 		}
-		var insertErr error
-		ins.Each(func(t relation.Tuple) {
-			if insertErr != nil {
-				return
-			}
+		for t := range ins.All() {
 			if _, err := st.Insert(name, alignTuple(ins, cur, t)); err != nil {
-				insertErr = err
+				return err
 			}
-		})
-		if insertErr != nil {
-			return insertErr
 		}
 	}
 	return nil

@@ -108,25 +108,19 @@ func FromWireUpdate(db *catalog.Database, ins, del map[string]snapshot.WireRelat
 			if err != nil {
 				return fmt.Errorf("journal: relation %s: %w", name, err)
 			}
-			var schedErr error
 			attrs := sc.AttrNames()
-			rel.Each(func(t relation.Tuple) {
-				if schedErr != nil {
-					return
-				}
+			for t := range rel.All() {
 				aligned := make(relation.Tuple, len(attrs))
 				for i, a := range attrs {
 					p, ok := rel.Pos(a)
 					if !ok {
-						schedErr = fmt.Errorf("journal: relation %s row missing attribute %q", name, a)
-						return
+						return fmt.Errorf("journal: relation %s row missing attribute %q", name, a)
 					}
 					aligned[i] = t[p]
 				}
-				schedErr = schedule(name, aligned)
-			})
-			if schedErr != nil {
-				return schedErr
+				if err := schedule(name, aligned); err != nil {
+					return err
+				}
 			}
 		}
 		return nil

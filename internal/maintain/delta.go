@@ -40,29 +40,29 @@ func (d Delta) Size() int { return d.Ins.Len() + d.Del.Len() }
 // with either form.
 func (d Delta) Exact(pre *relation.Relation) Delta {
 	del := relation.New(d.Del.Attrs()...)
-	d.Del.Each(func(t relation.Tuple) {
+	for t := range d.Del.All() {
 		if pre.ContainsAligned(t, d.Del) && !d.Ins.ContainsAligned(t, d.Del) {
 			del.Insert(t)
 		}
-	})
+	}
 	ins := relation.New(d.Ins.Attrs()...)
-	d.Ins.Each(func(t relation.Tuple) {
+	for t := range d.Ins.All() {
 		if !pre.ContainsAligned(t, d.Ins) {
 			ins.Insert(t)
 		}
-	})
+	}
 	return Delta{Ins: ins, Del: del}
 }
 
 // ApplyTo mutates the materialized relation: deletions first, then
 // insertions, aligning columns by name.
 func (d Delta) ApplyTo(r *relation.Relation) {
-	d.Del.Each(func(t relation.Tuple) {
+	for t := range d.Del.All() {
 		r.Delete(alignTuple(d.Del, r, t))
-	})
-	d.Ins.Each(func(t relation.Tuple) {
+	}
+	for t := range d.Ins.All() {
 		r.Insert(alignTuple(d.Ins, r, t))
-	})
+	}
 }
 
 // node is the per-subexpression result of propagation. The delta is

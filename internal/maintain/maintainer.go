@@ -222,6 +222,10 @@ func (m *Maintainer) SetParallel(p bool) {
 // Propagate, with all pre-state reads answered by the VirtualState. The
 // deltas for all relations are computed against the same pre-state before
 // any of them is applied.
+//
+// Deprecated: use RefreshContext (or the facade's context-first
+// dwc.Refresh) so cancellation and instrumentation propagate; Refresh
+// survives as a thin wrapper for external callers.
 func (m *Maintainer) Refresh(w *warehouse.Warehouse, u *catalog.Update) (RefreshStats, error) {
 	return m.refresh(nil, w, u)
 }
@@ -392,18 +396,11 @@ func (m *Maintainer) RefreshByRecompute(w *warehouse.Warehouse, u *catalog.Updat
 	db := m.comp.Database()
 	st := db.NewState()
 	for name, r := range bases {
-		var insertErr error
-		r.Each(func(t relation.Tuple) {
-			if insertErr != nil {
-				return
-			}
+		for t := range r.All() {
 			cur, _ := st.Relation(name)
 			if _, err := st.Insert(name, alignTuple(r, cur, t)); err != nil {
-				insertErr = err
+				return err
 			}
-		})
-		if insertErr != nil {
-			return insertErr
 		}
 	}
 	if err := u.Apply(st); err != nil {
@@ -441,39 +438,29 @@ func NormalizeUpdate(u *catalog.Update, vst *VirtualState, comp *core.Complement
 			return nil, err
 		}
 		if ins != nil {
-			var insertErr error
-			ins.Each(func(t relation.Tuple) {
-				if insertErr != nil {
-					return
-				}
+			for t := range ins.All() {
 				if cur.ContainsAligned(t, ins) {
-					return // already present (covers delete+re-insert too)
+					continue // already present (covers delete+re-insert too)
 				}
 				if del != nil && del.ContainsAligned(t, ins) {
-					return // insert+delete of an absent tuple: no-op
+					continue // insert+delete of an absent tuple: no-op
 				}
-				insertErr = out.Insert(name, db, alignToAttrs(ins, schemaAttrs, t))
-			})
-			if insertErr != nil {
-				return nil, insertErr
+				if err := out.Insert(name, db, alignToAttrs(ins, schemaAttrs, t)); err != nil {
+					return nil, err
+				}
 			}
 		}
 		if del != nil {
-			var delErr error
-			del.Each(func(t relation.Tuple) {
-				if delErr != nil {
-					return
-				}
+			for t := range del.All() {
 				if !cur.ContainsAligned(t, del) {
-					return // absent: nothing to delete
+					continue // absent: nothing to delete
 				}
 				if ins != nil && ins.ContainsAligned(t, del) {
-					return // delete+re-insert of a present tuple: no-op
+					continue // delete+re-insert of a present tuple: no-op
 				}
-				delErr = out.Delete(name, db, alignToAttrs(del, schemaAttrs, t))
-			})
-			if delErr != nil {
-				return nil, delErr
+				if err := out.Delete(name, db, alignToAttrs(del, schemaAttrs, t)); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

@@ -69,14 +69,14 @@ func (m *SigmaMaintainer) Refresh(w algebra.MapState, u *catalog.Update) error {
 		base := v.Bases[0]
 		pred := func(row relation.Row) bool { return algebra.EvalCond(v.Cond, row) }
 		if del := u.Deletes(base); del != nil {
-			relation.Select(del, pred).Each(func(t relation.Tuple) {
+			for t := range relation.Select(del, pred).All() {
 				r.Delete(alignTuple(del, r, t))
-			})
+			}
 		}
 		if ins := u.Inserts(base); ins != nil {
-			relation.Select(ins, pred).Each(func(t relation.Tuple) {
+			for t := range relation.Select(ins, pred).All() {
 				r.Insert(alignTuple(ins, r, t))
-			})
+			}
 		}
 	}
 	return nil

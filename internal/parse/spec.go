@@ -261,21 +261,17 @@ func loadCSV(spec *Spec, relName, path string, line int) error {
 			line, path, rel.AttrSet(), sc.AttrSet())
 	}
 	names := sc.AttrNames()
-	var insertErr error
-	rel.Each(func(t relation.Tuple) {
-		if insertErr != nil {
-			return
-		}
+	for t := range rel.All() {
 		aligned := make(relation.Tuple, len(names))
 		for i, a := range names {
 			pos, _ := rel.Pos(a)
 			aligned[i] = t[pos]
 		}
 		if _, err := spec.State.Insert(relName, aligned); err != nil {
-			insertErr = fmt.Errorf("line %d: %w", line, err)
+			return fmt.Errorf("line %d: %w", line, err)
 		}
-	})
-	return insertErr
+	}
+	return nil
 }
 
 // UpdateOps parses a sequence of "insert R(...)" / "delete R(...)"
@@ -397,11 +393,7 @@ func (p *parser) parseModifyStmt(db *catalog.Database, st algebra.State, u *cata
 	affected := relation.Select(cur, func(row relation.Row) bool {
 		return algebra.EvalCond(cond, row)
 	})
-	var expandErr error
-	affected.Each(func(t relation.Tuple) {
-		if expandErr != nil {
-			return
-		}
+	for t := range affected.All() {
 		oldTuple := make(relation.Tuple, len(sc.Attrs))
 		newTuple := make(relation.Tuple, len(sc.Attrs))
 		for i, a := range sc.Attrs {
@@ -414,15 +406,11 @@ func (p *parser) parseModifyStmt(db *catalog.Database, st algebra.State, u *cata
 			}
 		}
 		if err := u.Delete(sc.Name, db, oldTuple); err != nil {
-			expandErr = err
-			return
+			return fmt.Errorf("line %d: %w", line, err)
 		}
 		if err := u.Insert(sc.Name, db, newTuple); err != nil {
-			expandErr = err
+			return fmt.Errorf("line %d: %w", line, err)
 		}
-	})
-	if expandErr != nil {
-		return fmt.Errorf("line %d: %w", line, expandErr)
 	}
 	return nil
 }

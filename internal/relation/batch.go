@@ -1,0 +1,117 @@
+package relation
+
+import "iter"
+
+// BatchSize is the number of rows a batch covers: large enough that the
+// per-batch bookkeeping amortizes to nothing, small enough that a batch's
+// working set (a few columns × 1024 values) stays cache-resident. It is a
+// multiple of 64 so batch boundaries align with null-bitmap words.
+const BatchSize = 1024
+
+// Batch is a column-major window of up to BatchSize consecutive rows of a
+// relation's columnar image. Batches are values (cheap to copy), alias
+// the image rather than copying data, and are only valid until the
+// underlying relation is mutated.
+type Batch struct {
+	cols  *Columns
+	start int // first row (global index), multiple of BatchSize
+	n     int // rows in this batch
+}
+
+// Len returns the number of rows in the batch.
+func (b Batch) Len() int { return b.n }
+
+// Start returns the global index of the batch's first row.
+func (b Batch) Start() int { return b.start }
+
+// Attrs returns the attribute names in column order (shared; read-only).
+func (b Batch) Attrs() []string { return b.cols.attrs }
+
+// NumCols returns the number of columns.
+func (b Batch) NumCols() int { return len(b.cols.cols) }
+
+// ColKind returns the physical layout of column c.
+func (b Batch) ColKind(c int) ColKind { return b.cols.cols[c].Kind }
+
+// IsNull reports whether batch-local row i of column c is NULL.
+func (b Batch) IsNull(c, i int) bool { return b.cols.cols[c].IsNull(b.start + i) }
+
+// HasNulls reports whether column c has any NULL anywhere in the
+// relation (not just this batch) — the cheap guard batch loops use to
+// skip null handling entirely on dense columns.
+func (b Batch) HasNulls(c int) bool { return b.cols.cols[c].Nulls != nil }
+
+// Value materializes batch-local row i of column c. Generic and slow;
+// batch loops use the typed vectors below.
+func (b Batch) Value(c, i int) Value { return b.cols.cols[c].Value(b.start + i) }
+
+// Bools returns column c's payload window when it is a bool vector, else
+// nil. Rows flagged NULL hold false.
+func (b Batch) Bools(c int) []bool {
+	col := &b.cols.cols[c]
+	if col.Kind != ColBool {
+		return nil
+	}
+	return col.Bools[b.start : b.start+b.n]
+}
+
+// Ints returns column c's payload window when it is an int64 vector, else
+// nil. Rows flagged NULL hold 0.
+func (b Batch) Ints(c int) []int64 {
+	col := &b.cols.cols[c]
+	if col.Kind != ColInt {
+		return nil
+	}
+	return col.Ints[b.start : b.start+b.n]
+}
+
+// Floats returns column c's payload window when it is a float64 vector,
+// else nil. Rows flagged NULL hold 0.
+func (b Batch) Floats(c int) []float64 {
+	col := &b.cols.cols[c]
+	if col.Kind != ColFloat {
+		return nil
+	}
+	return col.Floats[b.start : b.start+b.n]
+}
+
+// Codes returns column c's dictionary-code window when it is a
+// dictionary-encoded string vector, else nil. Decode codes with Dict.
+// Rows flagged NULL hold code 0.
+func (b Batch) Codes(c int) []int32 {
+	col := &b.cols.cols[c]
+	if col.Kind != ColString {
+		return nil
+	}
+	return col.Codes[b.start : b.start+b.n]
+}
+
+// Dict returns column c's string dictionary, or nil for non-string
+// layouts.
+func (b Batch) Dict(c int) *Dict { return b.cols.cols[c].Dict }
+
+// numBatches returns the batch count covering n rows.
+func numBatches(n int) int { return (n + BatchSize - 1) / BatchSize }
+
+// batches cuts a columnar image into BatchSize windows.
+func (cs *Columns) batches() iter.Seq[Batch] {
+	return func(yield func(Batch) bool) {
+		for start := 0; start < cs.n; start += BatchSize {
+			n := cs.n - start
+			if n > BatchSize {
+				n = BatchSize
+			}
+			if !yield(Batch{cols: cs, start: start, n: n}) {
+				return
+			}
+		}
+	}
+}
+
+// Batches returns an iterator over the relation's columnar image in
+// BatchSize windows — the column-major counterpart of All. The first call
+// (per mutation epoch) vectorizes the relation; subsequent calls reuse
+// the cached image. The relation must not be mutated while iterating.
+func (r *Relation) Batches() iter.Seq[Batch] {
+	return r.Columns().batches()
+}

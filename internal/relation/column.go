@@ -1,0 +1,637 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// This file implements the columnar image of a relation: one typed vector
+// per attribute, with dictionary-encoded strings and a null bitmap per
+// column. The image is derived — built lazily from the row storage,
+// cached on the relation like the hash indexes, and dropped on mutation —
+// so the row-major API (the algebra's correctness substrate) and the
+// column-major API (the batch operators and the facade's Rows cursor)
+// always describe the same tuple set.
+
+// ColKind is the physical type of a column vector.
+type ColKind uint8
+
+// The physical column layouts. ColAny is the row-value fallback used when
+// a column mixes kinds (beyond NULL) or its string dictionary overflows.
+const (
+	ColAny ColKind = iota
+	ColBool
+	ColInt
+	ColFloat
+	ColString
+)
+
+// String names the column kind for diagnostics.
+func (k ColKind) String() string {
+	switch k {
+	case ColAny:
+		return "any"
+	case ColBool:
+		return "bool"
+	case ColInt:
+		return "int"
+	case ColFloat:
+		return "float"
+	case ColString:
+		return "string"
+	default:
+		return fmt.Sprintf("colkind(%d)", uint8(k))
+	}
+}
+
+// Bitmap is a fixed-size bit set; bit i marks row i (here: NULL rows).
+type Bitmap []uint64
+
+// NewBitmap returns a bitmap able to hold n bits, all clear.
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
+
+// Get reports bit i.
+func (b Bitmap) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Any reports whether any bit is set; a nil bitmap has none.
+func (b Bitmap) Any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// defaultDictCapacity bounds the per-column string dictionary. Columns
+// whose distinct-string count exceeds it fall back to the ColAny layout.
+const defaultDictCapacity = 1 << 16
+
+// dictCapacity is the active bound; tests shrink it to exercise overflow.
+var dictCapacity atomic.Int64
+
+func init() { dictCapacity.Store(defaultDictCapacity) }
+
+// SetDictCapacity overrides the per-column dictionary capacity and
+// returns the previous value. It exists for tests that force dictionary
+// overflow on small data; production code leaves the default.
+func SetDictCapacity(n int) int {
+	return int(dictCapacity.Swap(int64(n)))
+}
+
+// Dict is a string dictionary: code i decodes to Values()[i].
+type Dict struct {
+	vals  []string
+	index map[string]int32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict { return &Dict{index: make(map[string]int32)} }
+
+// Add returns the code for s, interning it if new.
+func (d *Dict) Add(s string) int32 {
+	if c, ok := d.index[s]; ok {
+		return c
+	}
+	c := int32(len(d.vals))
+	d.vals = append(d.vals, s)
+	d.index[s] = c
+	return c
+}
+
+// Code returns the code for s and whether it is interned.
+func (d *Dict) Code(s string) (int32, bool) {
+	c, ok := d.index[s]
+	return c, ok
+}
+
+// Len returns the number of interned strings.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// Value decodes a code.
+func (d *Dict) Value(c int32) string { return d.vals[c] }
+
+// Column is one attribute's vector. Exactly one payload slice is
+// populated, selected by Kind; Nulls (which may be nil when no row is
+// NULL) marks rows whose logical value is NULL regardless of the payload
+// slot, which holds the zero value there.
+type Column struct {
+	Kind   ColKind
+	Nulls  Bitmap
+	Bools  []bool
+	Ints   []int64
+	Floats []float64
+	Codes  []int32 // dictionary codes, paired with Dict
+	Dict   *Dict
+	Any    []Value // fallback layout: the values verbatim
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case ColBool:
+		return len(c.Bools)
+	case ColInt:
+		return len(c.Ints)
+	case ColFloat:
+		return len(c.Floats)
+	case ColString:
+		return len(c.Codes)
+	default:
+		return len(c.Any)
+	}
+}
+
+// IsNull reports whether row i is NULL.
+func (c *Column) IsNull(i int) bool { return c.Nulls != nil && c.Nulls.Get(i) }
+
+// Value materializes row i as a Value. It is the slow generic accessor;
+// batch loops read the typed payload slices directly.
+func (c *Column) Value(i int) Value {
+	if c.IsNull(i) {
+		return Null()
+	}
+	switch c.Kind {
+	case ColBool:
+		return Bool(c.Bools[i])
+	case ColInt:
+		return Int(c.Ints[i])
+	case ColFloat:
+		return Float(c.Floats[i])
+	case ColString:
+		return String_(c.Dict.Value(c.Codes[i]))
+	default:
+		return c.Any[i]
+	}
+}
+
+// Columns is the columnar image of a relation: column vectors aligned
+// with the relation's attribute order, all of equal length. It is
+// immutable once built.
+type Columns struct {
+	attrs []string
+	n     int
+	cols  []Column
+}
+
+// Attrs returns the attribute names in column order (shared; read-only).
+func (cs *Columns) Attrs() []string { return cs.attrs }
+
+// Len returns the number of rows.
+func (cs *Columns) Len() int { return cs.n }
+
+// Col returns column i. The returned pointer aliases the image; callers
+// must not modify it.
+func (cs *Columns) Col(i int) *Column { return &cs.cols[i] }
+
+// buildColumn vectorizes one attribute from row storage. It picks the
+// narrowest layout that represents every value exactly: a uniform
+// non-null kind gets its typed vector (strings subject to the dictionary
+// capacity); anything mixed falls back to ColAny so the columnar image is
+// always value-exact, never lossy.
+func buildColumn(rows []Tuple, p int, dictCap int) Column {
+	n := len(rows)
+	kind := KindNull
+	uniform := true
+	for _, t := range rows {
+		k := t[p].Kind()
+		if k == KindNull {
+			continue
+		}
+		if kind == KindNull {
+			kind = k
+		} else if k != kind {
+			uniform = false
+			break
+		}
+	}
+	fallback := func() Column {
+		c := Column{Kind: ColAny, Any: make([]Value, n)}
+		for i, t := range rows {
+			c.Any[i] = t[p]
+			if t[p].IsNull() {
+				if c.Nulls == nil {
+					c.Nulls = NewBitmap(n)
+				}
+				c.Nulls.Set(i)
+			}
+		}
+		return c
+	}
+	if !uniform {
+		return fallback()
+	}
+	var c Column
+	setNull := func(i int) {
+		if c.Nulls == nil {
+			c.Nulls = NewBitmap(n)
+		}
+		c.Nulls.Set(i)
+	}
+	switch kind {
+	case KindNull: // all-NULL column
+		c = fallback()
+	case KindBool:
+		c = Column{Kind: ColBool, Bools: make([]bool, n)}
+		for i, t := range rows {
+			if t[p].IsNull() {
+				setNull(i)
+			} else {
+				c.Bools[i] = t[p].AsBool()
+			}
+		}
+	case KindInt:
+		c = Column{Kind: ColInt, Ints: make([]int64, n)}
+		for i, t := range rows {
+			if t[p].IsNull() {
+				setNull(i)
+			} else {
+				c.Ints[i] = t[p].AsInt()
+			}
+		}
+	case KindFloat:
+		c = Column{Kind: ColFloat, Floats: make([]float64, n)}
+		for i, t := range rows {
+			if t[p].IsNull() {
+				setNull(i)
+			} else {
+				c.Floats[i] = t[p].AsFloat()
+			}
+		}
+	case KindString:
+		c = Column{Kind: ColString, Codes: make([]int32, n), Dict: NewDict()}
+		for i, t := range rows {
+			if t[p].IsNull() {
+				setNull(i)
+				continue
+			}
+			s := t[p].AsString()
+			if _, ok := c.Dict.Code(s); !ok && c.Dict.Len() >= dictCap {
+				return fallback() // dictionary overflow
+			}
+			c.Codes[i] = c.Dict.Add(s)
+		}
+	}
+	return c
+}
+
+// buildColumns vectorizes every attribute of the relation.
+func buildColumns(r *Relation) *Columns {
+	cap := int(dictCapacity.Load())
+	cs := &Columns{attrs: r.attrs, n: len(r.rows), cols: make([]Column, len(r.attrs))}
+	for p := range r.attrs {
+		cs.cols[p] = buildColumn(r.rows, p, cap)
+	}
+	return cs
+}
+
+// Columns returns the relation's cached columnar image, building it on
+// first use. Like index builds, concurrent readers may trigger the build;
+// the cache is internally locked. Mutation drops the image.
+func (r *Relation) Columns() *Columns {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cols == nil {
+		r.cols = buildColumns(r)
+	}
+	return r.cols
+}
+
+// ColumnsBuilt reports whether the columnar image is currently cached,
+// for tests asserting the invalidate-on-mutation lifecycle.
+func (r *Relation) ColumnsBuilt() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cols != nil
+}
+
+// --- column codec -----------------------------------------------------
+//
+// A compact self-describing binary encoding of one column, used by the
+// snapshot/journal layers to persist columnar images and fuzzed for
+// robustness (FuzzColumnCodec). Layout (all integers little-endian):
+//
+//	u8  kind
+//	u32 row count n
+//	u8  hasNulls; if 1: ceil(n/64) × u64 bitmap words
+//	payload per kind:
+//	  bool:   ceil(n/8) × u8 packed bits
+//	  int:    n × u64 (two's complement)
+//	  float:  n × u64 (IEEE-754 bits)
+//	  string: u32 dict size m; m × (u32 len + bytes); n × u32 codes
+//	  any:    n × (u8 value kind + payload as above, scalar)
+
+// EncodeColumn serializes the column.
+func EncodeColumn(c *Column) []byte {
+	n := c.Len()
+	buf := make([]byte, 0, 16+8*n)
+	buf = append(buf, byte(c.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	if c.Nulls.Any() {
+		buf = append(buf, 1)
+		for i := 0; i < (n+63)/64; i++ {
+			buf = binary.LittleEndian.AppendUint64(buf, c.Nulls[i])
+		}
+	} else {
+		buf = append(buf, 0)
+	}
+	switch c.Kind {
+	case ColBool:
+		var w byte
+		for i, b := range c.Bools {
+			if b {
+				w |= 1 << (uint(i) & 7)
+			}
+			if i&7 == 7 {
+				buf = append(buf, w)
+				w = 0
+			}
+		}
+		if n&7 != 0 {
+			buf = append(buf, w)
+		}
+	case ColInt:
+		for _, v := range c.Ints {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+		}
+	case ColFloat:
+		for _, v := range c.Floats {
+			buf = binary.LittleEndian.AppendUint64(buf, floatBits(v))
+		}
+	case ColString:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Dict.Len()))
+		for _, s := range c.Dict.vals {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		}
+		for _, code := range c.Codes {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(code))
+		}
+	default:
+		for _, v := range c.Any {
+			buf = appendValue(buf, v)
+		}
+	}
+	return buf
+}
+
+func floatBits(f float64) uint64 {
+	// Canonical bits keep encode(decode(x)) byte-stable under fuzzing
+	// (any NaN payload re-encodes identically).
+	return canonicalFloatBits(f)
+}
+
+func appendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.Kind()))
+	switch v.Kind() {
+	case KindNull:
+	case KindBool:
+		if v.AsBool() {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case KindInt:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.AsInt()))
+	case KindFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, floatBits(v.AsFloat()))
+	case KindString:
+		s := v.AsString()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+// colDecoder walks the encoded bytes with bounds checking.
+type colDecoder struct {
+	b   []byte
+	off int
+}
+
+func (d *colDecoder) u8() (byte, error) {
+	if d.off >= len(d.b) {
+		return 0, fmt.Errorf("relation: column codec: truncated at byte %d", d.off)
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *colDecoder) u32() (uint32, error) {
+	if d.off+4 > len(d.b) {
+		return 0, fmt.Errorf("relation: column codec: truncated at byte %d", d.off)
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *colDecoder) u64() (uint64, error) {
+	if d.off+8 > len(d.b) {
+		return 0, fmt.Errorf("relation: column codec: truncated at byte %d", d.off)
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *colDecoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.b) {
+		return nil, fmt.Errorf("relation: column codec: truncated at byte %d", d.off)
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v, nil
+}
+
+// DecodeColumn parses an encoded column, validating every length and
+// dictionary code; malformed input yields an error, never a panic.
+func DecodeColumn(data []byte) (*Column, error) {
+	d := &colDecoder{b: data}
+	kb, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	kind := ColKind(kb)
+	if kind > ColString {
+		return nil, fmt.Errorf("relation: column codec: unknown kind %d", kb)
+	}
+	n32, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	const maxRows = 1 << 26 // 64Mi rows: sanity bound against hostile lengths
+	n := int(n32)
+	if n > maxRows {
+		return nil, fmt.Errorf("relation: column codec: row count %d exceeds bound", n)
+	}
+	c := &Column{Kind: kind}
+	hasNulls, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if hasNulls == 1 {
+		c.Nulls = NewBitmap(n)
+		for i := range c.Nulls {
+			if c.Nulls[i], err = d.u64(); err != nil {
+				return nil, err
+			}
+		}
+	} else if hasNulls != 0 {
+		return nil, fmt.Errorf("relation: column codec: bad null marker %d", hasNulls)
+	}
+	// Every layout has a fixed minimum payload cost per row; reject counts
+	// the remaining input cannot possibly back before allocating slices
+	// sized by them (a 4-byte count in an 8-byte input must not reserve
+	// gigabytes).
+	minBytes := n // ColAny: at least a kind byte per value
+	switch kind {
+	case ColBool:
+		minBytes = (n + 7) / 8
+	case ColInt, ColFloat:
+		minBytes = 8 * n
+	case ColString:
+		minBytes = 4 + 4*n
+	}
+	if rem := len(data) - d.off; minBytes > rem {
+		return nil, fmt.Errorf("relation: column codec: row count %d needs %d bytes, %d remain", n, minBytes, rem)
+	}
+	switch kind {
+	case ColBool:
+		packed, err := d.bytes((n + 7) / 8)
+		if err != nil {
+			return nil, err
+		}
+		c.Bools = make([]bool, n)
+		for i := range c.Bools {
+			c.Bools[i] = packed[i>>3]&(1<<(uint(i)&7)) != 0
+		}
+	case ColInt:
+		c.Ints = make([]int64, n)
+		for i := range c.Ints {
+			u, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			c.Ints[i] = int64(u)
+		}
+	case ColFloat:
+		c.Floats = make([]float64, n)
+		for i := range c.Floats {
+			u, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			c.Floats[i] = floatFromBits(u)
+		}
+	case ColString:
+		m32, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		m := int(m32)
+		if m > len(data) { // each entry costs ≥ 4 bytes; cheap hostile-length guard
+			return nil, fmt.Errorf("relation: column codec: dictionary size %d exceeds input", m)
+		}
+		c.Dict = NewDict()
+		for i := 0; i < m; i++ {
+			l, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			sb, err := d.bytes(int(l))
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := c.Dict.Code(string(sb)); dup {
+				return nil, fmt.Errorf("relation: column codec: duplicate dictionary entry %q", sb)
+			}
+			c.Dict.Add(string(sb))
+		}
+		c.Codes = make([]int32, n)
+		for i := range c.Codes {
+			code, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			if !c.IsNull(i) && int(code) >= m {
+				return nil, fmt.Errorf("relation: column codec: code %d out of dictionary range %d", code, m)
+			}
+			if int(code) >= m {
+				code = 0 // NULL rows carry a zero payload
+			}
+			c.Codes[i] = int32(code)
+		}
+	default: // ColAny
+		c.Any = make([]Value, n)
+		for i := range c.Any {
+			v, err := decodeValue(d)
+			if err != nil {
+				return nil, err
+			}
+			c.Any[i] = v
+			if v.IsNull() && !c.IsNull(i) {
+				if c.Nulls == nil {
+					c.Nulls = NewBitmap(n)
+				}
+				c.Nulls.Set(i)
+			}
+		}
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("relation: column codec: %d trailing bytes", len(data)-d.off)
+	}
+	return c, nil
+}
+
+func floatFromBits(u uint64) float64 { return math.Float64frombits(u) }
+
+func decodeValue(d *colDecoder) (Value, error) {
+	kb, err := d.u8()
+	if err != nil {
+		return Value{}, err
+	}
+	switch Kind(kb) {
+	case KindNull:
+		return Null(), nil
+	case KindBool:
+		b, err := d.u8()
+		if err != nil {
+			return Value{}, err
+		}
+		if b > 1 {
+			return Value{}, fmt.Errorf("relation: column codec: bad bool byte %d", b)
+		}
+		return Bool(b == 1), nil
+	case KindInt:
+		u, err := d.u64()
+		if err != nil {
+			return Value{}, err
+		}
+		return Int(int64(u)), nil
+	case KindFloat:
+		u, err := d.u64()
+		if err != nil {
+			return Value{}, err
+		}
+		return Float(floatFromBits(u)), nil
+	case KindString:
+		l, err := d.u32()
+		if err != nil {
+			return Value{}, err
+		}
+		sb, err := d.bytes(int(l))
+		if err != nil {
+			return Value{}, err
+		}
+		return String_(string(sb)), nil
+	default:
+		return Value{}, fmt.Errorf("relation: column codec: unknown value kind %d", kb)
+	}
+}

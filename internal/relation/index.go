@@ -6,52 +6,145 @@ import (
 )
 
 // Index is a hash index over a subset of a relation's attributes: it maps
-// the injective key encoding of the indexed columns to the positions of
-// the matching rows. Indexes are built lazily by the join operators, are
-// cached on the owning relation keyed by the (sorted) attribute set, and
-// are dropped wholesale on any mutation; a handle obtained before a
-// mutation must not be used afterwards.
+// the 64-bit hash of the indexed columns to the positions of the candidate
+// rows. Buckets are collision lists — two distinct key values may share a
+// hash — so every probe re-verifies the actual key columns with
+// Value.Equal before treating a row as a match. Indexes are built lazily
+// by the join operators, are cached on the owning relation keyed by the
+// (sorted) attribute set, and are dropped wholesale on any mutation; a
+// handle obtained before a mutation must not be used afterwards.
 type Index struct {
-	owner     *Relation
-	attrs     []string // indexed attributes, sorted
-	pos       []int    // column positions of attrs in the owning relation
-	buckets   map[string][]int
-	maxBucket int
+	owner *Relation
+	attrs []string // indexed attributes, sorted
+	pos   []int    // column positions of attrs in the owning relation
+
+	// The bucket structure is an open-addressed table of chain heads plus
+	// a per-row link array — three flat allocations total, regardless of
+	// how many distinct keys the index holds. A map of bucket slices here
+	// costs one allocation per distinct key, which made the index build
+	// (paid on every refresh, since mutations drop the cache) the single
+	// largest cost of restricted maintenance.
+	slots   []int32  // 0 empty, else head row of a hash chain, +1
+	next    []int32  // next[i]: next row with i's key hash, -1 ends the chain
+	keyHash []uint64 // per-row hash of the indexed columns
+	keys    int      // number of distinct key hashes
+
+	// keyVals, when present, holds row i's key values flat at
+	// [i*k, (i+1)*k), k = len(pos). Hit verification then reads this
+	// contiguous arena instead of chasing the owner's scattered per-row
+	// tuple arrays — the hit path's dominant cost is that cache miss, not
+	// the comparison. The arena costs an O(rows) allocation and copy, so
+	// it is only materialized when the build-time probe-size hint says
+	// enough probes will amortize it; small-delta probes (the restricted
+	// maintenance shape) verify against the owner rows directly.
+	keyVals []Value
+}
+
+// head returns the first owner row whose indexed columns hash to h, or -1.
+// Further rows of the same hash chain follow via next. Linear probing:
+// distinct hashes landing on one slot spill to the following slots, so a
+// probe walks until it finds its hash's chain or an empty slot.
+func (ix *Index) head(h uint64) int32 {
+	mask := uint64(len(ix.slots) - 1)
+	for s := h & mask; ; s = (s + 1) & mask {
+		v := ix.slots[s]
+		if v == 0 {
+			return -1
+		}
+		if ri := v - 1; ix.keyHash[ri] == h {
+			return ri
+		}
+	}
 }
 
 // Attrs returns the indexed attribute names in sorted order. The caller
 // must not modify the returned slice.
 func (ix *Index) Attrs() []string { return ix.attrs }
 
-// Keys returns the number of distinct values the index discriminates.
-func (ix *Index) Keys() int { return len(ix.buckets) }
+// Keys returns the number of distinct key hashes the index discriminates.
+// Hash collisions make this a lower bound on the number of distinct key
+// values; it is used only as a cardinality estimate.
+func (ix *Index) Keys() int { return ix.keys }
 
 // Unique reports whether the indexed attributes form a key of the owning
-// relation (every bucket holds at most one row).
-func (ix *Index) Unique() bool { return ix.maxBucket <= 1 }
+// relation (no two rows agree on all indexed columns).
+func (ix *Index) Unique() bool {
+	_, _, dup := ix.dupPair()
+	return !dup
+}
+
+// dupPair returns some pair of owner rows that agree on every indexed
+// column, if one exists. A multi-row chain alone does not produce a pair —
+// it may be a hash collision between distinct keys — so chains are
+// re-verified column by column.
+func (ix *Index) dupPair() (int32, int32, bool) {
+	if ix.keys == len(ix.next) { // every chain is a singleton
+		return 0, 0, false
+	}
+	for _, v := range ix.slots {
+		for a := v - 1; a >= 0; a = ix.next[a] {
+			for b := ix.next[a]; b >= 0; b = ix.next[b] {
+				if ix.rowsAgreeOnKey(a, b) {
+					return a, b, true
+				}
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// rowsAgreeOnKey reports whether two owner rows hold equal values in every
+// indexed column.
+func (ix *Index) rowsAgreeOnKey(a, b int32) bool {
+	ta, tb := ix.owner.rows[a], ix.owner.rows[b]
+	for _, p := range ix.pos {
+		if !ta[p].Equal(tb[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+// keyEqual reports whether owner row ri agrees, on the indexed columns,
+// with tuple t read at positions tPos (the probe-side column positions in
+// the same sorted attribute order as ix.pos). Chains group rows by their
+// full 64-bit key hash, so this verification runs only against rows whose
+// key hash already equals the probe's — it is the collision insurance, not
+// the discriminator.
+func (ix *Index) keyEqual(ri int32, t Tuple, tPos []int) bool {
+	if ix.keyVals != nil {
+		kv := ix.keyVals[int(ri)*len(ix.pos):]
+		for i := range ix.pos {
+			if !kv[i].Equal(t[tPos[i]]) {
+				return false
+			}
+		}
+		return true
+	}
+	rt := ix.owner.rows[ri]
+	for i, p := range ix.pos {
+		if !rt[p].Equal(t[tPos[i]]) {
+			return false
+		}
+	}
+	return true
+}
 
 // Lookup returns copies of the rows whose indexed columns equal vals,
 // given in the index's (sorted) attribute order.
 func (ix *Index) Lookup(vals ...Value) []Tuple {
-	k := Tuple(vals).key()
-	rows := ix.buckets[k]
-	out := make([]Tuple, len(rows))
-	for i, ri := range rows {
-		out[i] = ix.owner.rows[ri].Clone()
+	t := Tuple(vals)
+	identity := make([]int, len(vals))
+	for i := range identity {
+		identity[i] = i
+	}
+	var out []Tuple
+	for ri := ix.head(t.hash64()); ri >= 0; ri = ix.next[ri] {
+		if ix.keyEqual(ri, t, identity) {
+			out = append(out, ix.owner.rows[ri].Clone())
+		}
 	}
 	return out
-}
-
-// encodeKey builds the injective join-key encoding of the given columns
-// of t; it matches Tuple.key for the same values in the same order, so
-// index buckets and tuple-set membership agree.
-func encodeKey(t Tuple, pos []int) string {
-	var b strings.Builder
-	for _, p := range pos {
-		t[p].appendKey(&b)
-		b.WriteByte('|')
-	}
-	return b.String()
 }
 
 // indexKey is the cache key for an index over the given sorted attributes.
@@ -72,7 +165,7 @@ func (r *Relation) Index(attrs ...string) (*Index, bool) {
 	}
 	// keep the canonical cache key independent of caller order
 	sort.Strings(sorted)
-	ix, _ := r.indexFor(sorted, indexKey(sorted))
+	ix, _ := r.indexFor(sorted, indexKey(sorted), 0)
 	return ix, true
 }
 
@@ -87,7 +180,10 @@ func (r *Relation) IndexCount() int {
 // indexFor returns the cached index for the given sorted attribute list
 // (all of which must exist in r), building it if absent. It reports
 // whether a build happened, so operators can count cache misses.
-func (r *Relation) indexFor(sortedAttrs []string, key string) (*Index, bool) {
+// probeHint is the number of probes the caller is about to issue; a build
+// materializes the keyVals arena only when that many probes amortize its
+// O(rows) cost.
+func (r *Relation) indexFor(sortedAttrs []string, key string, probeHint int) (*Index, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if ix := r.indexes[key]; ix != nil {
@@ -97,25 +193,157 @@ func (r *Relation) indexFor(sortedAttrs []string, key string) (*Index, bool) {
 	for i, a := range sortedAttrs {
 		pos[i] = r.pos[a]
 	}
+	n := len(r.rows)
 	ix := &Index{
 		owner:   r,
 		attrs:   append([]string(nil), sortedAttrs...),
 		pos:     pos,
-		buckets: make(map[string][]int, len(r.rows)),
+		slots:   make([]int32, tableSizeFor(n)),
+		next:    make([]int32, 0, n),
+		keyHash: make([]uint64, 0, n),
 	}
-	for i, t := range r.rows {
-		k := encodeKey(t, pos)
-		b := append(ix.buckets[k], i)
-		ix.buckets[k] = b
-		if len(b) > ix.maxBucket {
-			ix.maxBucket = len(b)
-		}
+	if probeHint*2 >= n {
+		ix.keyVals = make([]Value, 0, n*len(pos))
 	}
+	ix.extend(0)
 	if r.indexes == nil {
 		r.indexes = make(map[string]*Index)
 	}
 	r.indexes[key] = ix
 	return ix, true
+}
+
+// cloneFor returns a copy of the index owned by owner, which must hold
+// the same rows in the same order as the original's owner.
+func (ix *Index) cloneFor(owner *Relation) *Index {
+	c := &Index{
+		owner:   owner,
+		attrs:   ix.attrs,
+		pos:     ix.pos,
+		slots:   append([]int32(nil), ix.slots...),
+		next:    append([]int32(nil), ix.next...),
+		keyHash: append([]uint64(nil), ix.keyHash...),
+		keys:    ix.keys,
+	}
+	if ix.keyVals != nil {
+		c.keyVals = append([]Value(nil), ix.keyVals...)
+	}
+	return c
+}
+
+// put chains owner row i (which must be the next unindexed row) under its
+// key hash h.
+func (ix *Index) put(i int, h uint64) {
+	ix.next = append(ix.next, -1)
+	ix.keyHash = append(ix.keyHash, h)
+	mask := uint64(len(ix.slots) - 1)
+	for s := h & mask; ; s = (s + 1) & mask {
+		v := ix.slots[s]
+		if v == 0 {
+			ix.slots[s] = int32(i) + 1
+			ix.keys++
+			return
+		}
+		if j := v - 1; ix.keyHash[j] == h {
+			// Same key hash: prepend to the chain this slot heads.
+			ix.next[i] = j
+			ix.slots[s] = int32(i) + 1
+			return
+		}
+	}
+}
+
+// rebuildSlots re-derives the slot table for the rows already indexed,
+// sized for capacity rows.
+func (ix *Index) rebuildSlots(capacity int) {
+	ix.slots = make([]int32, tableSizeFor(capacity))
+	ix.keys = 0
+	mask := uint64(len(ix.slots) - 1)
+	for i, h := range ix.keyHash {
+		ix.next[i] = -1
+		for s := h & mask; ; s = (s + 1) & mask {
+			v := ix.slots[s]
+			if v == 0 {
+				ix.slots[s] = int32(i) + 1
+				ix.keys++
+				break
+			}
+			if j := v - 1; ix.keyHash[j] == h {
+				ix.next[i] = j
+				ix.slots[s] = int32(i) + 1
+				break
+			}
+		}
+	}
+}
+
+// extend indexes the owner rows from position from onward — the initial
+// build (from 0) and the incremental append paths share it. Insertions
+// keep cached indexes alive: a refresh applies small deltas to large
+// stored relations, and rebuilding every index from scratch per update
+// was the dominant cost of restricted maintenance.
+func (ix *Index) extend(from int) {
+	r := ix.owner
+	n := len(r.rows)
+	if n*3 > len(ix.slots)*2 {
+		ix.rebuildSlots(2 * n)
+	}
+	fullWidth := len(ix.pos) == len(r.attrs)
+	for i := from; i < n; i++ {
+		t := r.rows[i]
+		if ix.keyVals != nil {
+			for _, p := range ix.pos {
+				ix.keyVals = append(ix.keyVals, t[p])
+			}
+		}
+		// Full-width indexes hash the same columns as the membership
+		// table; reuse the stored row hashes instead of re-hashing.
+		if fullWidth {
+			ix.put(i, r.hashes[i])
+		} else {
+			ix.put(i, hashCols(t, ix.pos))
+		}
+	}
+}
+
+// keyVec is a cached vector of per-row hashes over an attribute subset —
+// the probe-side complement of an Index: joins and semijoins re-probe the
+// same relations with the same shared attributes across calls (and across
+// refreshes, on stored relations), and re-hashing the key columns row by
+// row was the probe loop's largest fixed cost.
+type keyVec struct {
+	pos    []int
+	hashes []uint64
+}
+
+// keyHashesFor returns the per-row hashes of the given sorted attribute
+// subset (which must all exist in r), building and caching the vector on
+// first use. A full-width subset is answered from the stored tuple hashes
+// (tuple hashes are column-order independent). The build costs exactly
+// the hashing pass a caller would otherwise run inline, so cold callers
+// lose nothing. The cache is internally locked, like the index cache.
+func (r *Relation) keyHashesFor(sortedAttrs []string, key string) []uint64 {
+	if len(sortedAttrs) == len(r.attrs) {
+		return r.hashes
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if kv := r.keyVecs[key]; kv != nil {
+		return kv.hashes
+	}
+	pos := make([]int, len(sortedAttrs))
+	for i, a := range sortedAttrs {
+		pos[i] = r.pos[a]
+	}
+	kv := &keyVec{pos: pos, hashes: make([]uint64, len(r.rows))}
+	for i, t := range r.rows {
+		kv.hashes[i] = hashCols(t, pos)
+	}
+	if r.keyVecs == nil {
+		r.keyVecs = make(map[string]*keyVec)
+	}
+	r.keyVecs[key] = kv
+	return kv.hashes
 }
 
 // peekIndex returns the cached index for key without building one.
@@ -125,12 +353,33 @@ func (r *Relation) peekIndex(key string) *Index {
 	return r.indexes[key]
 }
 
-// invalidateIndexes drops all cached indexes. Called on mutation, which
-// (as everywhere in this package) requires the caller to have exclusive
-// access to the relation.
-func (r *Relation) invalidateIndexes() {
+// invalidateDerived drops all cached derived structures — hash indexes
+// and column vectors. Called on deletion, which (as everywhere in this
+// package) requires the caller to have exclusive access to the relation.
+// Deletes swap rows around, so row positions baked into an index go
+// stale; insertions only append and go through noteInserted instead.
+func (r *Relation) invalidateDerived() {
 	if r.indexes != nil {
 		r.indexes = nil
+	}
+	r.keyVecs = nil
+	r.cols = nil
+}
+
+// noteInserted accounts for rows appended at positions [from, len(rows)):
+// cached hash indexes are extended in place rather than dropped, so the
+// indexes on a stored relation survive the insert-heavy refresh cycle.
+// The columnar image is still dropped — batch operators rebuild it
+// lazily. Like all mutation paths, this requires exclusive access.
+func (r *Relation) noteInserted(from int) {
+	r.cols = nil
+	for _, ix := range r.indexes {
+		ix.extend(from)
+	}
+	for _, kv := range r.keyVecs {
+		for i := from; i < len(r.rows); i++ {
+			kv.hashes = append(kv.hashes, hashCols(r.rows[i], kv.pos))
+		}
 	}
 }
 
@@ -143,6 +392,7 @@ type OpStats struct {
 	Emitted     int64 // tuples produced (before set-semantics dedup)
 	IndexHits   int64 // probes that found at least one matching row
 	IndexBuilds int64 // hash indexes built (index-cache misses)
+	Batches     int64 // column batches processed by vectorized operators
 }
 
 // Add accumulates o into s. Both receivers of nil and adding zero are
@@ -156,6 +406,7 @@ func (s *OpStats) Add(o OpStats) {
 	s.Emitted += o.Emitted
 	s.IndexHits += o.IndexHits
 	s.IndexBuilds += o.IndexBuilds
+	s.Batches += o.Batches
 }
 
 func (s *OpStats) scanned(n int) {
@@ -174,6 +425,14 @@ func (s *OpStats) probe(hit bool) {
 	}
 }
 
+// probes adds n probes of which hits found at least one candidate row.
+func (s *OpStats) probes(n, hits int) {
+	if s != nil {
+		s.Probed += int64(n)
+		s.IndexHits += int64(hits)
+	}
+}
+
 func (s *OpStats) emitted(n int) {
 	if s != nil {
 		s.Emitted += int64(n)
@@ -183,5 +442,11 @@ func (s *OpStats) emitted(n int) {
 func (s *OpStats) built(b bool) {
 	if s != nil && b {
 		s.IndexBuilds++
+	}
+}
+
+func (s *OpStats) batches(n int) {
+	if s != nil {
+		s.Batches += int64(n)
 	}
 }

@@ -4,6 +4,20 @@ import (
 	"fmt"
 )
 
+// The operators in this file are batch-oriented: inputs are walked in
+// BatchSize chunks (counted in OpStats.Batches), membership and join
+// probes run on precomputed 64-bit row hashes instead of string key
+// encodings, and outputs are pre-sized. Where the algebra guarantees the
+// emitted tuples are pairwise distinct (selection and semi-join emit
+// subsets of a set; natural/extension join outputs are injective images
+// of distinct row pairs; difference and intersection emit subsets),
+// results are built append-only with reused hashes and a lazily built
+// membership table (appendRowNoTable) — no per-tuple dedup, no table
+// maintenance during the emit loop, and on the probe path no allocation
+// at all for non-matching rows. Only projection and union can collapse
+// tuples and pay for deduplication (and hence probe their own output
+// while building it, which keeps their tables eager).
+
 // Row gives predicate callbacks named access to the current tuple during
 // Select without exposing column positions.
 type Row struct {
@@ -23,14 +37,52 @@ func Select(r *Relation, pred func(Row) bool) *Relation {
 }
 
 // SelectStats is Select with operator counters (nil disables counting).
+// The output shares the input's tuples and row hashes: a selection is a
+// subset of a set, so no dedup and no copies.
 func SelectStats(r *Relation, pred func(Row) bool, s *OpStats) *Relation {
 	out := New(r.attrs...)
-	for _, t := range r.rows {
+	for i, t := range r.rows {
 		if pred(Row{rel: r, t: t}) {
-			out.Insert(t)
+			out.appendRowNoTable(t, r.hashes[i])
 		}
 	}
 	s.scanned(r.Len())
+	s.batches(numBatches(r.Len()))
+	s.emitted(out.Len())
+	return out
+}
+
+// BatchPred is a vectorized predicate: it appends to sel the batch-local
+// indexes of the rows of b that satisfy the predicate and returns the
+// extended slice. Implementations must not retain b or sel.
+type BatchPred func(b Batch, sel []int32) []int32
+
+// SelectBatch returns σ_pred(r) for a vectorized predicate.
+func SelectBatch(r *Relation, pred BatchPred) *Relation {
+	return SelectBatchStats(r, pred, nil)
+}
+
+// SelectBatchStats is the vectorized selection: the predicate runs once
+// per BatchSize window over the relation's columnar image, producing a
+// selection vector; selected rows are emitted append-only with shared
+// tuples and reused hashes.
+func SelectBatchStats(r *Relation, pred BatchPred, s *OpStats) *Relation {
+	out := New(r.attrs...)
+	if r.IsEmpty() {
+		return out
+	}
+	sel := make([]int32, 0, BatchSize)
+	nb := 0
+	for b := range r.Batches() {
+		sel = pred(b, sel[:0])
+		for _, li := range sel {
+			i := b.Start() + int(li)
+			out.appendRowNoTable(r.rows[i], r.hashes[i])
+		}
+		nb++
+	}
+	s.scanned(r.Len())
+	s.batches(nb)
 	s.emitted(out.Len())
 	return out
 }
@@ -45,24 +97,31 @@ func Project(r *Relation, attrs ...string) *Relation {
 }
 
 // ProjectStats is Project with operator counters (nil disables counting).
+// Projection genuinely collapses tuples, so it is the one unary operator
+// that pays for dedup — on column hashes, not string keys.
 func ProjectStats(r *Relation, s *OpStats, attrs ...string) *Relation {
-	out := New(attrs...)
 	idx := make([]int, len(attrs))
 	for i, a := range attrs {
 		p, ok := r.pos[a]
 		if !ok {
-			return out // Z ⊄ attr(R): empty relation over Z.
+			return New(attrs...) // Z ⊄ attr(R): empty relation over Z.
 		}
 		idx[i] = p
 	}
+	out := newPresized(attrs, r.Len())
 	for _, t := range r.rows {
+		h := hashCols(t, idx)
+		if out.findAligned(h, t, idx) >= 0 {
+			continue
+		}
 		pt := make(Tuple, len(idx))
 		for i, p := range idx {
 			pt[i] = t[p]
 		}
-		out.Insert(pt)
+		out.appendRow(pt, h)
 	}
 	s.scanned(r.Len())
+	s.batches(numBatches(r.Len()))
 	s.emitted(out.Len())
 	return out
 }
@@ -77,8 +136,11 @@ func NaturalJoin(l, r *Relation) *Relation {
 // NaturalJoinStats is NaturalJoin with operator counters. It is a hash
 // join over the shared attributes: it reuses a cached index on either
 // input when one exists, otherwise it builds (and caches) one on the
-// larger input and iterates the smaller, so repeated joins against the
-// same relation amortize the build.
+// larger input and iterates the smaller in batches. Distinct (l,r) row
+// pairs yield distinct outputs, so results are emitted append-only; the
+// output hash is the probe row's stored hash plus the build row's
+// right-only column hash — nothing is re-hashed, and rows that probe
+// empty buckets allocate nothing.
 func NaturalJoinStats(l, r *Relation, s *OpStats) *Relation {
 	shared := l.AttrSet().Intersect(r.AttrSet()).Sorted()
 	rOnly := make([]string, 0, len(r.attrs))
@@ -87,36 +149,57 @@ func NaturalJoinStats(l, r *Relation, s *OpStats) *Relation {
 			rOnly = append(rOnly, a)
 		}
 	}
-	out := New(append(append([]string(nil), l.attrs...), rOnly...)...)
+	outAttrs := append(append([]string(nil), l.attrs...), rOnly...)
 	rOnlyPos := make([]int, len(rOnly))
 	for i, a := range rOnly {
 		rOnlyPos[i] = r.pos[a]
 	}
-	emit := func(lt, rt Tuple) {
-		jt := make(Tuple, 0, out.Arity())
+	// Output tuples are carved out of shared arena chunks, one allocation
+	// per BatchSize rows instead of one per row — the per-row make() was
+	// the join's largest GC cost. Tuples are immutable by package
+	// contract, so aliasing a common backing array is safe.
+	width := len(outAttrs)
+	var arena []Value
+	used := 0
+	emit := func(out *Relation, lt, rt Tuple, h uint64) {
+		if used+width > len(arena) {
+			arena = make([]Value, BatchSize*width)
+			used = 0
+		}
+		jt := Tuple(arena[used : used : used+width])
+		used += width
 		jt = append(jt, lt...)
 		for _, p := range rOnlyPos {
 			jt = append(jt, rt[p])
 		}
-		out.Insert(jt)
+		out.appendRowNoTable(jt, h)
 	}
 
 	if len(shared) == 0 { // Cartesian product: no key to hash on.
+		out := newPresized(outAttrs, l.Len()*r.Len())
 		s.scanned(l.Len() + r.Len())
-		for _, lt := range l.rows {
-			for _, rt := range r.rows {
-				emit(lt, rt)
+		rOnlyHash := make([]uint64, len(r.rows))
+		for ri, rt := range r.rows {
+			rOnlyHash[ri] = hashCols(rt, rOnlyPos)
+		}
+		for li, lt := range l.rows {
+			for ri, rt := range r.rows {
+				emit(out, lt, rt, l.hashes[li]+rOnlyHash[ri])
 			}
 		}
 		s.emitted(out.Len())
 		return out
 	}
+	out := newPresized(outAttrs, min(l.Len(), r.Len()))
 	if l.IsEmpty() || r.IsEmpty() {
 		return out
 	}
 
 	// Pick the build side: an already-cached index wins outright;
 	// otherwise index the larger side so the scan runs over the smaller.
+	// Restricted maintenance joins the same stored relation several times
+	// per refresh, so the build amortizes within a single refresh even
+	// though mutations drop it between updates.
 	key := indexKey(shared)
 	build, probe := r, l
 	switch {
@@ -126,26 +209,45 @@ func NaturalJoinStats(l, r *Relation, s *OpStats) *Relation {
 	case l.Len() > r.Len():
 		build, probe = l, r
 	}
-	ix, builtNow := build.indexFor(shared, key)
+	ix, builtNow := build.indexFor(shared, key, probe.Len())
 	s.built(builtNow)
 
 	probePos := make([]int, len(shared))
 	for i, a := range shared {
 		probePos[i] = probe.pos[a]
 	}
+	probeKH := probe.keyHashesFor(shared, key)
 	s.scanned(probe.Len())
-	for _, pt := range probe.rows {
-		rows := ix.buckets[encodeKey(pt, probePos)]
-		s.probe(len(rows) > 0)
-		for _, bi := range rows {
-			bt := build.rows[bi]
-			if build == r {
-				emit(pt, bt)
+	s.batches(numBatches(probe.Len()))
+	probed, hits := 0, 0
+	buildIsR := build == r
+	// Output hash: the output tuple is the l row plus the r row's r-only
+	// columns, and for a matching pair the shared columns hold Equal
+	// values (hence equal canonical value hashes). Tuple hashes are sums,
+	// so out = lHash + rHash − sharedHash, where sharedHash is exactly
+	// the probe key hash already computed for the bucket lookup — the
+	// probe path re-hashes nothing and allocates only emitted tuples.
+	for pi, pt := range probe.rows {
+		kh := probeKH[pi]
+		probed++
+		hit := false
+		for bi := ix.head(kh); bi >= 0; bi = ix.next[bi] {
+			if !ix.keyEqual(bi, pt, probePos) {
+				continue // hash collision across distinct keys
+			}
+			hit = true
+			h := probe.hashes[pi] + build.hashes[bi] - kh
+			if buildIsR {
+				emit(out, pt, build.rows[bi], h)
 			} else {
-				emit(bt, pt)
+				emit(out, build.rows[bi], pt, h)
 			}
 		}
+		if hit {
+			hits++
+		}
 	}
+	s.probes(probed, hits)
 	s.emitted(out.Len())
 	return out
 }
@@ -216,15 +318,14 @@ func ExtensionJoinStats(l, r *Relation, rKey AttrSet, s *OpStats) (*Relation, er
 		return nil, fmt.Errorf("relation: extension join: key %v not contained in shared attributes %v", rKey, shared)
 	}
 	keyAttrs := rKey.Sorted()
-	ix, builtNow := r.indexFor(keyAttrs, indexKey(keyAttrs))
+	ix, builtNow := r.indexFor(keyAttrs, indexKey(keyAttrs), l.Len())
 	s.built(builtNow)
-	if !ix.Unique() {
-		for _, rows := range ix.buckets {
-			if len(rows) > 1 {
-				return nil, fmt.Errorf("relation: extension join: %v is not a key of the right input (tuples %v and %v agree on it)",
-					rKey, r.rows[rows[0]], r.rows[rows[1]])
-			}
-		}
+	// A multi-row chain may be a mere hash collision between distinct
+	// keys; uniqueness is violated only by rows agreeing on the actual
+	// key columns.
+	if a, b, dup := ix.dupPair(); dup {
+		return nil, fmt.Errorf("relation: extension join: %v is not a key of the right input (tuples %v and %v agree on it)",
+			rKey, r.rows[b], r.rows[a])
 	}
 
 	lKeyPos := make([]int, len(keyAttrs))
@@ -244,19 +345,28 @@ func ExtensionJoinStats(l, r *Relation, rKey AttrSet, s *OpStats) (*Relation, er
 			rOnly = append(rOnly, a)
 		}
 	}
-	out := New(append(append([]string(nil), l.attrs...), rOnly...)...)
+	outAttrs := append(append([]string(nil), l.attrs...), rOnly...)
+	out := newPresized(outAttrs, l.Len())
 	rOnlyPos := make([]int, len(rOnly))
 	for i, a := range rOnly {
 		rOnlyPos[i] = r.pos[a]
 	}
 	s.scanned(l.Len())
-	for _, lt := range l.rows {
-		rows := ix.buckets[encodeKey(lt, lKeyPos)]
-		s.probe(len(rows) > 0)
-		if len(rows) == 0 {
+	s.batches(numBatches(l.Len()))
+	probed, hits := 0, 0
+	for li, lt := range l.rows {
+		probed++
+		var rt Tuple
+		for bi := ix.head(hashCols(lt, lKeyPos)); bi >= 0; bi = ix.next[bi] {
+			if ix.keyEqual(bi, lt, lKeyPos) {
+				rt = r.rows[bi]
+				break // the key columns are unique: at most one true match
+			}
+		}
+		if rt == nil {
 			continue
 		}
-		rt := r.rows[rows[0]]
+		hits++
 		agree := true
 		for i := range sharedNonKey {
 			if !lt[lNK[i]].Equal(rt[rNK[i]]) {
@@ -267,13 +377,14 @@ func ExtensionJoinStats(l, r *Relation, rKey AttrSet, s *OpStats) (*Relation, er
 		if !agree {
 			continue
 		}
-		jt := make(Tuple, 0, out.Arity())
+		jt := make(Tuple, 0, len(outAttrs))
 		jt = append(jt, lt...)
 		for _, p := range rOnlyPos {
 			jt = append(jt, rt[p])
 		}
-		out.Insert(jt)
+		out.appendRowNoTable(jt, l.hashes[li]+hashCols(rt, rOnlyPos))
 	}
+	s.probes(probed, hits)
 	s.emitted(out.Len())
 	return out, nil
 }
@@ -289,34 +400,41 @@ func SemiJoin(r, probe *Relation) *Relation {
 // SemiJoinStats is SemiJoin with operator counters. When the probe is the
 // smaller side (the common case in restricted evaluation, where a small
 // delta filters a large stored relation), it iterates the probe against a
-// cached index on r instead of scanning all of r.
+// cached index on r instead of scanning all of r. All three strategies
+// emit append-only: the output is a subset of one input's tuple set.
 func SemiJoinStats(r, probe *Relation, s *OpStats) *Relation {
-	out := New(r.attrs...)
 	rPos := make([]int, 0, probe.Arity())
 	for _, a := range probe.attrs {
 		p, ok := r.pos[a]
 		if !ok {
-			return out
+			return New(r.attrs...)
 		}
 		rPos = append(rPos, p)
 	}
 	if r.IsEmpty() || probe.IsEmpty() {
-		return out
+		return New(r.attrs...)
 	}
 
-	// Full-width probe: r's tuple set already answers membership exactly,
-	// so the semi-join costs O(probe) with no index at all. This is the
-	// hot shape of restricted maintenance (deltas probe whole tuples).
+	// Full-width probe: r's membership table already answers exactly, so
+	// the semi-join costs O(probe) with no index at all — one aligned
+	// hash lookup per probe row, reusing the probe's stored row hashes
+	// (tuple hashes are column-order independent). This is the hot shape
+	// of restricted maintenance (deltas probe whole tuples).
 	if len(rPos) == len(r.attrs) {
+		out := newPresized(r.attrs, probe.Len())
 		perm := alignment(probe, r)
 		s.scanned(probe.Len())
-		for _, pt := range probe.rows {
-			hit := r.containsKey(encodeKey(pt, perm))
-			s.probe(hit)
-			if hit {
-				out.Insert(permute(pt, perm))
+		s.batches(numBatches(probe.Len()))
+		probed, hits := 0, 0
+		for pi, pt := range probe.rows {
+			probed++
+			if r.findAligned(probe.hashes[pi], pt, perm) < 0 {
+				continue
 			}
+			hits++
+			out.appendRowNoTable(permute(pt, perm), probe.hashes[pi])
 		}
+		s.probes(probed, hits)
 		s.emitted(out.Len())
 		return out
 	}
@@ -324,32 +442,59 @@ func SemiJoinStats(r, probe *Relation, s *OpStats) *Relation {
 	sortedProbe := probe.AttrSet().Sorted()
 	key := indexKey(sortedProbe)
 	if probe.Len() < r.Len() || r.peekIndex(key) != nil {
-		ix, builtNow := r.indexFor(sortedProbe, key)
+		// Probe-driven: each probe tuple's key value owns a disjoint set
+		// of r rows (the key is probe's whole attribute set), so no r row
+		// is emitted twice.
+		ix, builtNow := r.indexFor(sortedProbe, key, probe.Len())
 		s.built(builtNow)
 		probePos := make([]int, len(sortedProbe))
 		for i, a := range sortedProbe {
 			probePos[i] = probe.pos[a]
 		}
+		// sortedProbe is the probe's whole attribute set, so the probe key
+		// hashes are the probe's stored tuple hashes — nothing to re-hash.
+		probeKH := probe.keyHashesFor(sortedProbe, key)
+		out := newPresized(r.attrs, min(r.Len(), probe.Len()))
 		s.scanned(probe.Len())
-		for _, pt := range probe.rows {
-			rows := ix.buckets[encodeKey(pt, probePos)]
-			s.probe(len(rows) > 0)
-			for _, ri := range rows {
-				out.Insert(r.rows[ri])
+		s.batches(numBatches(probe.Len()))
+		probed, hits := 0, 0
+		for pi, pt := range probe.rows {
+			probed++
+			hit := false
+			for bi := ix.head(probeKH[pi]); bi >= 0; bi = ix.next[bi] {
+				if !ix.keyEqual(bi, pt, probePos) {
+					continue
+				}
+				hit = true
+				out.appendRowNoTable(r.rows[bi], r.hashes[bi])
+			}
+			if hit {
+				hits++
 			}
 		}
+		s.probes(probed, hits)
 		s.emitted(out.Len())
 		return out
 	}
 
+	// Scan-r: membership of each r row's projection in the probe's own
+	// tuple set, again via order-independent hashes. The projection hashes
+	// are served from r's cached key-hash vector, so repeated scans of a
+	// stored relation only pay the table probes.
+	rKH := r.keyHashesFor(sortedProbe, key)
+	out := newPresized(r.attrs, r.Len())
 	s.scanned(r.Len())
-	for _, t := range r.rows {
-		hit := probe.containsKey(encodeKey(t, rPos))
-		s.probe(hit)
-		if hit {
-			out.Insert(t)
+	s.batches(numBatches(r.Len()))
+	probed, hits := 0, 0
+	for i, t := range r.rows {
+		probed++
+		if probe.findAligned(rKH[i], t, rPos) < 0 {
+			continue
 		}
+		hits++
+		out.appendRowNoTable(t, r.hashes[i])
 	}
+	s.probes(probed, hits)
 	s.emitted(out.Len())
 	return out
 }
@@ -369,6 +514,8 @@ func Union(l, r *Relation) (*Relation, error) {
 }
 
 // UnionStats is Union with operator counters (nil disables counting).
+// The clone is shallow (tuples are shared) and the merge reuses r's row
+// hashes; only genuinely new tuples are permuted in.
 func UnionStats(l, r *Relation, s *OpStats) (*Relation, error) {
 	if err := sameAttrsOrErr("union", l, r); err != nil {
 		return nil, err
@@ -385,21 +532,27 @@ func Diff(l, r *Relation) (*Relation, error) {
 	return DiffStats(l, r, nil)
 }
 
-// DiffStats is Diff with operator counters (nil disables counting).
+// DiffStats is Diff with operator counters (nil disables counting): one
+// aligned hash probe of r's membership table per l row, emitting the
+// misses append-only with shared tuples.
 func DiffStats(l, r *Relation, s *OpStats) (*Relation, error) {
 	if err := sameAttrsOrErr("difference", l, r); err != nil {
 		return nil, err
 	}
-	out := New(l.attrs...)
+	out := newPresized(l.attrs, l.Len())
 	perm := alignment(l, r)
 	s.scanned(l.Len())
-	for _, t := range l.rows {
-		hit := r.containsKey(encodeKey(t, perm))
-		s.probe(hit)
-		if !hit {
-			out.Insert(t)
+	s.batches(numBatches(l.Len()))
+	probed, hits := 0, 0
+	for i, t := range l.rows {
+		probed++
+		if r.findAligned(l.hashes[i], t, perm) >= 0 {
+			hits++
+			continue
 		}
+		out.appendRowNoTable(t, l.hashes[i])
 	}
+	s.probes(probed, hits)
 	s.emitted(out.Len())
 	return out, nil
 }
@@ -409,21 +562,26 @@ func Intersect(l, r *Relation) (*Relation, error) {
 	return IntersectStats(l, r, nil)
 }
 
-// IntersectStats is Intersect with operator counters (nil disables counting).
+// IntersectStats is Intersect with operator counters (nil disables
+// counting); the mirror image of DiffStats.
 func IntersectStats(l, r *Relation, s *OpStats) (*Relation, error) {
 	if err := sameAttrsOrErr("intersection", l, r); err != nil {
 		return nil, err
 	}
-	out := New(l.attrs...)
+	out := newPresized(l.attrs, min(l.Len(), r.Len()))
 	perm := alignment(l, r)
 	s.scanned(l.Len())
-	for _, t := range l.rows {
-		hit := r.containsKey(encodeKey(t, perm))
-		s.probe(hit)
-		if hit {
-			out.Insert(t)
+	s.batches(numBatches(l.Len()))
+	probed, hits := 0, 0
+	for i, t := range l.rows {
+		probed++
+		if r.findAligned(l.hashes[i], t, perm) < 0 {
+			continue
 		}
+		hits++
+		out.appendRowNoTable(t, l.hashes[i])
 	}
+	s.probes(probed, hits)
 	s.emitted(out.Len())
 	return out, nil
 }
@@ -431,6 +589,8 @@ func IntersectStats(l, r *Relation, s *OpStats) (*Relation, error) {
 // Rename returns ρ_mapping(r), renaming attributes per the old→new map.
 // Attributes not mentioned keep their names. It returns an error if a
 // source attribute is unknown or the renaming would create duplicates.
+// Tuple hashes are independent of attribute names, so the result shares
+// rows, hashes and membership structure with the input.
 func Rename(r *Relation, mapping map[string]string) (*Relation, error) {
 	newAttrs := make([]string, len(r.attrs))
 	for i, a := range r.attrs {
@@ -453,8 +613,12 @@ func Rename(r *Relation, mapping map[string]string) (*Relation, error) {
 		seen[a] = true
 	}
 	out := New(newAttrs...)
-	for _, t := range r.rows {
-		out.Insert(t)
+	if len(r.rows) > 0 {
+		r.ensureTable() // share a valid table instead of copying a stale one
+		out.rows = append([]Tuple(nil), r.rows...)
+		out.hashes = append([]uint64(nil), r.hashes...)
+		out.slots = append([]int32(nil), r.slots...)
+		out.dead = r.dead
 	}
 	return out, nil
 }

@@ -3,9 +3,11 @@ package relation
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrSchemaMismatch is wrapped by operators that require equal attribute
@@ -20,8 +22,10 @@ type Tuple []Value
 // Clone returns a copy of the tuple.
 func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
 
-// key returns the canonical injective encoding of the tuple used for set
-// membership.
+// key returns the canonical injective string encoding of the tuple. It is
+// no longer the membership key (membership runs on 64-bit hashes with
+// Equal re-verification); Fingerprint still uses it as the canonical
+// order-independent serialization.
 func (t Tuple) key() string {
 	var b strings.Builder
 	for _, v := range t {
@@ -31,32 +35,85 @@ func (t Tuple) key() string {
 	return b.String()
 }
 
+// hash64 returns the order-independent 64-bit hash of the tuple: the sum
+// of its values' mixed hashes. Two tuples that are Equal under any column
+// alignment hash identically, so aligned probes across relations reuse
+// precomputed row hashes instead of re-encoding.
+func (t Tuple) hash64() uint64 {
+	var h uint64
+	for _, v := range t {
+		h += v.hash64()
+	}
+	return h
+}
+
+// hashCols hashes the tuple's values at the given column positions.
+func hashCols(t Tuple, pos []int) uint64 {
+	var h uint64
+	for _, p := range pos {
+		h += t[p].hash64()
+	}
+	return h
+}
+
 // Relation is an in-memory relation with set semantics: inserting a
 // duplicate tuple is a no-op, as in the set-based relational algebra the
 // paper uses. Attribute order is fixed at construction and is purely
 // presentational; all algebra operators match attributes by name.
 //
+// Membership is tracked by 64-bit tuple hashes in an open-addressed slot
+// table re-verified by Value.Equal on candidate rows; per-row hashes are
+// retained so the batch operators probe without re-encoding tuples.
+// Tuples are immutable once inserted, which lets relations share tuple
+// backing arrays (Clone and the operators alias rows instead of
+// deep-copying values).
+//
 // Concurrency: any number of goroutines may read a relation (including
-// building cached indexes, which is internally synchronized), but
-// mutation requires exclusive access, as it always has in this package.
-// Mutating drops all cached indexes.
+// building cached indexes and column vectors, which is internally
+// synchronized), but mutation requires exclusive access, as it always has
+// in this package. Mutating drops all cached indexes and columns.
 type Relation struct {
-	attrs []string
-	pos   map[string]int
-	rows  []Tuple
-	set   map[string]int // tuple key -> index into rows
+	attrs  []string
+	pos    map[string]int
+	rows   []Tuple
+	hashes []uint64 // hashes[i] == rows[i].hash64()
 
-	mu      sync.Mutex // guards indexes; rows/set follow the package-wide contract above
+	// Open-addressed membership table: slots hold row index + 1, with 0
+	// marking an empty slot and -1 a tombstone left by Delete. The table
+	// is always a power of two, probed linearly from hash & mask; it is
+	// flat (no per-entry allocation) and copied wholesale by Clone.
+	//
+	// Bulk operators appending known-distinct rows skip the table and
+	// mark it stale instead (appendRowNoTable); the first membership
+	// probe rebuilds it in one pass. Join and semi-join outputs that are
+	// only ever scanned never pay for a table at all.
+	slots      []int32
+	dead       int // tombstones in slots
+	tableStale atomic.Bool
+
+	mu      sync.Mutex // guards indexes/cols/keyVecs; rows/slots follow the package-wide contract above
 	indexes map[string]*Index
+	keyVecs map[string]*keyVec
+	cols    *Columns
 }
 
 // New creates an empty relation over the given attribute names. It panics
 // on duplicate or empty names (programming errors, not data errors).
 func New(attrs ...string) *Relation {
+	return newPresized(attrs, 0)
+}
+
+// newPresized creates an empty relation with capacity for n rows, so bulk
+// operators grow neither the row slice nor the membership table.
+func newPresized(attrs []string, n int) *Relation {
 	r := &Relation{
 		attrs: append([]string(nil), attrs...),
 		pos:   make(map[string]int, len(attrs)),
-		set:   make(map[string]int),
+	}
+	if n > 0 {
+		r.rows = make([]Tuple, 0, n)
+		r.hashes = make([]uint64, 0, n)
+		r.slots = make([]int32, tableSizeFor(n))
 	}
 	for i, a := range attrs {
 		if a == "" {
@@ -101,6 +158,166 @@ func (r *Relation) HasAttr(attr string) bool {
 	return ok
 }
 
+// tableSizeFor returns the power-of-two slot count for n rows, keeping
+// the load factor at or below ~2/3.
+func tableSizeFor(n int) int {
+	size := 8
+	for size*2 < n*3 {
+		size <<= 1
+	}
+	return size
+}
+
+// rebuildTable re-derives the slot table from the row hashes, dropping
+// tombstones. Every row is distinct, so no equality checks are needed.
+func (r *Relation) rebuildTable(capacity int) {
+	size := tableSizeFor(capacity)
+	slots := make([]int32, size)
+	mask := uint64(size - 1)
+	for i, h := range r.hashes {
+		j := h & mask
+		for slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+		slots[j] = int32(i) + 1
+	}
+	r.slots = slots
+	r.dead = 0
+}
+
+// appendRowNoTable appends an owned, known-distinct tuple without
+// touching the membership table, marking it stale instead. Bulk
+// operators whose outputs are never probed during construction use this
+// (joins, semi-joins, selections, set difference); if the result is
+// later probed, ensureTable rebuilds the table in one pass, and results
+// that are only ever scanned never pay for a table at all.
+func (r *Relation) appendRowNoTable(t Tuple, h uint64) {
+	r.rows = append(r.rows, t)
+	r.hashes = append(r.hashes, h)
+	if !r.tableStale.Load() {
+		r.tableStale.Store(true)
+	}
+}
+
+// ensureTable rebuilds the membership table if bulk appends left it
+// stale. The fast path is a single atomic load; concurrent readers
+// racing to rebuild serialize on mu and double-check. The store/load
+// pair orders the slot writes before any reader's fast-path pass.
+func (r *Relation) ensureTable() {
+	if !r.tableStale.Load() {
+		return
+	}
+	r.mu.Lock()
+	if r.tableStale.Load() {
+		r.rebuildTable(len(r.rows))
+		r.tableStale.Store(false)
+	}
+	r.mu.Unlock()
+}
+
+// findRow returns the index of the row equal to t (in r's column order),
+// or -1. Linear probing from the hash; candidate rows with the same hash
+// are re-verified value by value.
+func (r *Relation) findRow(h uint64, t Tuple) int32 {
+	r.ensureTable()
+	if len(r.slots) == 0 {
+		return -1
+	}
+	mask := uint64(len(r.slots) - 1)
+	for j := h & mask; ; j = (j + 1) & mask {
+		s := r.slots[j]
+		if s == 0 {
+			return -1
+		}
+		if s < 0 {
+			continue // tombstone
+		}
+		i := s - 1
+		if r.hashes[i] == h && tuplesEqual(r.rows[i], t) {
+			return i
+		}
+	}
+}
+
+// findAligned returns the index of the row equal to the foreign-order
+// tuple t under perm (row[j] corresponds to t[perm[j]]), or -1.
+func (r *Relation) findAligned(h uint64, t Tuple, perm []int) int32 {
+	r.ensureTable()
+	if len(r.slots) == 0 {
+		return -1
+	}
+	mask := uint64(len(r.slots) - 1)
+	for j := h & mask; ; j = (j + 1) & mask {
+		s := r.slots[j]
+		if s == 0 {
+			return -1
+		}
+		if s < 0 {
+			continue
+		}
+		i := s - 1
+		if r.hashes[i] != h {
+			continue
+		}
+		row := r.rows[i]
+		eq := true
+		for k := range row {
+			if !row[k].Equal(t[perm[k]]) {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return i
+		}
+	}
+}
+
+// tuplesEqual compares same-order tuples by Value.Equal.
+func tuplesEqual(a, b Tuple) bool {
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendRow appends an owned tuple known to be absent, with its
+// precomputed hash. The relation takes ownership of t's backing array;
+// callers must not mutate it afterwards (tuples are immutable by package
+// contract).
+func (r *Relation) appendRow(t Tuple, h uint64) {
+	if (len(r.rows)+r.dead+1)*3 >= len(r.slots)*2 {
+		r.rebuildTable(2 * (len(r.rows) + 1))
+	}
+	mask := uint64(len(r.slots) - 1)
+	j := h & mask
+	for r.slots[j] > 0 {
+		j = (j + 1) & mask
+	}
+	// The caller guarantees absence, so landing on the first free slot —
+	// empty or tombstone — preserves the set invariant.
+	if r.slots[j] < 0 {
+		r.dead--
+	}
+	r.slots[j] = int32(len(r.rows)) + 1
+	r.rows = append(r.rows, t)
+	r.hashes = append(r.hashes, h)
+}
+
+// insertOwned inserts an owned tuple with a precomputed hash, without
+// cloning. It reports whether the tuple was new and invalidates derived
+// structures only on actual change.
+func (r *Relation) insertOwned(t Tuple, h uint64) bool {
+	if r.findRow(h, t) >= 0 {
+		return false
+	}
+	r.appendRow(t, h)
+	r.noteInserted(len(r.rows) - 1)
+	return true
+}
+
 // Insert adds a tuple and reports whether it was new. It panics if the
 // tuple arity does not match the relation (a programming error). The
 // relation keeps its own copy of the tuple.
@@ -108,13 +325,12 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != len(r.attrs) {
 		panic(fmt.Sprintf("relation: arity mismatch: tuple has %d values, relation has %d attributes", len(t), len(r.attrs)))
 	}
-	k := t.key()
-	if _, dup := r.set[k]; dup {
+	h := t.hash64()
+	if r.findRow(h, t) >= 0 {
 		return false
 	}
-	r.set[k] = len(r.rows)
-	r.rows = append(r.rows, t.Clone())
-	r.invalidateIndexes()
+	r.appendRow(t.Clone(), h)
+	r.noteInserted(len(r.rows) - 1)
 	return true
 }
 
@@ -128,10 +344,16 @@ func (r *Relation) InsertValues(vals ...Value) bool { return r.Insert(Tuple(vals
 func (r *Relation) InsertAll(o *Relation) int {
 	perm := alignment(o, r)
 	added := 0
-	for _, t := range o.rows {
-		if r.Insert(permute(t, perm)) {
-			added++
+	for i, t := range o.rows {
+		h := o.hashes[i]
+		if r.findAligned(h, t, perm) >= 0 {
+			continue
 		}
+		r.appendRow(permute(t, perm), h)
+		added++
+	}
+	if added > 0 {
+		r.noteInserted(len(r.rows) - added)
 	}
 	return added
 }
@@ -141,14 +363,13 @@ func (r *Relation) Contains(t Tuple) bool {
 	if len(t) != len(r.attrs) {
 		return false
 	}
-	_, ok := r.set[t.key()]
-	return ok
+	return r.findRow(t.hash64(), t) >= 0
 }
 
 // ContainsAligned reports whether r contains the tuple t that is laid out
 // in o's attribute order; o must have the same attribute set as r.
 func (r *Relation) ContainsAligned(t Tuple, o *Relation) bool {
-	return r.Contains(permute(t, alignment(o, r)))
+	return r.findAligned(t.hash64(), t, alignment(o, r)) >= 0
 }
 
 // Delete removes a tuple and reports whether it was present. Deletion is
@@ -157,38 +378,81 @@ func (r *Relation) Delete(t Tuple) bool {
 	if len(t) != len(r.attrs) {
 		return false
 	}
-	k := t.key()
-	i, ok := r.set[k]
-	if !ok {
+	h := t.hash64()
+	i := r.findRow(h, t)
+	if i < 0 {
 		return false
 	}
-	last := len(r.rows) - 1
+	r.tombstoneSlot(h, i)
+	last := int32(len(r.rows) - 1)
 	if i != last {
 		r.rows[i] = r.rows[last]
-		r.set[r.rows[i].key()] = i
+		r.hashes[i] = r.hashes[last]
+		r.redirectSlot(r.hashes[last], last, i)
 	}
 	r.rows = r.rows[:last]
-	delete(r.set, k)
-	r.invalidateIndexes()
+	r.hashes = r.hashes[:last]
+	if r.dead*3 > len(r.slots) {
+		r.rebuildTable(2 * len(r.rows)) // shed tombstone buildup
+	}
+	r.invalidateDerived()
 	return true
 }
 
-// containsKey reports membership by precomputed tuple key, letting
-// operators test permuted tuples without materializing them.
-func (r *Relation) containsKey(k string) bool {
-	_, ok := r.set[k]
-	return ok
+// tombstoneSlot marks row i's slot (probed from hash h) as deleted.
+func (r *Relation) tombstoneSlot(h uint64, i int32) {
+	mask := uint64(len(r.slots) - 1)
+	for j := h & mask; ; j = (j + 1) & mask {
+		if r.slots[j] == i+1 {
+			r.slots[j] = -1
+			r.dead++
+			return
+		}
+	}
+}
+
+// redirectSlot rewrites row index old to new in the slot probed from h
+// (the swap-with-last fixup of Delete).
+func (r *Relation) redirectSlot(h uint64, old, new int32) {
+	mask := uint64(len(r.slots) - 1)
+	for j := h & mask; ; j = (j + 1) & mask {
+		if r.slots[j] == old+1 {
+			r.slots[j] = new + 1
+			return
+		}
+	}
+}
+
+// All returns an iterator over every tuple, in storage order. The yielded
+// tuples are the relation's own rows: the caller must not retain or
+// modify them, and must not mutate the relation mid-iteration. This is
+// the row-major access path; Batches is the column-major one.
+func (r *Relation) All() iter.Seq[Tuple] {
+	return func(yield func(Tuple) bool) {
+		for _, t := range r.rows {
+			if !yield(t) {
+				return
+			}
+		}
+	}
 }
 
 // Each calls fn for every tuple. The callback must not retain or modify
 // the tuple, and must not mutate the relation.
+//
+// Deprecated: range over All instead (or use Batches for column-major
+// access); Each survives as a thin wrapper for external callers.
 func (r *Relation) Each(fn func(Tuple)) {
-	for _, t := range r.rows {
+	for t := range r.All() {
 		fn(t)
 	}
 }
 
 // Tuples returns a copy of all tuples, in no particular order.
+//
+// Deprecated: range over All (no copies) or Batches (column-major)
+// instead; Tuples clones every row and survives only as a convenience
+// for external callers and tests.
 func (r *Relation) Tuples() []Tuple {
 	out := make([]Tuple, len(r.rows))
 	for i, t := range r.rows {
@@ -200,7 +464,10 @@ func (r *Relation) Tuples() []Tuple {
 // SortedTuples returns all tuples sorted by the total value order, column
 // by column — a deterministic order for printing and golden tests.
 func (r *Relation) SortedTuples() []Tuple {
-	out := r.Tuples()
+	out := make([]Tuple, len(r.rows))
+	for i, t := range r.rows {
+		out[i] = t.Clone()
+	}
 	sort.Slice(out, func(i, j int) bool { return tupleLess(out[i], out[j]) })
 	return out
 }
@@ -230,12 +497,41 @@ func (r *Relation) Get(t Tuple, attr string) Value {
 	return t[i]
 }
 
-// Clone returns a deep copy of the relation.
+// Clone returns an independent copy of the relation. Row storage and the
+// membership table are copied (the flat slot table is a single memcpy);
+// the immutable tuple backing arrays are shared (values are never mutated
+// in place, so structural mutations of either copy cannot affect the
+// other).
 func (r *Relation) Clone() *Relation {
-	c := New(r.attrs...)
-	for _, t := range r.rows {
-		c.Insert(t)
+	r.ensureTable() // copy a valid table rather than rebuilding in both copies
+	c := &Relation{
+		attrs: r.attrs,
+		pos:   r.pos,
 	}
+	if len(r.rows) > 0 {
+		c.rows = append([]Tuple(nil), r.rows...)
+		c.hashes = append([]uint64(nil), r.hashes...)
+		c.slots = append([]int32(nil), r.slots...)
+		c.dead = r.dead
+	}
+	// Carry cached indexes over (flat-array copies rebound to the clone):
+	// the warehouse applies refresh deltas to clones (copy-on-write), and
+	// cloning must not cool the indexes that insert-path maintenance keeps
+	// warm across updates.
+	r.mu.Lock()
+	if len(r.indexes) > 0 {
+		c.indexes = make(map[string]*Index, len(r.indexes))
+		for k, ix := range r.indexes {
+			c.indexes[k] = ix.cloneFor(c)
+		}
+	}
+	if len(r.keyVecs) > 0 {
+		c.keyVecs = make(map[string]*keyVec, len(r.keyVecs))
+		for k, kv := range r.keyVecs {
+			c.keyVecs[k] = &keyVec{pos: kv.pos, hashes: append([]uint64(nil), kv.hashes...)}
+		}
+	}
+	r.mu.Unlock()
 	return c
 }
 
@@ -252,8 +548,8 @@ func (r *Relation) Equal(o *Relation) bool {
 		return false
 	}
 	perm := alignment(o, r)
-	for _, t := range o.rows {
-		if !r.Contains(permute(t, perm)) {
+	for i, t := range o.rows {
+		if r.findAligned(o.hashes[i], t, perm) < 0 {
 			return false
 		}
 	}
@@ -267,8 +563,8 @@ func (r *Relation) SubsetOf(o *Relation) bool {
 		return false
 	}
 	perm := alignment(r, o)
-	for _, t := range r.rows {
-		if !o.Contains(permute(t, perm)) {
+	for i, t := range r.rows {
+		if o.findAligned(r.hashes[i], t, perm) < 0 {
 			return false
 		}
 	}
@@ -367,6 +663,17 @@ func alignment(src, dst *Relation) []int {
 		perm[i] = p
 	}
 	return perm
+}
+
+// identityPerm reports whether perm is the identity (columns already
+// aligned), letting operators skip permutation entirely.
+func identityPerm(perm []int) bool {
+	for i, p := range perm {
+		if i != p {
+			return false
+		}
+	}
+	return true
 }
 
 // permute lays out tuple t (in source order) according to perm (dst order).

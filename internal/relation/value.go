@@ -13,6 +13,7 @@ package relation
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -48,6 +49,10 @@ func (k Kind) String() string {
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
+
+// Numeric reports whether the kind is numeric (int or float), the pair
+// that compares cross-kind in Value.Compare.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
 
 // KindFromName parses a kind name from the DSL ("int", "float", "string",
 // "bool", "any"). It reports whether the name was recognized.
@@ -122,10 +127,32 @@ func (v Value) AsString() string { return v.s }
 func (v Value) numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
 
 // Equal reports value equality. Integers and floats compare numerically
-// (Int(2) equals Float(2.0)); NULL equals only NULL.
+// (Int(2) equals Float(2.0)); NULL equals only NULL. Like Compare, two
+// NaNs are equal — set semantics need a reflexive equality.
+//
+// This is the equality the join and semijoin probe paths verify hash
+// hits with, so the same-kind cases run without the three-way Compare
+// dispatch.
 func (v Value) Equal(o Value) bool {
-	c, ok := v.Compare(o)
-	return ok && c == 0
+	if v.kind == o.kind {
+		switch v.kind {
+		case KindNull:
+			return true
+		case KindBool:
+			return v.b == o.b
+		case KindInt:
+			return v.i == o.i
+		case KindFloat:
+			return v.f == o.f || (v.f != v.f && o.f != o.f)
+		default: // KindString
+			return v.s == o.s
+		}
+	}
+	if v.numeric() && o.numeric() {
+		a, b := v.AsFloat(), o.AsFloat()
+		return a == b || (a != a && b != b)
+	}
+	return false
 }
 
 // Compare orders two values. It returns -1, 0 or +1 and true when the
@@ -268,6 +295,65 @@ func (v Value) appendKey(b *strings.Builder) {
 		b.WriteByte(':')
 		b.WriteString(v.s)
 	}
+}
+
+// hash64 returns a well-mixed 64-bit hash of the value, canonical under
+// Equal: numerically equal int/float values hash identically (mirroring
+// appendKey's collapse of Int(2) and Float(2)), -0.0 hashes as 0.0 and all
+// NaN payloads hash alike (Compare treats them as equal). Hash-equal but
+// unequal values are legal — set membership and index probes always
+// re-verify with Equal.
+func (v Value) hash64() uint64 {
+	switch v.kind {
+	case KindNull:
+		return mix64(1)
+	case KindBool:
+		if v.b {
+			return mix64(2<<8 | 1)
+		}
+		return mix64(2 << 8)
+	case KindInt:
+		// Compare() evaluates int-vs-float comparisons in float64, so all
+		// numeric values hash through their float64 image; exact int-int
+		// inequality past 2^53 is restored by the Equal re-verification.
+		return mix64(3<<60 ^ canonicalFloatBits(float64(v.i)))
+	case KindFloat:
+		return mix64(3<<60 ^ canonicalFloatBits(v.f))
+	case KindString:
+		h := uint64(14695981039346656037) // FNV-64 offset basis
+		for i := 0; i < len(v.s); i++ {
+			h ^= uint64(v.s[i])
+			h *= 1099511628211 // FNV-64 prime
+		}
+		return mix64(4<<60 ^ h)
+	default:
+		return mix64(uint64(v.kind))
+	}
+}
+
+// canonicalFloatBits maps every Equal float to one bit pattern: -0.0
+// collapses to +0.0 and every NaN to one quiet NaN.
+func canonicalFloatBits(f float64) uint64 {
+	if f == 0 {
+		return 0
+	}
+	if f != f {
+		return 0x7ff8000000000000
+	}
+	return math.Float64bits(f)
+}
+
+// mix64 is the splitmix64 finalizer — a cheap full-avalanche mix. Tuple
+// hashes are the *sum* of their values' mixed hashes, which makes them
+// independent of column order: a tuple hashes the same in any attribute
+// permutation, so aligned cross-relation probes never re-hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // CheckKind reports whether the value may populate an attribute declared

@@ -144,11 +144,11 @@ func (b *Business) RandomOrderUpdate(st *catalog.State, nIns, nDel int, seed int
 
 	existing := relation.Project(orders, "okey")
 	nextKey := int64(0)
-	existing.Each(func(t relation.Tuple) {
+	for t := range existing.All() {
 		if t[0].AsInt() >= nextKey {
 			nextKey = t[0].AsInt() + 1
 		}
-	})
+	}
 	for i := 0; i < nIns; i++ {
 		u.MustInsert(rel, b.DB,
 			relation.Int(nextKey),

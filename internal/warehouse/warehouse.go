@@ -160,6 +160,10 @@ func (w *Warehouse) TranslateQueryUnoptimized(q algebra.Expr) (algebra.Expr, err
 
 // Answer translates the source query and evaluates it on the current
 // warehouse state — no source access whatsoever.
+//
+// Deprecated: use AnswerContext (or the facade's context-first dwc.Answer)
+// so cancellation and instrumentation propagate; Answer survives as a thin
+// wrapper for external callers.
 func (w *Warehouse) Answer(q algebra.Expr) (*relation.Relation, error) {
 	r, _, err := w.AnswerContext(context.Background(), q)
 	return r, err

@@ -266,7 +266,7 @@ func (g *Gen) cascadeDelete(work *catalog.State, u *catalog.Update, name string,
 		targetProj := relation.Project(target, d.X.Sorted()...)
 		src := work.MustRelation(d.From)
 		var victims []relation.Tuple
-		src.Each(func(s relation.Tuple) {
+		for s := range src.All() {
 			probe := make(relation.Tuple, 0, d.X.Len())
 			for _, a := range d.X.Sorted() {
 				p, _ := src.Pos(a)
@@ -275,7 +275,7 @@ func (g *Gen) cascadeDelete(work *catalog.State, u *catalog.Update, name string,
 			if !targetProj.Contains(probe) {
 				victims = append(victims, s.Clone())
 			}
-		})
+		}
 		for _, v := range victims {
 			g.cascadeDelete(work, u, d.From, v)
 		}

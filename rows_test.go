@@ -1,0 +1,155 @@
+package dwc_test
+
+// Tests for the Rows batch cursor: batch iteration must visit exactly the
+// relation's tuples column-major, feed the Batches counter in the
+// evaluation stats, and the context-first facade entry points must thread
+// results and cancellation through it.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	dwc "dwcomplement"
+)
+
+// rowsWarehouse builds the standard Sale/Emp warehouse used across the
+// facade tests.
+func rowsWarehouse(t *testing.T) *dwc.Warehouse {
+	t.Helper()
+	spec, err := dwc.ParseSpec(`
+relation Sale(item string, clerk string)
+relation Emp(clerk string, age int) key(clerk)
+view Sold = Sale join Emp
+insert Sale('TV set', 'Mary')
+insert Sale('VCR', 'Mary')
+insert Sale('PC', 'John')
+insert Emp('Mary', 23)
+insert Emp('John', 25)
+insert Emp('Paula', 32)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := dwc.BuildWarehouse(spec.DB, spec.Views, dwc.Proposition22(), spec.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestRowsBatchesMatchAll checks the batch cursor against row iteration:
+// gathering Value(c, i) column-major over every batch must reconstruct
+// exactly the tuples All yields, and the batch counter must advance once
+// per yielded batch.
+func TestRowsBatchesMatchAll(t *testing.T) {
+	w := rowsWarehouse(t)
+	q := dwc.MustParseExpr("pi{clerk}(Sale) union pi{clerk}(Emp)")
+	rows, err := dwc.Answer(context.Background(), w, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 {
+		t.Fatalf("|answer| = %d, want 3", rows.Len())
+	}
+	if got := rows.Attrs(); len(got) != 1 || got[0] != "clerk" {
+		t.Fatalf("attrs = %v, want [clerk]", got)
+	}
+
+	fromAll := make(map[string]bool)
+	for tu := range rows.All() {
+		fromAll[tu[0].AsString()] = true
+	}
+
+	before := rows.Stats().Batches
+	fromBatches := make(map[string]bool)
+	nb := 0
+	for b := range rows.Batches() {
+		nb++
+		if b.Len() <= 0 || b.Len() > dwc.BatchSize {
+			t.Fatalf("batch of %d rows", b.Len())
+		}
+		for i := 0; i < b.Len(); i++ {
+			fromBatches[b.Value(0, i).AsString()] = true
+		}
+	}
+	if len(fromBatches) != len(fromAll) {
+		t.Fatalf("batches saw %v, rows saw %v", fromBatches, fromAll)
+	}
+	for k := range fromAll {
+		if !fromBatches[k] {
+			t.Fatalf("tuple %q missing from batch iteration", k)
+		}
+	}
+	if got := rows.Stats().Batches - before; got != int64(nb) {
+		t.Errorf("stats counted %d batches, cursor yielded %d", got, nb)
+	}
+
+	// Early break must stop counting with the batches actually served.
+	mid := rows.Stats().Batches
+	for range rows.Batches() {
+		break
+	}
+	if got := rows.Stats().Batches - mid; got != 1 {
+		t.Errorf("after early break: counted %d batches, want 1", got)
+	}
+}
+
+// TestRowsSortedIsDeterministicCopy checks Sorted returns stable fresh
+// copies: mutating them must not reach the underlying relation.
+func TestRowsSortedIsDeterministicCopy(t *testing.T) {
+	w := rowsWarehouse(t)
+	q := dwc.MustParseExpr("pi{clerk}(Emp)")
+	rows, err := dwc.Answer(context.Background(), w, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rows.Sorted()
+	b := rows.Sorted()
+	if len(a) != rows.Len() || len(b) != len(a) {
+		t.Fatalf("sorted lengths %d/%d, want %d", len(a), len(b), rows.Len())
+	}
+	for i := range a {
+		if !a[i][0].Equal(b[i][0]) {
+			t.Fatalf("sort order unstable at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	a[0][0] = dwc.Str("clobbered")
+	if rows.Relation().Contains(dwc.Tuple{dwc.Str("clobbered")}) {
+		t.Fatal("mutating a Sorted copy reached the relation")
+	}
+}
+
+// TestAnswerCancellation checks the context-first entry point propagates
+// cancellation instead of returning a cursor.
+func TestAnswerCancellation(t *testing.T) {
+	w := rowsWarehouse(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := dwc.Answer(ctx, w, dwc.MustParseExpr("pi{clerk}(Sale)"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEvalExprRows checks the expression-level entry point returns a
+// cursor over the evaluation result with populated stats.
+func TestEvalExprRows(t *testing.T) {
+	w := rowsWarehouse(t)
+	q := dwc.MustParseExpr("sigma{age > 24}(Emp)")
+	qHat, err := w.TranslateQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := dwc.EvalExpr(context.Background(), qHat, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("|σ(Emp)| = %d, want 2", rows.Len())
+	}
+	st := rows.Stats()
+	if st == nil || st.Scanned == 0 || st.Wall <= 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
