@@ -3,8 +3,10 @@
 // named experiments E1..E16 (see DESIGN.md's experiment index and
 // EXPERIMENTS.md for the recorded outcomes), plus E17, the engine
 // benchmark pitting the columnar batch operators against the
-// string-keyed row-at-a-time reference. Each experiment prints the
-// paper's expectation next to what this implementation measures.
+// string-keyed row-at-a-time reference, and E18, which prices the
+// tracing layer (disabled instrumentation must be free, 1% sampling
+// under 5% of refresh throughput). Each experiment prints the paper's
+// expectation next to what this implementation measures.
 //
 // Usage:
 //
@@ -285,7 +287,7 @@ func compareReports(cur benchReport, baselinePath string, tolerance float64, sel
 func experiments() []experiment {
 	exps := []experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(),
-		e8(), e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(),
+		e8(), e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(), e18(),
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// E1..E9 sort before E10 numerically.

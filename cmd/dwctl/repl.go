@@ -6,16 +6,24 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	dwc "dwcomplement"
+	"dwcomplement/internal/trace"
 )
 
 // runREPL drives an interactive warehouse session: queries are translated
 // and answered, insert/delete statements are maintained incrementally, and
 // inspection commands expose the warehouse state — all against the live
 // in-memory warehouse, never the sources.
+//
+// Every query and refresh is traced (the session is interactive, so the
+// sampling rate is 1): `traces` lists the session's recent traces and
+// `trace [<id>]` renders one as an indented span tree — the same view
+// dwserve exposes over GET /traces, without a server in the loop.
 func runREPL(w *dwc.Warehouse, db *dwc.Database, in io.Reader, out io.Writer) error {
 	m := dwc.NewMaintainer(w.Complement())
+	tracer := trace.New(trace.Config{Rate: 1})
 	scanner := bufio.NewScanner(in)
 	fmt.Fprintln(out, "dwctl repl — type 'help' for commands, 'quit' to exit")
 	prompt := func() { fmt.Fprint(out, "dw> ") }
@@ -40,6 +48,8 @@ func runREPL(w *dwc.Warehouse, db *dwc.Database, in io.Reader, out io.Writer) er
   relations           list warehouse relations and sizes
   bases               reconstruct and print all base relations
   complement          print the complement definitions
+  traces              list this session's traces (most recent first)
+  trace [<id>]        render one trace's span tree (default: most recent)
   quit                leave
 `)
 
@@ -56,11 +66,16 @@ func runREPL(w *dwc.Warehouse, db *dwc.Database, in io.Reader, out io.Writer) er
 				break
 			}
 			fmt.Fprintln(out, "Q̂ =", qHat)
-			rows, err := dwc.Answer(context.Background(), w, q)
+			ctx, sp := tracer.Start(context.Background(), "query")
+			sp.SetAttr("query", q.String())
+			rows, err := dwc.Answer(ctx, w, q)
 			if err != nil {
+				sp.End()
 				fmt.Fprintln(out, "error:", err)
 				break
 			}
+			sp.SetAttrInt("rows", int64(rows.Len()))
+			sp.End()
 			fmt.Fprint(out, rows.Relation())
 
 		case strings.HasPrefix(line, "explain "):
@@ -101,11 +116,16 @@ func runREPL(w *dwc.Warehouse, db *dwc.Database, in io.Reader, out io.Writer) er
 				fmt.Fprintln(out, "error:", err)
 				break
 			}
-			stats, err := dwc.Refresh(context.Background(), m, w, u)
+			ctx, sp := tracer.Start(context.Background(), "refresh")
+			sp.SetAttrInt("changes", int64(u.Size()))
+			stats, err := dwc.Refresh(ctx, m, w, u)
 			if err != nil {
+				sp.SetAttr("outcome", "error")
+				sp.End()
 				fmt.Fprintln(out, "error:", err)
 				break
 			}
+			sp.End()
 			fmt.Fprintf(out, "ok: %d source change(s), %d warehouse tuple change(s)\n",
 				stats.UpdateSize, stats.Total())
 
@@ -136,6 +156,41 @@ func runREPL(w *dwc.Warehouse, db *dwc.Database, in io.Reader, out io.Writer) er
 
 		case line == "complement":
 			fmt.Fprintln(out, w.Complement())
+
+		case line == "traces":
+			sums := tracer.Store().Traces(20)
+			if len(sums) == 0 {
+				fmt.Fprintln(out, "(no traces yet)")
+				break
+			}
+			for _, sum := range sums {
+				fmt.Fprintf(out, "%s  %-10s %2d span(s)  %s\n",
+					sum.TraceID, sum.Root, sum.Spans, sum.End.Sub(sum.Start).Round(time.Microsecond))
+			}
+
+		case line == "trace" || strings.HasPrefix(line, "trace "):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, "trace"))
+			var id trace.TraceID
+			if arg == "" {
+				sums := tracer.Store().Traces(1)
+				if len(sums) == 0 {
+					fmt.Fprintln(out, "(no traces yet)")
+					break
+				}
+				id, _ = trace.ParseTraceID(sums[0].TraceID)
+			} else {
+				var ok bool
+				if id, ok = trace.ParseTraceID(arg); !ok {
+					fmt.Fprintf(out, "error: bad trace id %q\n", arg)
+					break
+				}
+			}
+			spans, ok := tracer.Store().Trace(id)
+			if !ok {
+				fmt.Fprintf(out, "error: no trace %s\n", id)
+				break
+			}
+			fmt.Fprintf(out, "trace %s\n%s", id, trace.Render(spans))
 
 		default:
 			fmt.Fprintf(out, "unknown command %q (try 'help')\n", line)

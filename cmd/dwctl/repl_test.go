@@ -99,3 +99,32 @@ func TestREPLEOFTerminates(t *testing.T) {
 		t.Errorf("output: %s", out)
 	}
 }
+
+// TestREPLTraces: queries and refreshes are traced at rate 1; `traces`
+// lists them and `trace` renders the most recent one's span tree with
+// the maintainer's per-target children under the refresh.
+func TestREPLTraces(t *testing.T) {
+	out := replSession(t, `
+query pi{clerk}(Sale)
+insert Sale('Computer', 'Paula')
+traces
+trace
+trace bogus
+quit
+`)
+	for _, want := range []string{
+		"query", // the traces listing names both roots
+		"refresh",
+		`error: bad trace id "bogus"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repl output missing %q:\n%s", want, out)
+		}
+	}
+	// `trace` with no argument renders the MOST RECENT trace — the
+	// refresh, whose tree includes the maintainer's per-target children.
+	_, after, _ := strings.Cut(out, "dw> trace ")
+	if !strings.Contains(after, "refresh.target") {
+		t.Errorf("default trace missing the refresh lineage:\n%s", out)
+	}
+}

@@ -22,7 +22,11 @@
 // Observability: GET /metrics serves Prometheus text exposition (request,
 // query and refresh counters plus latency histograms), every request is
 // logged with a request ID, and -debug exposes net/http/pprof on a
-// separate listener that should never be public.
+// separate listener that should never be public. Tracing: requests and
+// remote reports are sampled at -trace-sample into an in-process ring
+// buffer served by GET /traces and GET /traces/{id}; sampled requests
+// echo their trace ID on X-DW-Trace, and inbound `traceparent` headers
+// join the caller's trace.
 package main
 
 import (
@@ -71,6 +75,8 @@ func main() {
 	snapshotDir := fs.String("snapshot-dir", "", "directory for marked checkpoint snapshots (enables crash recovery)")
 	journalPath := fs.String("journal", "", "redo journal path (default <snapshot-dir>/wal.dwj when -snapshot-dir is set)")
 	checkpointEvery := fs.Int("checkpoint-every", 64, "acknowledged updates between checkpoint snapshots")
+	traceSample := fs.Float64("trace-sample", 0.01, "probability of tracing a request or report end to end (0 disables)")
+	traceBuffer := fs.Int("trace-buffer", 4096, "finished spans retained in the in-process trace buffer")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	logLevel := fs.String("log-level", "info", "request log level (debug|info|warn|error)")
 	logJSON := fs.Bool("log-json", false, "emit JSON log records instead of text")
@@ -136,6 +142,8 @@ func main() {
 		SnapshotDir:     *snapshotDir,
 		JournalPath:     *journalPath,
 		CheckpointEvery: *checkpointEvery,
+		TraceSample:     *traceSample,
+		TraceBuffer:     *traceBuffer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwserve:", err)
@@ -167,7 +175,7 @@ func main() {
 	}
 	fmt.Printf("dwserve: %d relation(s), %d view(s), %d stored complement(s)\n",
 		len(spec.DB.Names()), spec.Views.Len(), len(srv.comp.StoredEntries()))
-	fmt.Printf("listening on %s\n%s\n", *addr, describeRoutes())
+	fmt.Printf("listening on %s\n%s\n", *addr, srv.describeRoutes())
 
 	// Serve until SIGINT/SIGTERM, then shut down gracefully: stop
 	// admitting (readyz goes 503), drain in-flight requests up to the

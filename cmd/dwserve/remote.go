@@ -22,6 +22,7 @@ func (s *server) AttachRemote(c *remote.Client) {
 	s.remotes[c.Name()] = c
 	s.mu.Unlock()
 	c.SetMetrics(s.reg)
+	c.SetTracer(s.tracer)
 	c.OnUpdate(s.applyRemote)
 }
 
@@ -59,19 +60,30 @@ func (s *server) stopRemotes() {
 func (s *server) applyRemote(n source.Notification) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Continue the report's trace (source.apply → remote.attempt →
+	// here); the refresh.target and journal.append spans below nest
+	// under this one, completing the lineage.
+	ctx, sp := s.tracer.StartRemote(context.Background(), n.Traceparent, "integrator.deliver")
+	defer sp.End()
+	sp.SetAttr("source", n.Source)
+	sp.SetAttrInt("seq", int64(n.Seq))
 	applied := s.remoteSeq[n.Source]
 	if n.Seq <= applied {
+		sp.SetAttr("outcome", "duplicate")
 		return // duplicate redelivery
 	}
 	if n.Seq != applied+1 {
 		// Sequence gap (possible after a restart races the poll loop):
 		// rewind so the missing range is re-fetched in order.
+		sp.SetAttr("outcome", "gap")
 		if c := s.remotes[n.Source]; c != nil {
 			c.Rewind(applied)
 		}
 		return
 	}
-	if _, err := s.maintain.RefreshContext(context.Background(), s.w, n.Update); err != nil {
+	stats, err := s.maintain.RefreshContext(ctx, s.w, n.Update)
+	if err != nil {
+		sp.SetAttr("outcome", "error")
 		s.degraded.Store(true)
 		s.log.Error("remote refresh failed; serving stale", "source", n.Source, "seq", n.Seq, "err", err)
 		if c := s.remotes[n.Source]; c != nil {
@@ -85,7 +97,7 @@ func (s *server) applyRemote(n source.Notification) {
 	// checkpointed watermark and the source's retained log refills the
 	// hole. Degraded is still flagged so operators see it.
 	if s.jw != nil {
-		if err := s.jw.Append(journal.Record{Source: n.Source, Seq: n.Seq, Update: n.Update}); err != nil {
+		if err := s.jw.AppendContext(ctx, journal.Record{Source: n.Source, Seq: n.Seq, Update: n.Update}); err != nil {
 			s.degraded.Store(true)
 			s.log.Error("remote journal append failed", "source", n.Source, "seq", n.Seq, "err", err)
 		}
@@ -94,6 +106,21 @@ func (s *server) applyRemote(n source.Notification) {
 	s.refreshes++
 	s.sinceCkpt++
 	s.mRefreshes.Inc()
+	// Refresh lag: report emitted at the source → delta visible in the
+	// views (which it now is; mu serializes readers). The histogram
+	// sample carries the trace ID as an exemplar, so a slow bucket links
+	// straight to a full lineage trace.
+	lag := time.Duration(-1)
+	if n.EmittedUnixNano > 0 {
+		lag = time.Since(time.Unix(0, n.EmittedUnixNano))
+		exemplar := ""
+		if sp.Recording() {
+			exemplar = sp.Context().TraceID.String()
+		}
+		s.mRefreshLag.ObserveWithExemplar(lag.Seconds(), exemplar)
+		sp.SetAttrInt("lagUs", lag.Microseconds())
+	}
+	s.observeMaintenance(stats, lag)
 	if s.cfg.SnapshotDir != "" && s.sinceCkpt >= s.cfg.CheckpointEvery {
 		if err := s.checkpointLocked(); err != nil {
 			s.degraded.Store(true)

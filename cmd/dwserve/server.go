@@ -23,6 +23,7 @@ import (
 	"dwcomplement/internal/relation"
 	"dwcomplement/internal/remote"
 	"dwcomplement/internal/snapshot"
+	"dwcomplement/internal/trace"
 )
 
 // statusClientClosedRequest is the nginx-style status reported when the
@@ -50,7 +51,14 @@ type serverConfig struct {
 	SnapshotDir     string // directory for marked checkpoint snapshots
 	JournalPath     string // redo journal ("" with SnapshotDir: <dir>/wal.dwj)
 	CheckpointEvery int    // updates between checkpoints (default 64)
+
+	TraceSample float64 // root-span sampling probability in [0, 1]
+	TraceBuffer int     // span ring-buffer capacity (default 4096)
 }
+
+// maintstatsPath is the persisted maintenance-stats file inside a
+// -snapshot-dir; the EWMAs survive restarts alongside the checkpoint.
+func maintstatsPath(dir string) string { return filepath.Join(dir, "maintstats.json") }
 
 // httpSource names the single logical update source of the HTTP API in
 // journal records and snapshot watermarks.
@@ -92,6 +100,13 @@ type server struct {
 	log *slog.Logger
 	reg *obs.Registry
 
+	// Tracing and planner-facing maintenance statistics. The tracer is
+	// always non-nil (rate 0 just never samples fresh roots — sampled
+	// remote parents are still honored); mstats is persisted across
+	// checkpoints under SnapshotDir.
+	tracer *trace.Tracer
+	mstats *trace.MaintStats
+
 	// Degradation state, atomic because query handlers (running under
 	// mu.RLock) read and the update path writes.
 	degraded     atomic.Bool  // last refresh or persistence attempt failed
@@ -116,6 +131,7 @@ type server struct {
 	mRefreshDur *obs.Histogram
 	mRestricted *obs.Counter
 	mFullRecon  *obs.Counter
+	mRefreshLag *obs.Histogram
 }
 
 // checkpointPath is the marked snapshot inside a -snapshot-dir.
@@ -149,6 +165,13 @@ func newServer(spec *dwc.Spec, opts dwc.Options, cfg serverConfig) (*server, err
 		reg:       obs.NewRegistry(),
 		remotes:   make(map[string]*remote.Client),
 		remoteSeq: make(map[string]uint64),
+		tracer:    trace.New(trace.Config{Rate: cfg.TraceSample, Capacity: cfg.TraceBuffer}),
+		mstats:    trace.NewMaintStats(0),
+	}
+	if cfg.SnapshotDir != "" {
+		if err := s.mstats.Load(maintstatsPath(cfg.SnapshotDir)); err != nil {
+			return nil, fmt.Errorf("maintenance stats %s: %w", maintstatsPath(cfg.SnapshotDir), err)
+		}
 	}
 
 	// Materialize: a marked checkpoint wins, then the legacy -state
@@ -249,6 +272,9 @@ func newServer(spec *dwc.Spec, opts dwc.Options, cfg serverConfig) (*server, err
 		"Refresh pre-state reads answered by probe-restricted evaluation.", nil)
 	s.mFullRecon = s.reg.Counter("dw_refresh_full_reconstructions_total",
 		"Refresh pre-state reads that forced a full base reconstruction.", nil)
+	s.mRefreshLag = s.reg.Histogram("dw_refresh_lag_seconds",
+		"End-to-end refresh lag: report emitted at the source to delta visible in views.",
+		obs.DefLatencyBuckets, nil)
 	s.reg.GaugeFunc("dw_warehouse_tuples",
 		"Tuples materialized across all warehouse relations.", nil, func() float64 {
 			s.mu.RLock()
@@ -278,16 +304,29 @@ func (s *server) staleness() time.Duration {
 
 // instrument wraps a handler with the observability layer: an in-flight
 // gauge, a per-route latency histogram, a status-labeled request counter,
-// and one structured log line per request carrying its request ID.
+// one structured log line per request carrying its request ID, and a
+// per-request trace span. An inbound `traceparent` header joins the
+// caller's trace (sampled flag honored); when the request's span is
+// recorded, its trace ID is echoed on the X-DW-Trace response header so
+// callers can fetch the trace from GET /traces/{id}.
 func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		ctx, id := obs.WithRequestID(req.Context())
+		if tp := req.Header.Get("traceparent"); tp != "" {
+			ctx = trace.ContextWithRemote(ctx, tp)
+		}
+		ctx, sp := s.tracer.Start(ctx, "http "+route)
+		if sp.Recording() {
+			w.Header().Set("X-DW-Trace", sp.Context().TraceID.String())
+		}
 		rec := obs.NewStatusRecorder(w)
 		s.mInFlight.Add(1)
 		start := time.Now()
 		h(rec, req.WithContext(ctx))
 		elapsed := time.Since(start)
 		s.mInFlight.Add(-1)
+		sp.SetAttrInt("status", int64(rec.Status))
+		sp.End()
 		s.reg.Counter("dw_http_requests_total",
 			"HTTP requests by route and status code.",
 			obs.Labels{"route": route, "code": strconv.Itoa(rec.Status)}).Inc()
@@ -304,24 +343,44 @@ func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// handler returns the HTTP routing table.
+// routeDef is one row of the routing table: the ServeMux pattern, the
+// handler, and the banner description. Keeping pattern, handler and
+// documentation in ONE table (instead of a handler map plus a separately
+// maintained banner list) is what guarantees every route — /readyz and
+// /metrics included — goes through the obs middleware exactly once and
+// shows up in the startup banner; TestRouteCoverage locks this in.
+type routeDef struct {
+	pattern string
+	handler http.HandlerFunc
+	doc     string
+}
+
+// routes returns the complete routing table in banner order.
+func (s *server) routes() []routeDef {
+	metrics := obs.MetricsHandler(s.reg)
+	return []routeDef{
+		{"GET /healthz", s.handleHealth, "server and warehouse status (liveness)"},
+		{"GET /readyz", s.handleReady, "readiness: snapshot loaded, journal replayed, not draining"},
+		{"GET /schema", s.handleSchema, "database and view definitions"},
+		{"GET /complement", s.handleComplement, "complement entries and inverses"},
+		{"GET /relations", s.handleRelations, "warehouse relation sizes"},
+		{"GET /relations/{name}", s.handleRelation, "one materialized relation"},
+		{"GET /query", s.handleQuery, "translate + answer a source query (&explain=1 stats, =2 plan tree)"},
+		{"POST /update", s.handleUpdate, "apply update ops (insert R(...)/delete R(...))"},
+		{"GET /reconstruct/{base}", s.handleReconstruct, "recompute a base relation via W⁻¹"},
+		{"GET /stats", s.handleStats, "cumulative evaluation, refresh and maintenance counters"},
+		{"GET /traces", s.handleTraces, "recent sampled traces (&limit=N)"},
+		{"GET /traces/{id}", s.handleTrace, "one trace's spans as JSON plus a rendered tree"},
+		{"GET /metrics", metrics.ServeHTTP, "Prometheus text exposition"},
+	}
+}
+
+// handler returns the HTTP routing table with every handler wrapped in
+// the obs middleware exactly once.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	metrics := obs.MetricsHandler(s.reg)
-	for route, h := range map[string]http.HandlerFunc{
-		"GET /healthz":            s.handleHealth,
-		"GET /readyz":             s.handleReady,
-		"GET /schema":             s.handleSchema,
-		"GET /complement":         s.handleComplement,
-		"GET /relations":          s.handleRelations,
-		"GET /relations/{name}":   s.handleRelation,
-		"GET /query":              s.handleQuery,
-		"POST /update":            s.handleUpdate,
-		"GET /reconstruct/{base}": s.handleReconstruct,
-		"GET /stats":              s.handleStats,
-		"GET /metrics":            metrics.ServeHTTP,
-	} {
-		mux.HandleFunc(route, s.instrument(route, h))
+	for _, r := range s.routes() {
+		mux.HandleFunc(r.pattern, s.instrument(r.pattern, r.handler))
 	}
 	return mux
 }
@@ -556,8 +615,15 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	rows, err := dwc.EvalExpr(req.Context(), qHat, s.w)
+	// The evaluation span (child of the request span) carries the query,
+	// its cardinality and the compact executed-plan signature, so a trace
+	// shows WHAT ran, not just how long it took.
+	qctx, sp := trace.StartSpan(req.Context(), "query.eval")
+	defer sp.End()
+	sp.SetAttr("query", q.String())
+	rows, err := dwc.EvalExpr(qctx, qHat, s.w)
 	if err != nil {
+		sp.SetAttr("outcome", "error")
 		s.queries.Add(1)
 		s.mQueries.Inc()
 		if canceled(err) {
@@ -568,6 +634,10 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	stats := rows.Stats()
+	sp.SetAttrInt("rows", int64(rows.Len()))
+	if plan := stats.PlanSummary(0); plan != "" {
+		sp.SetAttr("plan", plan)
+	}
 	s.queries.Add(1)
 	s.mQueries.Inc()
 	s.mQueryDur.Observe(stats.Wall.Seconds())
@@ -607,10 +677,17 @@ func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// The refresh span parents the maintainer's per-target refresh.target
+	// spans; journal.append lands next to it under the request span.
+	rctx, sp := trace.StartSpan(req.Context(), "refresh")
+	defer sp.End()
+	sp.SetAttr("source", httpSource)
+	sp.SetAttrInt("seq", int64(s.seq+1))
 	// Cancellation is honored only before deltas are applied — the refresh
 	// either happens entirely or not at all, so a 499 means "unchanged".
-	stats, err := s.maintain.RefreshContext(req.Context(), s.w, u)
+	stats, err := s.maintain.RefreshContext(rctx, s.w, u)
 	if err != nil {
+		sp.SetAttr("outcome", "error")
 		if canceled(err) {
 			writeError(w, statusClientClosedRequest, err)
 			return
@@ -628,7 +705,7 @@ func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 	// keeps replay exactly the sequence of acknowledged updates.
 	if s.jw != nil {
 		rec := journal.Record{Source: httpSource, Seq: s.seq + 1, Update: u}
-		if jerr := s.jw.Append(rec); jerr != nil {
+		if jerr := s.jw.AppendContext(req.Context(), rec); jerr != nil {
 			s.degraded.Store(true)
 			writeError(w, http.StatusInternalServerError,
 				fmt.Errorf("update applied but journal append failed (do not retry blindly): %w", jerr))
@@ -641,6 +718,7 @@ func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 	s.mRefreshDur.Observe(stats.Wall.Seconds())
 	s.mRestricted.Add(stats.RestrictedLookups)
 	s.mFullRecon.Add(stats.FullReconstructions)
+	s.observeMaintenance(stats, -1)
 	for name, n := range stats.Changed {
 		if n > 0 {
 			s.reg.Counter("dw_refresh_changes_total",
@@ -708,7 +786,70 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"lastRefresh":   s.lastRefresh,
 	}
 	s.statsMu.Unlock()
+	// Planner-facing maintenance EWMAs (ROADMAP item 3's input contract).
+	body["maintenance"] = s.mstats.Snapshot()
 	writeJSON(w, http.StatusOK, body)
+}
+
+// traceListCap bounds GET /traces responses; the detail endpoint is
+// already bounded by the ring buffer's capacity.
+const traceListCap = 100
+
+// wireSpan is the JSON shape of one span on GET /traces/{id}: the
+// SpanRecord plus its (store-internal) identifiers, so clients can
+// rebuild the parent/child tree.
+type wireSpan struct {
+	SpanID string `json:"spanId"`
+	Parent string `json:"parentId,omitempty"`
+	trace.SpanRecord
+}
+
+// handleTraces lists recently finished traces, most recent first.
+func (s *server) handleTraces(w http.ResponseWriter, req *http.Request) {
+	limit := 20
+	if v := req.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	if limit > traceListCap {
+		limit = traceListCap
+	}
+	store := s.tracer.Store()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"retainedSpans": store.Len(),
+		"traces":        store.Traces(limit),
+	})
+}
+
+// handleTrace returns one trace's retained spans, start-ordered, plus
+// the same rendered tree the dwctl REPL shows.
+func (s *server) handleTrace(w http.ResponseWriter, req *http.Request) {
+	id, ok := trace.ParseTraceID(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace id %q", req.PathValue("id")))
+		return
+	}
+	spans, ok := s.tracer.Store().Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no retained trace %s", id))
+		return
+	}
+	out := make([]wireSpan, len(spans))
+	for i, sp := range spans {
+		out[i] = wireSpan{SpanID: sp.SpanID.String(), SpanRecord: sp}
+		if !sp.Parent.IsZero() {
+			out[i].Parent = sp.Parent.String()
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traceId": id.String(),
+		"spans":   out,
+		"text":    trace.Render(spans),
+	})
 }
 
 func (s *server) handleReconstruct(w http.ResponseWriter, req *http.Request) {
@@ -728,6 +869,24 @@ func (s *server) handleReconstruct(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, jsonRelation(bases[base]))
 }
 
+// observeMaintenance folds one refresh's outcome into the planner-facing
+// EWMAs: per-target delta/view sizes and propagation time, plus the
+// refresh-wide lookup mix and (for remote reports that carried an
+// emission timestamp) the end-to-end refresh lag. Pass lag < 0 when the
+// update had no source emit time (HTTP updates). Caller holds s.mu, so
+// post-refresh view sizes can be read directly.
+func (s *server) observeMaintenance(stats dwc.RefreshStats, lag time.Duration) {
+	for _, span := range stats.Spans {
+		size := 0
+		if r, ok := s.w.Relation(span.Target); ok {
+			size = r.Len()
+		}
+		s.mstats.ObserveTarget(span.Target, span.DeltaIns+span.DeltaDel, span.Applied,
+			size, stats.RestrictedLookups, stats.FullReconstructions, span.Wall)
+	}
+	s.mstats.ObserveRefresh(stats.RestrictedLookups, stats.FullReconstructions, stats.Wall, lag)
+}
+
 // checkpointLocked durably saves the warehouse state with the current
 // watermark (atomic temp-file + rename) and compacts the journal: every
 // journaled record is now covered by the snapshot. Caller holds s.mu.
@@ -741,6 +900,11 @@ func (s *server) checkpointLocked() error {
 	}
 	if err := snapshot.SaveFileMarks(checkpointPath(s.cfg.SnapshotDir), s.w.State(), marks); err != nil {
 		return err
+	}
+	// The maintenance EWMAs ride along; they are advisory (planner input),
+	// so a failed save degrades estimates, not durability.
+	if err := s.mstats.Save(maintstatsPath(s.cfg.SnapshotDir)); err != nil {
+		s.log.Warn("maintenance stats save failed", "err", err)
 	}
 	s.sinceCkpt = 0
 	if s.jw != nil {
@@ -770,19 +934,13 @@ func (s *server) shutdown() error {
 	return err
 }
 
-// describeRoutes lists the API for the startup banner.
-func describeRoutes() string {
-	return strings.Join([]string{
-		"GET  /healthz                 server and warehouse status (liveness)",
-		"GET  /readyz                  readiness: snapshot loaded, journal replayed, not draining",
-		"GET  /schema                  database and view definitions",
-		"GET  /complement              complement entries and inverses",
-		"GET  /relations               warehouse relation sizes",
-		"GET  /relations/{name}        one materialized relation",
-		"GET  /query?q=<expr>          translate + answer a source query (&explain=1 stats, =2 plan tree)",
-		"POST /update                  apply update ops (insert R(...)/delete R(...))",
-		"GET  /reconstruct/{base}      recompute a base relation via W⁻¹",
-		"GET  /stats                   cumulative evaluation and refresh counters",
-		"GET  /metrics                 Prometheus text exposition",
-	}, "\n")
+// describeRoutes lists the API for the startup banner, generated from
+// the same table the mux is built from so the two can never drift.
+func (s *server) describeRoutes() string {
+	var lines []string
+	for _, r := range s.routes() {
+		method, path, _ := strings.Cut(r.pattern, " ")
+		lines = append(lines, fmt.Sprintf("%-4s %-25s %s", method, path, r.doc))
+	}
+	return strings.Join(lines, "\n")
 }

@@ -6,7 +6,7 @@
 // remote.Client):
 //
 //	dwsource -spec warehouse.dw -name sales -owns Sale [-addr :9101]
-//	         [-unsealed] [-retain 65536]
+//	         [-unsealed] [-retain 65536] [-trace-sample 0.01]
 //
 // Endpoints:
 //
@@ -40,6 +40,7 @@ import (
 	"dwcomplement/internal/catalog"
 	"dwcomplement/internal/remote"
 	"dwcomplement/internal/source"
+	"dwcomplement/internal/trace"
 )
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -72,7 +73,14 @@ func newSourceHandler(src *source.Source, db *catalog.Database, retain int) (htt
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 			return
 		}
-		seq, err := src.Apply(u)
+		// A caller already tracing its own work (a load generator, a CI
+		// driver) hands its trace over the standard header; the apply
+		// span — and the report's whole downstream lineage — joins it.
+		ctx := r.Context()
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			ctx = trace.ContextWithRemote(ctx, tp)
+		}
+		seq, err := src.ApplyContext(ctx, u)
 		if err != nil {
 			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
 			return
@@ -90,6 +98,7 @@ func main() {
 	addr := fs.String("addr", ":9101", "listen address")
 	unsealed := fs.Bool("unsealed", false, "permit in-process ad-hoc queries (the wire never exposes them)")
 	retain := fs.Int("retain", 65536, "max reports retained for resync (oldest trimmed past the cap; 0 = unbounded)")
+	traceSample := fs.Float64("trace-sample", 0.01, "probability of tracing a transaction's report lineage (0 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "graceful shutdown deadline")
 	_ = fs.Parse(os.Args[1:])
 
@@ -119,6 +128,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dwsource:", err)
 		os.Exit(1)
 	}
+	// Sampled transactions stamp a traceparent onto their reports, so the
+	// warehouse can continue the trace across the reporting channel.
+	src.SetTracer(trace.New(trace.Config{Rate: *traceSample}))
 
 	fmt.Printf("dwsource: source %q owns %s (sealed=%v, retain=%d)\nlistening on %s\n",
 		*name, strings.Join(rels, ", "), !*unsealed, *retain, *addr)

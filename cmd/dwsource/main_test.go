@@ -8,7 +8,9 @@ import (
 	"testing"
 
 	dwc "dwcomplement"
+	"dwcomplement/internal/remote"
 	"dwcomplement/internal/source"
+	"dwcomplement/internal/trace"
 )
 
 const testSpec = `
@@ -91,5 +93,61 @@ func TestApplyAndReport(t *testing.T) {
 	}
 	if h.Source != "sales" || !h.Sealed {
 		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+// TestApplyJoinsCallerTrace: a traceparent header on POST /apply makes
+// the transaction's apply span — and the traceparent stamped onto its
+// report — part of the caller's trace.
+func TestApplyJoinsCallerTrace(t *testing.T) {
+	spec, err := dwc.ParseSpec(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := source.NewSource("sales", spec.DB, true, "Sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(trace.Config{Rate: 0, Seed: 7}) // only the caller samples
+	src.SetTracer(tr)
+	handler, _ := newSourceHandler(src, spec.DB, 0)
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	const parent = "00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-bbbbbbbbbbbbbbbb-01"
+	req, _ := http.NewRequest("POST", ts.URL+"/apply", strings.NewReader(`insert Sale('TV set', 'Mary')`))
+	req.Header.Set("traceparent", parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("apply = %d", resp.StatusCode)
+	}
+	// The report on the wire carries the caller's trace and the emit time.
+	rresp, err := http.Get(ts.URL + "/reports?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	var batch remote.ReportBatch
+	if err := json.NewDecoder(rresp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Reports) != 1 {
+		t.Fatalf("reports = %+v", batch)
+	}
+	rep := batch.Reports[0]
+	sc, ok := trace.ParseTraceparent(rep.Traceparent)
+	if !ok || sc.TraceID.String() != "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa" {
+		t.Fatalf("report traceparent = %q, want the caller's trace continued", rep.Traceparent)
+	}
+	if rep.EmittedUnixNano == 0 {
+		t.Error("report missing emission timestamp")
+	}
+	spans, ok := tr.Store().Trace(sc.TraceID)
+	if !ok || len(spans) != 1 || spans[0].Name != "source.apply" {
+		t.Fatalf("source store = %v, want one source.apply span", spans)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -179,6 +180,66 @@ func (ec *EvalContext) Stats() EvalStats {
 	s.Plan = append([]*PlanNode(nil), ec.roots...)
 	s.PlanTruncated = ec.truncated
 	return s
+}
+
+// PlanSummary renders the executed plan trees as a compact one-line
+// signature — operator names with emitted cardinalities, children in
+// parentheses — bounded to maxLen bytes (0 means 256). It is the form a
+// query's trace span carries: enough to recognize the plan shape from a
+// trace without shipping the full EXPLAIN ANALYZE tree into the span
+// store.
+func (s EvalStats) PlanSummary(maxLen int) string {
+	if maxLen <= 0 {
+		maxLen = 256
+	}
+	if len(s.Plan) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, n := range s.Plan {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		summarizeNode(&b, n, maxLen)
+		if b.Len() > maxLen {
+			break
+		}
+	}
+	out := b.String()
+	if len(out) > maxLen {
+		out = out[:maxLen] + "…"
+	}
+	if s.PlanTruncated {
+		out += " (truncated)"
+	}
+	return out
+}
+
+// summarizeNode writes one plan node (and children) compactly, stopping
+// early once the builder exceeds the byte budget.
+func summarizeNode(b *strings.Builder, n *PlanNode, budget int) {
+	if n == nil || b.Len() > budget {
+		return
+	}
+	b.WriteString(n.Op)
+	if n.Restricted {
+		b.WriteString("⋉")
+	}
+	fmt.Fprintf(b, "[emit=%d]", n.Emitted)
+	if len(n.Children) == 0 {
+		return
+	}
+	b.WriteString("(")
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		summarizeNode(b, c, budget)
+		if b.Len() > budget {
+			break
+		}
+	}
+	b.WriteString(")")
 }
 
 // AddWall adds caller-measured end-to-end time to the totals.

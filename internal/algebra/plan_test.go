@@ -195,3 +195,34 @@ func TestPlanNodeCap(t *testing.T) {
 		t.Error("flat totals lost past the node cap")
 	}
 }
+
+// TestPlanSummary: the one-line signature names the operators with their
+// emitted cardinalities, honors the byte budget, and reports truncation.
+func TestPlanSummary(t *testing.T) {
+	st := figure1State()
+	ec := NewEvalContext(nil)
+	q := NewProject(NewSelect(soldExpr(), AttrCmpConst("age", OpLt, relation.Int(30))), "clerk")
+	if _, err := EvalCtx(ec, q, st); err != nil {
+		t.Fatal(err)
+	}
+	s := ec.Stats()
+	sum := s.PlanSummary(0)
+	if sum == "" {
+		t.Fatal("empty summary for instrumented evaluation")
+	}
+	for _, op := range []string{"project", "select"} {
+		if !strings.Contains(sum, op) {
+			t.Errorf("summary %q missing operator %q", sum, op)
+		}
+	}
+	if !strings.Contains(sum, "[emit=") {
+		t.Errorf("summary %q missing cardinalities", sum)
+	}
+	if short := s.PlanSummary(10); len(short) > 10+len("…")+len(" (truncated)") {
+		t.Errorf("budget 10 produced %d bytes: %q", len(short), short)
+	}
+	var none EvalStats
+	if got := none.PlanSummary(0); got != "" {
+		t.Errorf("plan-free stats summarized to %q, want empty", got)
+	}
+}

@@ -24,6 +24,7 @@ package journal
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -32,12 +33,14 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"dwcomplement/internal/algebra"
 	"dwcomplement/internal/catalog"
 	"dwcomplement/internal/chaos"
 	"dwcomplement/internal/relation"
 	"dwcomplement/internal/snapshot"
+	"dwcomplement/internal/trace"
 )
 
 // magic opens every journal file.
@@ -201,6 +204,18 @@ func Open(path string) (*Writer, error) {
 // points model a crash before the write ("journal.append") and between
 // write and sync ("journal.sync").
 func (w *Writer) Append(rec Record) error {
+	return w.AppendContext(context.Background(), rec)
+}
+
+// AppendContext is Append with lineage: when ctx carries a recording
+// trace span, the append runs under a "journal.append" child span
+// annotated with the framed record size and the fsync's share of the
+// wall time — the durability hop of a report's end-to-end trace.
+func (w *Writer) AppendContext(ctx context.Context, rec Record) error {
+	_, sp := trace.StartSpan(ctx, "journal.append")
+	defer sp.End()
+	sp.SetAttr("source", rec.Source)
+	sp.SetAttrInt("seq", int64(rec.Seq))
 	if err := chaos.Point("journal.append"); err != nil {
 		return err
 	}
@@ -211,6 +226,7 @@ func (w *Writer) Append(rec Record) error {
 	if payload.Len() > maxRecord {
 		return fmt.Errorf("journal: record of %d bytes exceeds limit", payload.Len())
 	}
+	sp.SetAttrInt("bytes", int64(payload.Len()+8))
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
 	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
@@ -225,7 +241,15 @@ func (w *Writer) Append(rec Record) error {
 	if err := chaos.Point("journal.sync"); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	var syncStart time.Time
+	if sp.Recording() {
+		syncStart = time.Now()
+	}
+	err := w.f.Sync()
+	if sp.Recording() {
+		sp.SetAttrInt("fsyncMicros", time.Since(syncStart).Microseconds())
+	}
+	return err
 }
 
 // Reset truncates the journal to empty (magic only). Called after a

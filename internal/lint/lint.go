@@ -16,7 +16,10 @@
 //     flat stats and plan trees cannot silently drift when an operator
 //     kind is added;
 //   - senterr: error messages describing sentinel conditions must wrap
-//     the sentinel errors so errors.Is works across the public API.
+//     the sentinel errors so errors.Is works across the public API;
+//   - spanend: every span started via internal/trace must be finished
+//     with End (deferred, or called before every return), or the trace
+//     silently loses the instrumented operation.
 //
 // A diagnostic can be suppressed with a directive comment on the flagged
 // line or the line above it:
@@ -72,7 +75,7 @@ func (d Diagnostic) String() string {
 
 // All returns the analyzer catalog in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{EvalCtxAnalyzer, LockDiscipline, PlanOps, SentErr}
+	return []*Analyzer{EvalCtxAnalyzer, LockDiscipline, PlanOps, SentErr, SpanEnd}
 }
 
 // ByName resolves analyzer names (comma-separated lists accepted by the

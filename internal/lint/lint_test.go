@@ -65,6 +65,7 @@ func TestLockDiscipline(t *testing.T) { testAnalyzer(t, LockDiscipline, "lockdis
 func TestEvalCtx(t *testing.T)        { testAnalyzer(t, EvalCtxAnalyzer, "evalctx") }
 func TestPlanOps(t *testing.T)        { testAnalyzer(t, PlanOps, "planops") }
 func TestSentErr(t *testing.T)        { testAnalyzer(t, SentErr, "senterr") }
+func TestSpanEnd(t *testing.T)        { testAnalyzer(t, SpanEnd, "spanend") }
 
 func TestByName(t *testing.T) {
 	as, err := ByName([]string{"senterr", "planops"})

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SpanEnd enforces the tracing layer's lifecycle contract in library
+// code: every span started by internal/trace (Tracer.Start,
+// Tracer.StartRemote, or the package-level StartSpan) must be finished,
+// or it silently never reaches the ring buffer — the trace shows a hole
+// exactly where the instrumented operation ran. A span is considered
+// ended when the starting function either defers its End or calls End
+// before every later return (checked positionally, in source order —
+// the same linear reading a reviewer does). Discarding the span with _
+// is always a violation: an unnamed span cannot be ended.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "internal/ code must End every span started via internal/trace (defer, or before every return)",
+	Run:  runSpanEnd,
+}
+
+const tracePkgPath = "dwcomplement/internal/trace"
+
+// spanStart is one trace start site found in a function body.
+type spanStart struct {
+	name string // span variable ("" when discarded with _)
+	fn   string // starting function, for the diagnostic
+	pos  token.Pos
+}
+
+func runSpanEnd(pass *Pass) {
+	// Only library code is constrained (matching evalctx); the trace
+	// package itself starts and ends spans through its own internals.
+	if !strings.Contains(pass.Pkg.PkgPath, "/internal/") || pass.Pkg.PkgPath == tracePkgPath {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkSpanBody(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkSpanBody verifies every span started directly in body (nested
+// function literals are checked separately by the Inspect above).
+func checkSpanBody(pass *Pass, body *ast.BlockStmt) {
+	var starts []spanStart
+	deferred := map[string]bool{}    // span name → defer'd End exists
+	ends := map[string][]token.Pos{} // span name → non-deferred End positions
+	var returns []token.Pos
+
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch stmt := m.(type) {
+			case *ast.FuncLit:
+				// A literal's own starts and returns belong to IT; its
+				// End calls still count for the enclosing function (a
+				// span handed to a closure — e.g. a deferred cleanup).
+				collectEnds(pass, stmt.Body, inDefer, deferred, ends)
+				return false
+			case *ast.DeferStmt:
+				walk(stmt.Call, true)
+				return false
+			case *ast.ReturnStmt:
+				if !inDefer {
+					returns = append(returns, stmt.Pos())
+				}
+			case *ast.AssignStmt:
+				if st, ok := spanStartOf(pass, stmt); ok {
+					starts = append(starts, st)
+				}
+			case *ast.CallExpr:
+				if name, ok := spanEndOf(pass, stmt); ok {
+					if inDefer {
+						deferred[name] = true
+					} else {
+						ends[name] = append(ends[name], stmt.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	for _, st := range starts {
+		if st.name == "" {
+			pass.Reportf(st.pos,
+				"span from trace.%s discarded with _; assign it and call End", st.fn)
+			continue
+		}
+		if deferred[st.name] {
+			continue
+		}
+		// Every later return — and the fall-off-the-end point — must
+		// have an End for this span somewhere before it in source order.
+		checkpoints := append([]token.Pos{}, returns...)
+		checkpoints = append(checkpoints, body.End())
+		ok := true
+		for _, r := range checkpoints {
+			if r < st.pos {
+				continue
+			}
+			covered := false
+			for _, e := range ends[st.name] {
+				if e > st.pos && e < r {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(st.pos,
+				"span %q from trace.%s is not ended on every path; defer %s.End() or call it before each return",
+				st.name, st.fn, st.name)
+		}
+	}
+}
+
+// collectEnds records End calls found inside a nested function literal:
+// deferred literals end the span like a direct defer; a plain closure's
+// End counts at the literal's position.
+func collectEnds(pass *Pass, body *ast.BlockStmt, inDefer bool, deferred map[string]bool, ends map[string][]token.Pos) {
+	ast.Inspect(body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := spanEndOf(pass, call); ok {
+			if inDefer {
+				deferred[name] = true
+			} else {
+				ends[name] = append(ends[name], body.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// spanStartOf reports whether stmt assigns the result of a trace start
+// call, returning the span variable's name ("" when discarded).
+func spanStartOf(pass *Pass, stmt *ast.AssignStmt) (spanStart, bool) {
+	if len(stmt.Rhs) != 1 || len(stmt.Lhs) != 2 {
+		return spanStart{}, false
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return spanStart{}, false
+	}
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != tracePkgPath {
+		return spanStart{}, false
+	}
+	switch fn.Name() {
+	case "StartSpan", "Start", "StartRemote":
+	default:
+		return spanStart{}, false
+	}
+	st := spanStart{fn: fn.Name(), pos: call.Pos()}
+	if id, ok := stmt.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+		st.name = id.Name
+	}
+	return st, true
+}
+
+// spanEndOf reports whether call is <ident>.End() on a span variable,
+// returning the variable name.
+func spanEndOf(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != tracePkgPath || receiverName(fn) != "Span" {
+		return "", false
+	}
+	return id.Name, true
+}

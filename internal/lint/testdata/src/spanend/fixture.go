@@ -1,0 +1,71 @@
+// Package spanend is the minimal fixture for the spanend analyzer: it
+// sits under internal/ and starts trace spans with and without the
+// required End.
+package spanend
+
+import (
+	"context"
+
+	"dwcomplement/internal/trace"
+)
+
+func cond() bool { return false }
+
+// Deferred End: the canonical instrumentation shape.
+func deferredEnd(t *trace.Tracer, ctx context.Context) {
+	ctx, sp := t.Start(ctx, "op")
+	defer sp.End()
+	_ = ctx
+}
+
+// End via a deferred closure also counts.
+func deferredClosure(t *trace.Tracer, ctx context.Context) {
+	_, sp := t.StartRemote(ctx, "", "op")
+	defer func() {
+		sp.SetAttr("outcome", "done")
+		sp.End()
+	}()
+}
+
+// Linear End before every return.
+func endBeforeReturns(ctx context.Context) error {
+	_, sp := trace.StartSpan(ctx, "op")
+	if cond() {
+		sp.SetAttr("outcome", "early")
+		sp.End()
+		return nil
+	}
+	sp.End()
+	return nil
+}
+
+// A span that falls off the end of the function without End.
+func neverEnded(t *trace.Tracer, ctx context.Context) {
+	_, sp := t.Start(ctx, "op") // want "not ended on every path"
+	sp.SetAttr("k", "v")
+}
+
+// Ended on one branch but not before the early return.
+func missingOnPath(t *trace.Tracer, ctx context.Context) error {
+	_, sp := t.Start(ctx, "op") // want "not ended on every path"
+	if cond() {
+		return nil
+	}
+	sp.End()
+	return nil
+}
+
+// Discarding the span makes it impossible to End.
+func discarded(t *trace.Tracer, ctx context.Context) {
+	_, _ = t.Start(ctx, "op") // want "discarded with _"
+}
+
+// A span started inside a function literal is checked against that
+// literal's own returns, not the enclosing function's.
+func insideLiteral(t *trace.Tracer, ctx context.Context) {
+	run := func() {
+		_, sp := t.Start(ctx, "inner") // want "not ended on every path"
+		_ = sp
+	}
+	run()
+}

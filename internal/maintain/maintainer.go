@@ -12,6 +12,7 @@ import (
 	"dwcomplement/internal/chaos"
 	"dwcomplement/internal/core"
 	"dwcomplement/internal/relation"
+	"dwcomplement/internal/trace"
 	"dwcomplement/internal/warehouse"
 )
 
@@ -227,7 +228,7 @@ func (m *Maintainer) SetParallel(p bool) {
 // dwc.Refresh) so cancellation and instrumentation propagate; Refresh
 // survives as a thin wrapper for external callers.
 func (m *Maintainer) Refresh(w *warehouse.Warehouse, u *catalog.Update) (RefreshStats, error) {
-	return m.refresh(nil, w, u)
+	return m.refresh(context.Background(), nil, w, u)
 }
 
 // RefreshContext is Refresh with cancellation and instrumentation: the
@@ -238,7 +239,7 @@ func (m *Maintainer) Refresh(w *warehouse.Warehouse, u *catalog.Update) (Refresh
 func (m *Maintainer) RefreshContext(ctx context.Context, w *warehouse.Warehouse, u *catalog.Update) (RefreshStats, error) {
 	ec := algebra.NewEvalContext(ctx)
 	start := time.Now()
-	stats, err := m.refresh(ec, w, u)
+	stats, err := m.refresh(ctx, ec, w, u)
 	stats.Wall = time.Since(start)
 	es := ec.Stats()
 	es.Wall = stats.Wall
@@ -256,7 +257,22 @@ func cancelOr(ec *algebra.EvalContext, err error) error {
 	return err
 }
 
-func (m *Maintainer) refresh(ec *algebra.EvalContext, w *warehouse.Warehouse, u *catalog.Update) (RefreshStats, error) {
+// propagateTraced runs one target's Propagate under a "refresh.target"
+// span (a no-op without a recording parent in ctx), annotating the
+// propagated delta sizes.
+func propagateTraced(ctx context.Context, name string, def algebra.Expr, vst *VirtualState, nu *catalog.Update) (Delta, error) {
+	_, sp := trace.StartSpan(ctx, "refresh.target")
+	defer sp.End()
+	sp.SetAttr("target", name)
+	d, err := Propagate(def, vst, nu)
+	if err == nil {
+		sp.SetAttrInt("deltaIns", int64(d.Ins.Len()))
+		sp.SetAttrInt("deltaDel", int64(d.Del.Len()))
+	}
+	return d, err
+}
+
+func (m *Maintainer) refresh(ctx context.Context, ec *algebra.EvalContext, w *warehouse.Warehouse, u *catalog.Update) (RefreshStats, error) {
 	stats := RefreshStats{Changed: make(map[string]int)}
 	vst := NewVirtualStateCtx(m.comp, w, ec)
 	nu, err := NormalizeUpdate(u, vst, m.comp)
@@ -291,7 +307,7 @@ func (m *Maintainer) refresh(ec *algebra.EvalContext, w *warehouse.Warehouse, u 
 			go func(i int, tg target) {
 				defer wg.Done()
 				start := time.Now()
-				d, err := Propagate(tg.def, vst, nu)
+				d, err := propagateTraced(ctx, tg.name, tg.def, vst, nu)
 				if err != nil {
 					errs[i] = fmt.Errorf("maintain: %s: %w", tg.name, err)
 					return
@@ -311,7 +327,7 @@ func (m *Maintainer) refresh(ec *algebra.EvalContext, w *warehouse.Warehouse, u 
 				return stats, err
 			}
 			start := time.Now()
-			d, err := Propagate(tg.def, vst, nu)
+			d, err := propagateTraced(ctx, tg.name, tg.def, vst, nu)
 			if err != nil {
 				return stats, cancelOr(ec, fmt.Errorf("maintain: %s: %w", tg.name, err))
 			}

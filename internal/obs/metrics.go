@@ -60,29 +60,50 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// Exemplar links one observed value to the trace that produced it, in
+// the OpenMetrics sense: scrape output carries the last exemplar per
+// bucket so a latency spike in a dashboard can be followed straight to
+// its lineage trace under GET /traces/{id}.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+}
+
 // Histogram counts observations into fixed buckets and tracks their sum,
 // exposed in Prometheus cumulative-bucket form. Safe for concurrent use.
 type Histogram struct {
-	mu     sync.Mutex
-	upper  []float64 // sorted upper bounds; +Inf is implicit
-	counts []uint64  // per-bucket (non-cumulative) counts
-	sum    float64
-	count  uint64
+	mu        sync.Mutex
+	upper     []float64 // sorted upper bounds; +Inf is implicit
+	counts    []uint64  // per-bucket (non-cumulative) counts
+	exemplars []Exemplar // lazily allocated, len(upper)+1 (+Inf last)
+	sum       float64
+	count     uint64
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveWithExemplar(v, "") }
+
+// ObserveWithExemplar records one value and, when traceID is non-empty,
+// remembers it as the owning bucket's most recent exemplar.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.sum += v
 	h.count++
+	bucket := len(h.upper) // implicit +Inf
 	for i, ub := range h.upper {
 		if v <= ub {
 			h.counts[i]++
-			return
+			bucket = i
+			break
 		}
 	}
-	// Falls into the implicit +Inf bucket only.
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]Exemplar, len(h.upper)+1)
+		}
+		h.exemplars[bucket] = Exemplar{TraceID: traceID, Value: v}
+	}
 }
 
 // ObserveDuration records a duration in seconds.
@@ -100,6 +121,18 @@ func (h *Histogram) Snapshot() (cumulative []uint64, sum float64, count uint64) 
 		cumulative[i] = acc
 	}
 	return cumulative, h.sum, h.count
+}
+
+// Exemplars returns a copy of the per-bucket exemplars (one slot per
+// upper bound plus +Inf; zero-value slots mean none recorded), or nil
+// when no exemplar was ever observed.
+func (h *Histogram) Exemplars() []Exemplar {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.exemplars == nil {
+		return nil
+	}
+	return append([]Exemplar(nil), h.exemplars...)
 }
 
 // metricKind discriminates the series types of a family.
@@ -284,6 +317,17 @@ func renderLabels(labels Labels, extraKey, extraVal string) string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
+// renderExemplar renders the OpenMetrics exemplar suffix for bucket i
+// (" # {trace_id=\"...\"} value"), or "" when none was recorded. The
+// suffix makes histogram lines OpenMetrics-flavored; the rest of the
+// exposition stays plain 0.0.4.
+func renderExemplar(ex []Exemplar, i int) string {
+	if i >= len(ex) || ex[i].TraceID == "" {
+		return ""
+	}
+	return ` # {trace_id="` + escapeLabel(ex[i].TraceID) + `"} ` + formatFloat(ex[i].Value)
+}
+
 // WritePrometheus renders every family in registration order in the
 // Prometheus text exposition format (version 0.0.4).
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -334,14 +378,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				}
 			case kindHistogram:
 				cum, sum, count := s.hist.Snapshot()
+				ex := s.hist.Exemplars()
 				for i, ub := range f.buckets {
 					line := renderLabels(s.labels, "le", formatFloat(ub))
-					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, line, cum[i]); err != nil {
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, line, cum[i], renderExemplar(ex, i)); err != nil {
 						return err
 					}
 				}
 				inf := renderLabels(s.labels, "le", "+Inf")
-				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, inf, count); err != nil {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, inf, count, renderExemplar(ex, len(f.buckets))); err != nil {
 					return err
 				}
 				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, formatFloat(sum)); err != nil {

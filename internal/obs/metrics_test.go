@@ -102,6 +102,46 @@ func TestHistogramExposition(t *testing.T) {
 	}
 }
 
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dw_refresh_lag_seconds", "lag", []float64{0.01, 0.1}, nil)
+	h.Observe(0.005) // no exemplar
+	h.ObserveWithExemplar(0.05, "aabb01")
+	h.ObserveWithExemplar(0.06, "aabb02") // replaces the 0.1-bucket exemplar
+	h.ObserveWithExemplar(7, "ccdd03")    // +Inf bucket
+	ex := h.Exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("exemplar slots = %d, want 3", len(ex))
+	}
+	if ex[0].TraceID != "" || ex[1].TraceID != "aabb02" || ex[2].TraceID != "ccdd03" {
+		t.Fatalf("exemplars = %+v", ex)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dw_refresh_lag_seconds_bucket{le=\"0.01\"} 1\n", // no suffix
+		`dw_refresh_lag_seconds_bucket{le="0.1"} 3 # {trace_id="aabb02"} 0.06`,
+		`dw_refresh_lag_seconds_bucket{le="+Inf"} 4 # {trace_id="ccdd03"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// A histogram that never saw an exemplar renders no suffixes at all.
+	r2 := NewRegistry()
+	r2.Histogram("dw_plain_seconds", "h", []float64{1}, nil).Observe(0.5)
+	sb.Reset()
+	if err := r2.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "# {") {
+		t.Errorf("plain histogram rendered an exemplar:\n%s", sb.String())
+	}
+}
+
 func TestGaugeFunc(t *testing.T) {
 	r := NewRegistry()
 	n := 41.0

@@ -17,6 +17,7 @@ import (
 	"dwcomplement/internal/catalog"
 	"dwcomplement/internal/obs"
 	"dwcomplement/internal/source"
+	"dwcomplement/internal/trace"
 )
 
 // ErrQuarantined reports that the client's circuit breaker is open: the
@@ -125,15 +126,18 @@ type Client struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	mu          sync.Mutex
-	notify      func(source.Notification)
-	cursor      uint64 // highest Seq fetched by the poll loop
-	lastSuccess time.Time
-	lastErr     error
-	consecFails int
-	runCtx      context.Context
-	cancel      context.CancelFunc
-	wg          sync.WaitGroup
+	mu           sync.Mutex
+	notify       func(source.Notification)
+	cursor       uint64 // highest Seq fetched by the poll loop
+	lastSuccess  time.Time
+	lastErr      error
+	consecFails  int
+	lastAttempts int  // attempts the last successful fetch needed
+	lastHedged   bool // whether the last successful fetch was hedged
+	tracer       *trace.Tracer
+	runCtx       context.Context
+	cancel       context.CancelFunc
+	wg           sync.WaitGroup
 
 	mRetries *obs.Counter
 	mHedges  *obs.Counter
@@ -167,6 +171,17 @@ func (c *Client) Name() string { return c.name }
 
 // Breaker exposes the client's circuit breaker.
 func (c *Client) Breaker() *Breaker { return c.breaker }
+
+// SetTracer attaches a tracer: reports fetched with a sampled
+// traceparent are delivered under a "remote.attempt" span that records
+// the fetch effort (retries, hedging) and re-parents the report's
+// lineage so downstream spans nest under the client-side hop. Call
+// before Start.
+func (c *Client) SetTracer(t *trace.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
+}
 
 // OnUpdate registers the delivery callback, exactly like
 // Source.OnUpdate. Register before Start.
@@ -227,6 +242,9 @@ func (c *Client) loop(ctx context.Context) {
 	defer c.wg.Done()
 	for ctx.Err() == nil {
 		inc(c.mPolls)
+		c.mu.Lock()
+		c.lastHedged = false // polls are never hedged
+		c.mu.Unlock()
 		batch, err := c.fetch(ctx, "/reports", c.Cursor()+1, c.cfg.PollWait)
 		if err != nil {
 			c.sleep(ctx, c.idleDelay())
@@ -295,6 +313,8 @@ func (c *Client) deliver(batch []source.Notification) bool {
 	c.mu.Lock()
 	fn := c.notify
 	before := c.cursor
+	tracer := c.tracer
+	attempts, hedged := c.lastAttempts, c.lastHedged
 	c.mu.Unlock()
 	for _, n := range batch {
 		c.mu.Lock()
@@ -303,7 +323,7 @@ func (c *Client) deliver(batch []source.Notification) bool {
 		}
 		c.mu.Unlock()
 		if fn != nil {
-			fn(n)
+			c.deliverOne(tracer, n, attempts, hedged, fn)
 		}
 		c.mu.Lock()
 		rewound := c.cursor < n.Seq
@@ -313,6 +333,26 @@ func (c *Client) deliver(batch []source.Notification) bool {
 		}
 	}
 	return c.Cursor() > before
+}
+
+// deliverOne runs the callback for one report, under a "remote.attempt"
+// span when the report carries a sampled traceparent. The span is
+// re-parented into the report before delivery, so everything the
+// consumer does (integration, journaling, refresh) nests under this
+// client-side hop in the trace.
+func (c *Client) deliverOne(tracer *trace.Tracer, n source.Notification, attempts int, hedged bool, fn func(source.Notification)) {
+	_, sp := tracer.StartRemote(context.Background(), n.Traceparent, "remote.attempt")
+	defer sp.End()
+	sp.SetAttr("source", c.name)
+	sp.SetAttrInt("seq", int64(n.Seq))
+	sp.SetAttrInt("fetchAttempts", int64(attempts))
+	if hedged {
+		sp.SetAttr("hedged", "true")
+	}
+	if sp.Recording() {
+		n.Traceparent = sp.Context().Traceparent()
+	}
+	fn(n)
 }
 
 // fetch GETs path?from=N with per-attempt deadlines, retrying with
@@ -333,6 +373,9 @@ func (c *Client) fetch(ctx context.Context, path string, from uint64, wait time.
 		if err == nil {
 			c.breaker.Success()
 			c.noteSuccess()
+			c.mu.Lock()
+			c.lastAttempts = attempt + 1
+			c.mu.Unlock()
 			return batch, nil
 		}
 		if ctx.Err() != nil {
@@ -368,6 +411,9 @@ func (c *Client) fetch(ctx context.Context, path string, from uint64, wait time.
 // launched and the first success wins. Safe because every request is an
 // idempotent GET and deliveries are deduped downstream by Seq.
 func (c *Client) fetchHedged(ctx context.Context, path string, from uint64) ([]source.Notification, error) {
+	c.mu.Lock()
+	c.lastHedged = false
+	c.mu.Unlock()
 	if c.cfg.HedgeDelay <= 0 {
 		return c.fetch(ctx, path, from, 0)
 	}
@@ -404,6 +450,9 @@ func (c *Client) fetchHedged(ctx context.Context, path string, from uint64) ([]s
 			if !hedged {
 				hedged = true
 				inc(c.mHedges)
+				c.mu.Lock()
+				c.lastHedged = true
+				c.mu.Unlock()
 				outstanding++
 				go launch()
 			}

@@ -32,12 +32,21 @@ type WireNotification struct {
 	Seq    uint64                           `json:"seq"`
 	Ins    map[string]snapshot.WireRelation `json:"ins,omitempty"`
 	Del    map[string]snapshot.WireRelation `json:"del,omitempty"`
+	// Lineage (both optional, so old and new peers interoperate): when
+	// the report was applied at the source, and the W3C traceparent of
+	// its sampled "source.apply" span — the propagation that lets the
+	// warehouse join the source's trace and measure refresh lag.
+	EmittedUnixNano int64  `json:"emittedUnixNano,omitempty"`
+	Traceparent     string `json:"traceparent,omitempty"`
 }
 
 // ToWire serializes a notification for transport.
 func ToWire(n source.Notification) WireNotification {
 	ins, del := journal.ToWireUpdate(n.Update)
-	return WireNotification{Source: n.Source, Seq: n.Seq, Ins: ins, Del: del}
+	return WireNotification{
+		Source: n.Source, Seq: n.Seq, Ins: ins, Del: del,
+		EmittedUnixNano: n.EmittedUnixNano, Traceparent: n.Traceparent,
+	}
 }
 
 // FromWire restores a notification against the shared database schema.
@@ -46,7 +55,10 @@ func FromWire(w WireNotification, db *catalog.Database) (source.Notification, er
 	if err != nil {
 		return source.Notification{}, err
 	}
-	return source.Notification{Source: w.Source, Seq: w.Seq, Update: u}, nil
+	return source.Notification{
+		Source: w.Source, Seq: w.Seq, Update: u,
+		EmittedUnixNano: w.EmittedUnixNano, Traceparent: w.Traceparent,
+	}, nil
 }
 
 // ReportBatch is the response body of GET /reports and GET /resend: the

@@ -9,22 +9,32 @@
 package source
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dwcomplement/internal/algebra"
 	"dwcomplement/internal/catalog"
 	"dwcomplement/internal/constraint"
 	"dwcomplement/internal/relation"
+	"dwcomplement/internal/trace"
 )
 
 // Notification is a change report from a source: the update applied, with
-// a per-source sequence number for ordered delivery.
+// a per-source sequence number for ordered delivery. EmittedUnixNano and
+// Traceparent are the lineage carried down the reporting channel: the
+// emission timestamp anchors the warehouse's refresh-lag measurement,
+// and the traceparent (W3C format, empty when the report was not
+// sampled) lets every downstream hop join the report's trace.
 type Notification struct {
 	Source string
 	Seq    uint64
 	Update *catalog.Update
+
+	EmittedUnixNano int64
+	Traceparent     string
 }
 
 // Reporter is the reporting-channel face of a source — the only surface
@@ -61,6 +71,7 @@ type Source struct {
 	notify  func(Notification)
 	history []Notification // reports kept for Resend (gap recovery)
 	queries atomic.Int64   // ad-hoc query attempts, sealed or not
+	tracer  *trace.Tracer  // nil = report emission is untraced
 }
 
 // NewSource creates a source owning the given relations of db. The state
@@ -105,10 +116,28 @@ func (s *Source) OnUpdate(fn func(Notification)) {
 	s.notify = fn
 }
 
+// SetTracer attaches a tracer to the source: each subsequently applied
+// transaction starts a "source.apply" root span (subject to the
+// tracer's sampling rate) whose traceparent rides the emitted report
+// down the reporting channel. Call before traffic starts.
+func (s *Source) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+}
+
 // Apply runs a local transaction: the update may only touch owned
 // relations, is applied under the database's constraints, and is then
 // reported. It returns the assigned sequence number.
 func (s *Source) Apply(u *catalog.Update) (uint64, error) {
+	return s.ApplyContext(context.Background(), u)
+}
+
+// ApplyContext is Apply with a caller context: when ctx carries trace
+// context (e.g. an inbound traceparent installed by
+// trace.ContextWithRemote), the emitted report's span joins the
+// caller's trace instead of starting a fresh one.
+func (s *Source) ApplyContext(ctx context.Context, u *catalog.Update) (uint64, error) {
 	for _, name := range u.Touched() {
 		if !s.Owns(name) {
 			return 0, fmt.Errorf("source: %s cannot update foreign relation %q", s.name, name)
@@ -116,9 +145,13 @@ func (s *Source) Apply(u *catalog.Update) (uint64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_, sp := s.tracer.Start(ctx, "source.apply")
+	defer sp.End()
+	sp.SetAttr("source", s.name)
 	nu := u.Normalize(s.state)
 	trial := s.state.Clone()
 	if err := nu.Apply(trial); err != nil {
+		sp.SetAttr("outcome", "rejected")
 		return 0, fmt.Errorf("source: %s rejected transaction: %w", s.name, err)
 	}
 	// Autonomous sources can only check constraints they can see: keys of
@@ -126,11 +159,20 @@ func (s *Source) Apply(u *catalog.Update) (uint64, error) {
 	// constraints are the deployment's responsibility (as in the paper,
 	// which assumes the global state consistent).
 	if err := s.checkLocal(trial); err != nil {
+		sp.SetAttr("outcome", "rejected")
 		return 0, fmt.Errorf("source: %s rejected transaction: %w", s.name, err)
 	}
 	s.state = trial
 	s.seq++
-	n := Notification{Source: s.name, Seq: s.seq, Update: nu}
+	sp.SetAttrInt("seq", int64(s.seq))
+	sp.SetAttrInt("changes", int64(nu.Size()))
+	n := Notification{
+		Source:          s.name,
+		Seq:             s.seq,
+		Update:          nu,
+		EmittedUnixNano: time.Now().UnixNano(),
+		Traceparent:     sp.Context().Traceparent(),
+	}
 	s.history = append(s.history, n)
 	if s.notify != nil {
 		s.notify(n)
