@@ -1,19 +1,32 @@
-// Command dwlint runs the repository's Go-invariant analyzers (Layer 1
-// of the dwvet subsystem, see DESIGN.md §10) over the given package
-// patterns and exits non-zero if any diagnostic is reported.
+// Command dwlint runs the repository's Go-invariant analyzers (the
+// dwvet subsystem's Layer 1, see DESIGN.md §10 and §15) over the given
+// package patterns and exits non-zero if any diagnostic is reported.
 //
 // Usage:
 //
-//	dwlint [-only names] [-list] [packages ...]
+//	dwlint [-only names] [-list] [-json file] [-github] [-fix [-dry-run]] [packages ...]
 //
 // With no patterns, ./... is analyzed. -only restricts the run to a
 // comma-separated subset of analyzers; -list prints the catalog.
+//
+// -json writes the diagnostics as a JSON array to a file ("-" for
+// stdout — the machine-readable form CI consumes); -github renders
+// each finding as a GitHub Actions workflow annotation (::error ...)
+// so findings surface inline on pull requests.
+//
+// -fix applies the suggested fixes some diagnostics carry (e.g.
+// spanend's `defer span.End()` insertion), atomically per file. With
+// -dry-run the files that would change are listed but not written, and
+// the exit status is non-zero when any change is pending — running
+// -fix twice therefore produces no second diff, which CI checks.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"dwcomplement/internal/lint"
@@ -27,6 +40,10 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("dwlint", flag.ExitOnError)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	jsonOut := fs.String("json", "", `write diagnostics as a JSON array to this file ("-" for stdout)`)
+	github := fs.Bool("github", false, "emit GitHub Actions ::error annotations for each finding")
+	fix := fs.Bool("fix", false, "apply suggested fixes, atomically per file")
+	dryRun := fs.Bool("dry-run", false, "with -fix: list files that would change without writing")
 	fs.Parse(args)
 
 	if *list {
@@ -54,12 +71,87 @@ func run(args []string) int {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if diags == nil {
+		diags = []lint.Diagnostic{} // a clean run encodes as [], not null
 	}
+
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if *jsonOut != "-" {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if *github {
+		for _, d := range diags {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=dwlint(%s)::%s\n",
+				relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, escapeAnnotation(d.Message))
+		}
+	}
+
+	if *fix {
+		changed, fixed, err := lint.ApplyFixes(diags, *dryRun)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		files := make([]string, 0, len(changed))
+		for f := range changed {
+			files = append(files, relPath(f))
+		}
+		if *dryRun {
+			for _, f := range files {
+				fmt.Fprintf(os.Stderr, "dwlint: would fix %s\n", f)
+			}
+			if len(files) > 0 {
+				fmt.Fprintf(os.Stderr, "dwlint: %d file(s) pending fixes\n", len(files))
+				return 1
+			}
+		} else if len(files) > 0 {
+			fmt.Fprintf(os.Stderr, "dwlint: applied %d fix(es) across %d file(s)\n", fixed, len(files))
+		}
+	}
+
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dwlint: %d issue(s) found\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// relPath renders a position filename relative to the working
+// directory when possible (GitHub annotations need repo-relative paths).
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}
+
+// escapeAnnotation encodes the characters the workflow-command parser
+// treats specially in the message part.
+func escapeAnnotation(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
 }

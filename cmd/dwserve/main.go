@@ -165,10 +165,15 @@ func main() {
 	if srv.wedgedErr != nil {
 		srv.log.Error("journal replay wedged; serving stale (see /readyz)", "err", srv.wedgedErr)
 	}
+	// The pprof listener is a server value so the shutdown path below
+	// can close it; a bare http.ListenAndServe goroutine would outlive
+	// every context (dwlint:goleak).
+	var debugSrv *http.Server
 	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: obs.DebugMux()}
 		go func() {
 			srv.log.Info("pprof listener up", "addr", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, obs.DebugMux()); err != nil {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				srv.log.Error("pprof listener failed", "err", err)
 			}
 		}()
@@ -198,6 +203,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "dwserve: drain:", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Close()
 	}
 	if err := srv.shutdown(); err != nil {
 		fmt.Fprintln(os.Stderr, "dwserve: final checkpoint:", err)

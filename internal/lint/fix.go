@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ApplyFixes applies the suggested fixes carried by diags. Edits are
+// grouped per file, sorted, checked for overlap (a conflicting edit is
+// skipped rather than corrupting the file), and each file is rewritten
+// in one atomic rename — a crash mid-run leaves every file either
+// untouched or fully fixed. With dryRun the new contents are computed
+// but nothing is written.
+//
+// The returned map holds the new content of every file that would
+// change; fixed counts the diagnostics whose fix was applied in full.
+func ApplyFixes(diags []Diagnostic, dryRun bool) (changed map[string][]byte, fixed int, err error) {
+	type fileEdit struct {
+		TextEdit
+		diag int // index into diags, to count fully applied fixes
+	}
+	byFile := make(map[string][]fileEdit)
+	for i, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			byFile[e.Pos.Filename] = append(byFile[e.Pos.Filename], fileEdit{TextEdit: e, diag: i})
+		}
+	}
+
+	changed = make(map[string][]byte)
+	applied := make(map[int]bool) // diag index → all its edits applied
+	dropped := make(map[int]bool)
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	for _, file := range files {
+		edits := byFile[file]
+		src, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return nil, 0, fmt.Errorf("lint: reading %s: %w", file, rerr)
+		}
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Pos.Offset != edits[j].Pos.Offset {
+				return edits[i].Pos.Offset < edits[j].Pos.Offset
+			}
+			return edits[i].End.Offset < edits[j].End.Offset
+		})
+		// Drop out-of-range and overlapping edits (first wins).
+		kept := edits[:0]
+		lastEnd := -1
+		for _, e := range edits {
+			if e.Pos.Offset < 0 || e.End.Offset < e.Pos.Offset || e.End.Offset > len(src) ||
+				e.Pos.Offset < lastEnd {
+				dropped[e.diag] = true
+				continue
+			}
+			kept = append(kept, e)
+			if e.End.Offset > lastEnd {
+				lastEnd = e.End.Offset
+			}
+			// A pure insertion (Pos == End) at the same offset as a
+			// following edit is allowed; only true overlaps conflict.
+			if e.End.Offset == e.Pos.Offset {
+				lastEnd = e.End.Offset
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		// Apply back-to-front so earlier offsets stay valid.
+		out := append([]byte(nil), src...)
+		for i := len(kept) - 1; i >= 0; i-- {
+			e := kept[i]
+			out = append(out[:e.Pos.Offset], append([]byte(e.NewText), out[e.End.Offset:]...)...)
+			applied[e.diag] = true
+		}
+		changed[file] = out
+		if !dryRun {
+			if werr := writeAtomic(file, out); werr != nil {
+				return nil, 0, werr
+			}
+		}
+	}
+
+	for i := range applied {
+		if !dropped[i] {
+			fixed++
+		}
+	}
+	return changed, fixed, nil
+}
+
+// writeAtomic replaces path's content via a temp file + rename in the
+// same directory.
+func writeAtomic(path string, content []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".dwlint-fix-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(content); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if info, err := os.Stat(path); err == nil {
+		_ = os.Chmod(tmpName, info.Mode())
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GoLeak flags goroutines launched with no shutdown path: the body
+// contains an inescapable `for {}` loop (no break, return, goto or
+// terminating call leaves it), or it calls a function that — per the
+// cross-package facts — never returns and offers no handle to stop it
+// (net/http.ListenAndServe being the canonical case; the *http.Server
+// methods are fine because the owner can call Shutdown). Such a
+// goroutine outlives every context and keeps its captures reachable for
+// the life of the process — the leak class the PR-5 transport work had
+// to audit by hand.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines must have a shutdown path: no inescapable loops, no unstoppable listeners",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	facts := pass.Prog.Facts()
+	for _, gs := range pass.Prog.GoSites() {
+		if gs.Unit.Pkg != pass.Pkg {
+			continue
+		}
+		call := gs.Stmt.Call
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.FuncLit:
+			checkGoBody(pass, gs, fun.Body, facts)
+		case *ast.Ident:
+			// `launch := func(){...}; go launch()` — resolve the single
+			// assignment to the literal; otherwise fall through to the
+			// declared-function check.
+			if lit := enclosingFuncLit(pass.Pkg.Info, gs.Unit.Decl.Body, fun); lit != nil {
+				checkGoBody(pass, gs, lit.Body, facts)
+				continue
+			}
+			checkGoCallee(pass, gs, facts)
+		default:
+			checkGoCallee(pass, gs, facts)
+		}
+	}
+}
+
+// checkGoBody analyses a goroutine body available in source (a function
+// literal at or behind the go statement).
+func checkGoBody(pass *Pass, gs GoSite, body *ast.BlockStmt, facts *FactSet) {
+	if hasInescapableLoop(body) {
+		pass.Reportf(gs.Stmt.Pos(),
+			"goroutine never exits: its for {} loop has no break, return, or terminating call; select on a context or done channel inside the loop")
+		return
+	}
+	if name, pos, ok := findNeverReturnsCall(pass, body, facts); ok {
+		pass.Reportf(pos,
+			"goroutine never exits: %s never returns and has no shutdown handle; use a value with a Shutdown/Close method (e.g. *http.Server) owned by the caller", name)
+	}
+}
+
+// checkGoCallee analyses `go f(...)` through f's facts.
+func checkGoCallee(pass *Pass, gs GoSite, facts *FactSet) {
+	fn := calleeFunc(pass.Pkg.Info, gs.Stmt.Call)
+	if fn == nil {
+		return
+	}
+	f := facts.get(FuncKey(fn))
+	if f.InescapableLoop {
+		pass.Reportf(gs.Stmt.Pos(),
+			"goroutine never exits: %s contains a for {} loop with no exit; give it a context or done channel to select on", shortFuncName(FuncKey(fn)))
+		return
+	}
+	if f.NeverReturns {
+		pass.Reportf(gs.Stmt.Pos(),
+			"goroutine never exits: %s never returns and has no shutdown handle", shortFuncName(FuncKey(fn)))
+	}
+}
+
+// findNeverReturnsCall scans a goroutine body for a call to a function
+// whose facts say it never returns. Nested literals and nested go
+// statements are separate goroutines and are skipped.
+func findNeverReturnsCall(pass *Pass, body *ast.BlockStmt, facts *FactSet) (string, token.Pos, bool) {
+	var name string
+	var at token.Pos = token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if at != token.NoPos {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Pkg.Info, n)
+			if fn == nil {
+				return true
+			}
+			f := facts.get(FuncKey(fn))
+			if f.NeverReturns || f.InescapableLoop {
+				name, at = shortFuncName(FuncKey(fn)), n.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	if at == token.NoPos {
+		return "", token.NoPos, false
+	}
+	return name, at, true
+}

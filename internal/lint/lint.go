@@ -19,7 +19,17 @@
 //     the sentinel errors so errors.Is works across the public API;
 //   - spanend: every span started via internal/trace must be finished
 //     with End (deferred, or called before every return), or the trace
-//     silently loses the instrumented operation.
+//     silently loses the instrumented operation;
+//   - lockorder: the repo-wide mutex acquisition-order graph (built
+//     across call edges from the Facts store) must be acyclic — a cycle
+//     is a potential deadlock (the PR-5 handleResend inversion class);
+//   - goleak: goroutines must have a shutdown path — no inescapable
+//     `for {}` loops, no calls to unstoppable listeners;
+//   - batchlife: no mutation or refresh of a relation while a Batch
+//     window over it is live (the PR-6 use-after-invalidate class).
+//
+// The last three are interprocedural: they run over the dataflow layer
+// (cfg.go, callgraph.go, facts.go) that Pass.Prog exposes.
 //
 // A diagnostic can be suppressed with a directive comment on the flagged
 // line or the line above it:
@@ -49,7 +59,11 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	report   func(Diagnostic)
+	// Prog is the whole-program view shared by every pass of one Run
+	// call; the interprocedural analyzers read the call graph and facts
+	// through it.
+	Prog   *Program
+	report func(Diagnostic)
 }
 
 // Reportf records a diagnostic at pos.
@@ -61,11 +75,49 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Diagnostic is one analyzer finding.
+// ReportFix records a diagnostic carrying a suggested fix the driver
+// can apply with -fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}
+
+// Edit builds a TextEdit replacing [start, end) with newText, resolving
+// the positions so fixes can be applied without the FileSet.
+func (p *Pass) Edit(start, end token.Pos, newText string) TextEdit {
+	return TextEdit{
+		Pos:     p.Pkg.Fset.Position(start),
+		End:     p.Pkg.Fset.Position(end),
+		NewText: newText,
+	}
+}
+
+// Diagnostic is one analyzer finding. The JSON shape is the `-json`
+// driver output consumed by CI.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+	Fix      *SuggestedFix  `json:"fix,omitempty"`
+}
+
+// SuggestedFix is a concrete remediation: text edits the driver applies
+// atomically per file under -fix.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// TextEdit replaces the source range [Pos.Offset, End.Offset) of the
+// file Pos.Filename with NewText. An insertion has Pos == End.
+type TextEdit struct {
+	Pos     token.Position `json:"pos"`
+	End     token.Position `json:"end"`
+	NewText string         `json:"newText"`
 }
 
 // String renders "file:line:col: [analyzer] message".
@@ -75,7 +127,16 @@ func (d Diagnostic) String() string {
 
 // All returns the analyzer catalog in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{EvalCtxAnalyzer, LockDiscipline, PlanOps, SentErr, SpanEnd}
+	return []*Analyzer{
+		BatchLife,
+		EvalCtxAnalyzer,
+		GoLeak,
+		LockDiscipline,
+		LockOrder,
+		PlanOps,
+		SentErr,
+		SpanEnd,
+	}
 }
 
 // ByName resolves analyzer names (comma-separated lists accepted by the
@@ -101,10 +162,11 @@ func ByName(names []string) ([]*Analyzer, error) {
 // position then analyzer name.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var all []Diagnostic
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		ig := collectIgnores(pkg)
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, report: func(d Diagnostic) {
 				if ig.suppresses(a.Name, d.Pos) {
 					return
 				}

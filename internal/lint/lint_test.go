@@ -66,6 +66,9 @@ func TestEvalCtx(t *testing.T)        { testAnalyzer(t, EvalCtxAnalyzer, "evalct
 func TestPlanOps(t *testing.T)        { testAnalyzer(t, PlanOps, "planops") }
 func TestSentErr(t *testing.T)        { testAnalyzer(t, SentErr, "senterr") }
 func TestSpanEnd(t *testing.T)        { testAnalyzer(t, SpanEnd, "spanend") }
+func TestLockOrder(t *testing.T)      { testAnalyzer(t, LockOrder, "lockorder") }
+func TestGoLeak(t *testing.T)         { testAnalyzer(t, GoLeak, "goleak") }
+func TestBatchLife(t *testing.T)      { testAnalyzer(t, BatchLife, "batchlife") }
 
 func TestByName(t *testing.T) {
 	as, err := ByName([]string{"senterr", "planops"})

@@ -1,0 +1,547 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the repository-wide mutex acquisition-order graph
+// and flags every edge that participates in a cycle — a potential
+// deadlock. Nodes are lock classes ("pkg.Type.field" for struct mutex
+// fields, "pkg.var" for package-level mutexes); an edge A→B is recorded
+// when B is acquired while A is held, either directly in one function
+// or through a call whose callee (per the cross-package MayAcquire
+// fact) may take B. This is exactly the analysis that would have caught
+// the PR-5 `s.mu`/`src.mu` inversion in handleResend: the notification
+// path took source.Source.mu then remote.SourceServer.mu, while the
+// resend path held SourceServer.mu and called Source.Seq.
+//
+// Classes abstract over instances, so an edge A→A (two different
+// relations locked in sequence, a tree of same-typed nodes) is not
+// reported: self-edges are dropped before cycle detection.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "no cycles in the global mutex acquisition-order graph (potential deadlock)",
+	Run:  runLockOrder,
+}
+
+// lockSummary is the per-function lock behaviour feeding both the
+// Acquires fact and the global graph.
+type lockSummary struct {
+	// acquires lists the classes this function locks directly.
+	acquires []string
+	// edges are direct acquired-while-held pairs with the acquisition
+	// position.
+	edges []lockEdge
+	// heldCalls are resolved call sites annotated with the lock classes
+	// held at the call.
+	heldCalls []heldCall
+}
+
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	// via names the callee that (transitively) acquires `to` when the
+	// edge crosses a call; empty for a direct acquisition.
+	via string
+}
+
+type heldCall struct {
+	held   []string
+	callee string
+	pos    token.Pos
+}
+
+// lockGraph is the global acquisition-order graph.
+type lockGraph struct {
+	// edges[from][to] lists every site inducing the edge.
+	edges map[string]map[string][]lockEdge
+}
+
+// lockSummaries is the per-program cache.
+func (p *Program) lockSummary(u *FuncUnit) *lockSummary {
+	if u.lockSum == nil {
+		u.lockSum = summarizeLocks(u)
+	}
+	return u.lockSum
+}
+
+// LockGraph builds (once) the global acquisition-order graph: direct
+// edges plus call-induced edges through the MayAcquire facts.
+func (p *Program) LockGraph() *lockGraph {
+	if p.lockGraph != nil {
+		return p.lockGraph
+	}
+	facts := p.Facts() // also fills every unit's lock summary
+	g := &lockGraph{edges: make(map[string]map[string][]lockEdge)}
+	add := func(e lockEdge) {
+		if e.from == e.to {
+			return // class-level self-edge: different instances, no order
+		}
+		m := g.edges[e.from]
+		if m == nil {
+			m = make(map[string][]lockEdge)
+			g.edges[e.from] = m
+		}
+		m[e.to] = append(m[e.to], e)
+	}
+	for _, u := range p.Units() {
+		sum := p.lockSummary(u)
+		for _, e := range sum.edges {
+			add(e)
+		}
+		for _, hc := range sum.heldCalls {
+			callee := facts.get(hc.callee)
+			for _, from := range hc.held {
+				for _, to := range callee.MayAcquire {
+					add(lockEdge{from: from, to: to, pos: hc.pos, via: hc.callee})
+				}
+			}
+		}
+	}
+	p.lockGraph = g
+	return g
+}
+
+// cycleEdges returns every edge that lies on a cycle (both endpoints in
+// one strongly connected component of ≥2 nodes), plus a representative
+// cycle path per edge for the diagnostic.
+func (g *lockGraph) cycleEdges() []diagEdge {
+	// Tarjan SCC over the class nodes.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, ncomp := 0, 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for w := range g.edges[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	// Sink nodes appear only as targets; give them entries so SCC
+	// assignment covers them.
+	var sinks []string
+	for v := range g.edges {
+		for w := range g.edges[v] {
+			if _, ok := g.edges[w]; !ok {
+				sinks = append(sinks, w)
+			}
+		}
+	}
+	for _, w := range sinks {
+		if _, ok := g.edges[w]; !ok {
+			g.edges[w] = map[string][]lockEdge{}
+		}
+	}
+	for v := range g.edges {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	compSize := make(map[int]int)
+	for _, c := range comp {
+		compSize[c]++
+	}
+	var out []diagEdge
+	for from, tos := range g.edges {
+		for to, sites := range tos {
+			if comp[from] != comp[to] || compSize[comp[from]] < 2 {
+				continue
+			}
+			path := g.pathWithin(to, from, comp[from], comp)
+			for _, e := range sites {
+				out = append(out, diagEdge{edge: e, backPath: path})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].edge.pos < out[j].edge.pos })
+	return out
+}
+
+// diagEdge is one reportable cycle edge plus the path closing the cycle
+// (to → ... → from), used to render the full loop in the message.
+type diagEdge struct {
+	edge     lockEdge
+	backPath []string
+}
+
+// pathWithin finds a shortest path from src to dst staying inside one
+// SCC (BFS); both endpoints included.
+func (g *lockGraph) pathWithin(src, dst string, c int, comp map[string]int) []string {
+	if src == dst {
+		return []string{src}
+	}
+	prev := map[string]string{src: src}
+	queue := []string{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		// Deterministic expansion order.
+		tos := make([]string, 0, len(g.edges[v]))
+		for w := range g.edges[v] {
+			tos = append(tos, w)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if comp[w] != c {
+				continue
+			}
+			if _, seen := prev[w]; seen {
+				continue
+			}
+			prev[w] = v
+			if w == dst {
+				var path []string
+				for x := dst; ; x = prev[x] {
+					path = append([]string{x}, path...)
+					if x == src {
+						return path
+					}
+				}
+			}
+			queue = append(queue, w)
+		}
+	}
+	return []string{src, dst} // unreachable in a well-formed SCC
+}
+
+func runLockOrder(pass *Pass) {
+	g := pass.Prog.LockGraph()
+	fset := pass.Pkg.Fset
+	// Report only edges positioned in this package, so the Run loop
+	// (one pass per package) emits each site exactly once.
+	inPkg := make(map[string]bool)
+	for _, f := range pass.Pkg.Files {
+		inPkg[fset.Position(f.Pos()).Filename] = true
+	}
+	seen := make(map[token.Pos]bool)
+	for _, de := range g.cycleEdges() {
+		e := de.edge
+		if !inPkg[fset.Position(e.pos).Filename] || seen[e.pos] {
+			continue
+		}
+		seen[e.pos] = true
+		cycle := strings.Join(append([]string{e.from, e.to}, de.backPath[1:]...), " → ")
+		if e.via != "" {
+			pass.Reportf(e.pos,
+				"lock-order cycle: call to %s may acquire %s while %s is held (cycle: %s); acquire the locks in one global order or move the call outside the critical section",
+				shortFuncName(e.via), e.to, e.from, cycle)
+		} else {
+			pass.Reportf(e.pos,
+				"lock-order cycle: %s acquired while %s is held (cycle: %s); acquire the locks in one global order",
+				e.to, e.from, cycle)
+		}
+	}
+}
+
+// shortFuncName trims a canonical function name to pkg.(Type).Method.
+func shortFuncName(full string) string {
+	if i := strings.LastIndex(full, "/"); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}
+
+// summarizeLocks runs the must-held dataflow over one function's CFG.
+func summarizeLocks(u *FuncUnit) *lockSummary {
+	sum := &lockSummary{}
+	cfg := BuildCFG(u.Decl.Body)
+
+	// preds for the merge step.
+	preds := make(map[*Block][]*Block)
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	// in-state per block: nil = not yet reached (⊤ for intersection).
+	in := make(map[*Block][]string)
+	entry := cfg.Blocks[0]
+	in[entry] = []string{}
+
+	transfer := func(b *Block, held []string, record bool) []string {
+		held = append([]string(nil), held...)
+		for _, n := range b.Stmts {
+			held = u.lockStep(n, held, record, sum)
+		}
+		return held
+	}
+
+	// Iterate to fixpoint (intersection merge: a lock counts as held
+	// only when held on every path).
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			var merged []string
+			known := false
+			if b == entry {
+				merged, known = []string{}, true
+			} else {
+				for _, p := range preds[b] {
+					if st, ok := in[p]; ok {
+						out := transfer(p, st, false)
+						if !known {
+							merged, known = out, true
+						} else {
+							merged = intersect(merged, out)
+						}
+					}
+				}
+			}
+			if !known {
+				continue
+			}
+			if st, ok := in[b]; !ok || !sameSet(st, merged) {
+				if ok {
+					merged = intersect(st, merged) // monotone descent
+				}
+				in[b] = merged
+				changed = true
+			}
+		}
+	}
+
+	// Final recording pass with settled in-states.
+	for _, b := range cfg.Blocks {
+		if st, ok := in[b]; ok {
+			transfer(b, st, true)
+		}
+	}
+	sort.Strings(sum.acquires)
+	return sum
+}
+
+// lockStep advances the held set across one statement, optionally
+// recording acquires, direct edges and held calls into sum. Nested
+// function literals run with their own (empty) lock state and are
+// summarized as their own units, so they are skipped here.
+func (u *FuncUnit) lockStep(n ast.Node, held []string, record bool, sum *lockSummary) []string {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		// Deferred unlocks run at return: the lock stays held for the
+		// rest of the function. Deferred other calls run at return with
+		// whatever is held there — approximated as not held (the common
+		// defer is cleanup after unlock); skip entirely.
+		return held
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// The launched call runs on its own goroutine with an empty
+			// lock state; only its arguments evaluate here.
+			return false
+		case *ast.CallExpr:
+			if cls, op, ok := u.lockOpAt(m); ok {
+				switch op {
+				case lockAcquire:
+					if record {
+						addString(&sum.acquires, cls)
+						for _, h := range held {
+							if h != cls {
+								sum.edges = append(sum.edges, lockEdge{from: h, to: cls, pos: m.Pos()})
+							}
+						}
+					}
+					held = addHeld(held, cls)
+				case lockRelease:
+					held = removeHeld(held, cls)
+				}
+				return false
+			}
+			if fn := calleeFunc(u.Pkg.Info, m); fn != nil && record && len(held) > 0 {
+				sum.heldCalls = append(sum.heldCalls, heldCall{
+					held:   append([]string(nil), held...),
+					callee: FuncKey(fn),
+					pos:    m.Pos(),
+				})
+			}
+		}
+		return true
+	})
+	return held
+}
+
+const (
+	lockAcquire = iota
+	lockRelease
+)
+
+// lockOpAt recognises a Lock/RLock/TryLock/Unlock/RUnlock call on a
+// sync.Mutex or sync.RWMutex and returns the lock class.
+func (u *FuncUnit) lockOpAt(call *ast.CallExpr) (string, int, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	fn := calleeFunc(u.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	recv := receiverName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return "", 0, false
+	}
+	var op int
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		op = lockAcquire
+	case "Unlock", "RUnlock":
+		op = lockRelease
+	default:
+		return "", 0, false
+	}
+	cls, ok := lockClassOf(u.Pkg, sel)
+	if !ok {
+		return "", 0, false
+	}
+	return cls, op, true
+}
+
+// lockClassOf names the mutex behind a <expr>.Lock selector: the owning
+// named struct type and field for field mutexes ("pkg.Type.field", also
+// through embedding), or "pkg.var" for package-level mutex variables.
+// Local mutex variables have no cross-function identity and yield
+// ok=false.
+func lockClassOf(pkg *Package, lockSel *ast.SelectorExpr) (string, bool) {
+	// Embedded form: s.Lock() — the selection path runs through the
+	// embedded mutex field of s's type (Index has a field step before
+	// the method step). A direct mu.Lock() has a single-step index and
+	// falls through to the explicit-form analysis of the mutex expr.
+	if selection := pkg.Info.Selections[lockSel]; selection != nil &&
+		selection.Kind() == types.MethodVal && len(selection.Index()) >= 2 {
+		named, ok := derefType(selection.Recv()).(*types.Named)
+		if !ok {
+			return "", false
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return "", false
+		}
+		f := st.Field(selection.Index()[0])
+		return classString(named.Obj(), f.Name()), true
+	}
+	// Explicit form: <chain>.mu.Lock() — lockSel.X is the mutex expr.
+	switch mx := ast.Unparen(lockSel.X).(type) {
+	case *ast.SelectorExpr:
+		msel := pkg.Info.Selections[mx]
+		if msel != nil && msel.Kind() == types.FieldVal {
+			named, ok := derefType(msel.Recv()).(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return classString(named.Obj(), msel.Obj().Name()), true
+		}
+		// Qualified package-level var: pkg.mu.Lock().
+		if obj, ok := pkg.Info.Uses[mx.Sel].(*types.Var); ok && !obj.IsField() && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return shortPkg(obj.Pkg().Path()) + "." + obj.Name(), true
+			}
+		}
+	case *ast.Ident:
+		obj, ok := pkg.Info.Uses[mx].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil {
+			return "", false
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return shortPkg(obj.Pkg().Path()) + "." + obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func classString(owner *types.TypeName, field string) string {
+	pkg := ""
+	if owner.Pkg() != nil {
+		pkg = shortPkg(owner.Pkg().Path()) + "."
+	}
+	return pkg + owner.Name() + "." + field
+}
+
+func addHeld(held []string, cls string) []string {
+	for _, h := range held {
+		if h == cls {
+			return held
+		}
+	}
+	return append(held, cls)
+}
+
+func removeHeld(held []string, cls string) []string {
+	out := held[:0]
+	for _, h := range held {
+		if h != cls {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func intersect(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

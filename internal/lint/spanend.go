@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -11,10 +12,13 @@ import (
 // Tracer.StartRemote, or the package-level StartSpan) must be finished,
 // or it silently never reaches the ring buffer — the trace shows a hole
 // exactly where the instrumented operation ran. A span is considered
-// ended when the starting function either defers its End or calls End
-// before every later return (checked positionally, in source order —
-// the same linear reading a reviewer does). Discarding the span with _
-// is always a violation: an unnamed span cannot be ended.
+// ended when the starting function defers its End (directly or inside a
+// deferred closure) or when every CFG path from the start to the
+// function's exit passes an End call. Discarding the span with _ is
+// always a violation: an unnamed span cannot be ended.
+//
+// The not-ended diagnostic carries a suggested fix — insert
+// `defer <span>.End()` right after the start — applied by `dwlint -fix`.
 var SpanEnd = &Analyzer{
 	Name: "spanend",
 	Doc:  "internal/ code must End every span started via internal/trace (defer, or before every return)",
@@ -53,105 +57,105 @@ func runSpanEnd(pass *Pass) {
 	}
 }
 
-// checkSpanBody verifies every span started directly in body (nested
-// function literals are checked separately by the Inspect above).
+// checkSpanBody verifies every span started directly in body over the
+// body's CFG (nested function literals are checked separately by the
+// Inspect above; their own starts and exits belong to them).
 func checkSpanBody(pass *Pass, body *ast.BlockStmt) {
-	var starts []spanStart
-	deferred := map[string]bool{}    // span name → defer'd End exists
-	ends := map[string][]token.Pos{} // span name → non-deferred End positions
-	var returns []token.Pos
+	cfg := BuildCFG(body)
 
-	var walk func(n ast.Node, inDefer bool)
-	walk = func(n ast.Node, inDefer bool) {
-		ast.Inspect(n, func(m ast.Node) bool {
-			switch stmt := m.(type) {
-			case *ast.FuncLit:
-				// A literal's own starts and returns belong to IT; its
-				// End calls still count for the enclosing function (a
-				// span handed to a closure — e.g. a deferred cleanup).
-				collectEnds(pass, stmt.Body, inDefer, deferred, ends)
-				return false
-			case *ast.DeferStmt:
-				walk(stmt.Call, true)
-				return false
-			case *ast.ReturnStmt:
-				if !inDefer {
-					returns = append(returns, stmt.Pos())
-				}
-			case *ast.AssignStmt:
-				if st, ok := spanStartOf(pass, stmt); ok {
-					starts = append(starts, st)
-				}
-			case *ast.CallExpr:
-				if name, ok := spanEndOf(pass, stmt); ok {
-					if inDefer {
+	// Deferred ends finish the span on every path, including panics: a
+	// direct `defer s.End()` or an End inside a deferred closure.
+	deferred := map[string]bool{}
+	for _, d := range cfg.Defers {
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if name, ok := spanEndOf(pass, call); ok {
 						deferred[name] = true
-					} else {
-						ends[name] = append(ends[name], stmt.Pos())
 					}
 				}
-			}
-			return true
-		})
+				return true
+			})
+			continue
+		}
+		if name, ok := spanEndOf(pass, d.Call); ok {
+			deferred[name] = true
+		}
 	}
-	walk(body, false)
 
-	for _, st := range starts {
-		if st.name == "" {
-			pass.Reportf(st.pos,
-				"span from trace.%s discarded with _; assign it and call End", st.fn)
-			continue
-		}
-		if deferred[st.name] {
-			continue
-		}
-		// Every later return — and the fall-off-the-end point — must
-		// have an End for this span somewhere before it in source order.
-		checkpoints := append([]token.Pos{}, returns...)
-		checkpoints = append(checkpoints, body.End())
-		ok := true
-		for _, r := range checkpoints {
-			if r < st.pos {
-				continue
-			}
-			covered := false
-			for _, e := range ends[st.name] {
-				if e > st.pos && e < r {
-					covered = true
-					break
+	// Start sites, located by (block, statement index) for the path
+	// check. Nested literals are skipped — their starts are theirs.
+	type startSite struct {
+		st    spanStart
+		block *Block
+		idx   int
+	}
+	var starts []startSite
+	for _, b := range cfg.Blocks {
+		for i, n := range b.Stmts {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
 				}
-			}
-			if !covered {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			pass.Reportf(st.pos,
-				"span %q from trace.%s is not ended on every path; defer %s.End() or call it before each return",
-				st.name, st.fn, st.name)
+				if as, ok := m.(*ast.AssignStmt); ok {
+					if st, ok := spanStartOf(pass, as); ok {
+						starts = append(starts, startSite{st: st, block: b, idx: i})
+					}
+				}
+				return true
+			})
 		}
 	}
-}
 
-// collectEnds records End calls found inside a nested function literal:
-// deferred literals end the span like a direct defer; a plain closure's
-// End counts at the literal's position.
-func collectEnds(pass *Pass, body *ast.BlockStmt, inDefer bool, deferred map[string]bool, ends map[string][]token.Pos) {
-	ast.Inspect(body, func(m ast.Node) bool {
-		call, ok := m.(*ast.CallExpr)
-		if !ok {
-			return true
+	for _, s := range starts {
+		if s.st.name == "" {
+			pass.Reportf(s.st.pos,
+				"span from trace.%s discarded with _; assign it and call End", s.st.fn)
+			continue
 		}
-		if name, ok := spanEndOf(pass, call); ok {
-			if inDefer {
-				deferred[name] = true
-			} else {
-				ends[name] = append(ends[name], body.Pos())
+		if deferred[s.st.name] {
+			continue
+		}
+		endsSpan := func(n ast.Node) bool {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				// An End handed to a closure (non-deferred) counts where
+				// the closure appears, like any other statement content.
+				if call, ok := m.(*ast.CallExpr); ok {
+					if name, ok := spanEndOf(pass, call); ok && name == s.st.name {
+						found = true
+					}
+				}
+				return !found
+			})
+			return found
+		}
+		if cfg.EveryPathReaches(s.block, s.idx+1, endsSpan) {
+			continue
+		}
+		var fix *SuggestedFix
+		// Suggest `defer s.End()` after the start when the start is a
+		// whole statement of its block (not an if/for init clause).
+		if stmt, ok := s.block.Stmts[s.idx].(*ast.AssignStmt); ok {
+			col := pass.Pkg.Fset.Position(stmt.Pos()).Column
+			indent := strings.Repeat("\t", max(col-1, 0))
+			fix = &SuggestedFix{
+				Message: fmt.Sprintf("insert defer %s.End()", s.st.name),
+				Edits: []TextEdit{
+					pass.Edit(stmt.End(), stmt.End(), "\n"+indent+"defer "+s.st.name+".End()"),
+				},
 			}
 		}
-		return true
-	})
+		if fix != nil {
+			pass.ReportFix(s.st.pos, fix,
+				"span %q from trace.%s is not ended on every path; defer %s.End() or call it before each return",
+				s.st.name, s.st.fn, s.st.name)
+		} else {
+			pass.Reportf(s.st.pos,
+				"span %q from trace.%s is not ended on every path; defer %s.End() or call it before each return",
+				s.st.name, s.st.fn, s.st.name)
+		}
+	}
 }
 
 // spanStartOf reports whether stmt assigns the result of a trace start

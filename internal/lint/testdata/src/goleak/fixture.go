@@ -1,0 +1,92 @@
+// Package goleak is the failing fixture for the goleak analyzer:
+// goroutines with no shutdown path — inescapable for {} loops and
+// unstoppable listeners — next to the shapes a well-behaved launcher
+// uses (context loops, done channels, servers the owner can Shutdown).
+package goleak
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func spinForever() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func leaky(work chan int) {
+	go func() { // want "goroutine never exits"
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	go spinForever() // want "goroutine never exits"
+
+	go func() {
+		_ = http.ListenAndServe("localhost:0", nil) // want "never returns"
+	}()
+
+	launch := func() {
+		for {
+			<-work // receiving is not exiting
+		}
+	}
+	go launch() // want "goroutine never exits"
+}
+
+func clean(ctx context.Context, done chan struct{}, work chan int) {
+	// Loop exits when the context is cancelled.
+	go func() {
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+
+	// Conditional loop: not a for {}.
+	go func() {
+		for ctx.Err() == nil {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Loop breaks when the done channel closes.
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case n := <-work:
+				_ = n
+			}
+		}
+	}()
+
+	// Range over a channel ends when the sender closes it.
+	go func() {
+		for n := range work {
+			_ = n
+		}
+	}()
+
+	// A server value the caller owns: Shutdown exists, so the listener
+	// goroutine has a shutdown path.
+	srv := &http.Server{Addr: "localhost:0"}
+	go func() {
+		_ = srv.ListenAndServe()
+	}()
+	_ = srv.Shutdown(context.Background())
+
+	// One-shot goroutine: runs to completion on its own.
+	go func() {
+		work <- 1
+	}()
+}

@@ -1,0 +1,131 @@
+// Package lockorder is the failing fixture for the lockorder analyzer.
+//
+// Src/Server reproduce the PR-5 handleResend inversion with direct
+// calls: the notification path holds Src.mu and enters a Server method
+// that takes Server.mu, while the resend path holds Server.mu and calls
+// back into a Src method that takes Src.mu — a cycle in the global
+// acquisition-order graph. (In the real code the first hop runs through
+// a registered callback; the fixture inlines it so static call
+// resolution sees both edges.)
+package lockorder
+
+import "sync"
+
+// Src mirrors source.Source: mu guards seq, and applying an update
+// notifies the server while mu is held.
+type Src struct {
+	mu  sync.Mutex
+	seq uint64
+	srv *Server
+}
+
+func (s *Src) Apply() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	s.srv.Notify(s.seq) // want "lock-order cycle"
+}
+
+func (s *Src) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Server mirrors remote.SourceServer before the PR-5 fix: the resend
+// path reads the source's sequence number while still holding its own
+// mutex — the reverse acquisition order.
+type Server struct {
+	mu   sync.Mutex
+	last uint64
+	src  *Src
+}
+
+func (sv *Server) Notify(seq uint64) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.last = seq
+}
+
+func (sv *Server) HandleResend() uint64 {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.last == 0 {
+		return sv.src.Seq() // want "lock-order cycle"
+	}
+	return sv.last
+}
+
+// Direct (single-function) inversion on package-level mutexes.
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+)
+
+func directAB() {
+	muA.Lock()
+	muB.Lock() // want "lock-order cycle"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func directBA() {
+	muB.Lock()
+	muA.Lock() // want "lock-order cycle"
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// Consistent order everywhere: no cycle, no report.
+func consistentCD1() {
+	muC.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muC.Unlock()
+}
+
+func consistentCD2(n int) {
+	muC.Lock()
+	defer muC.Unlock()
+	if n > 0 {
+		muD.Lock()
+		muD.Unlock()
+	}
+}
+
+// Releasing before the next acquisition breaks the edge: D then C in
+// sequence, but never nested.
+func sequentialDC() {
+	muD.Lock()
+	muD.Unlock()
+	muC.Lock()
+	muC.Unlock()
+}
+
+// Two instances of one class (a linked structure locked hand-over-hand)
+// produce only a class-level self-edge, which is not an ordering
+// violation the class abstraction can judge — not reported.
+type node struct {
+	mu   sync.Mutex
+	next *node
+}
+
+func (n *node) push() {
+	n.mu.Lock()
+	n.next.mu.Lock()
+	n.next.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// A goroutine body starts with an empty held set: launching work while
+// holding a lock is not a nested acquisition.
+func launchUnderLock() {
+	muC.Lock()
+	go func() {
+		muD.Lock()
+		muD.Unlock()
+	}()
+	muC.Unlock()
+}
