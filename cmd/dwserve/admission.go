@@ -1,0 +1,207 @@
+package main
+
+// Overload protection for the HTTP API: every route is classified
+// (health > delivery > queries > traces) and passes the admission
+// controller before its handler runs; under sustained pressure the
+// degradation ladder sheds the cheapest work first. Shed responses are
+// 429 + Retry-After and cost microseconds — the server stays in control
+// of its own concurrency instead of queueing to death, and report
+// delivery plus the readiness probe keep working at every rung.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	dwc "dwcomplement"
+	"dwcomplement/internal/admission"
+	"dwcomplement/internal/obs"
+)
+
+// deliveryWeight is the admission weight of one warehouse refresh
+// (HTTP update or remote report): a refresh holds the write lock and
+// touches every affected view, so it counts as more than a point read.
+const deliveryWeight = 2
+
+// wantsStale reports whether the caller tolerates a cached answer under
+// degradation: the stale=1 query parameter or the X-DW-Allow-Stale
+// header opt in.
+func wantsStale(req *http.Request) bool {
+	return req.URL.Query().Get("stale") == "1" || req.Header.Get("X-DW-Allow-Stale") != ""
+}
+
+// writeShed answers a shed request: 429, Retry-After, and the class on
+// record. The body stays tiny — a shed response must cost microseconds.
+func (s *server) writeShed(w http.ResponseWriter, cl admission.Class, reason string) {
+	s.reg.Counter("dw_admission_shed_total",
+		"Requests refused by admission control, by class.",
+		obs.Labels{"class": cl.String()}).Inc()
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, map[string]string{
+		"error": reason,
+		"class": cl.String(),
+	})
+}
+
+// admitted wraps a route's handler with admission control and the
+// degradation ladder. Health routes bypass the limiter; trace routes
+// shed from LevelNoTrace; query routes shed from LevelShedQueries
+// unless the caller tolerates a cached stale answer.
+func (s *server) admitted(rt routeDef) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		level := s.adm.Level()
+		switch {
+		case rt.class == admission.Trace && level >= admission.LevelNoTrace:
+			s.writeShed(w, rt.class, "diagnostics shed under load (ladder level "+level.String()+")")
+			return
+		case rt.pattern == "GET /query" && level >= admission.LevelStale && wantsStale(req):
+			// Stale-tolerant queries are answered from the cache without
+			// consuming an eval slot; a miss falls through to a fresh eval
+			// while the ladder still admits queries, and sheds on the last
+			// rung.
+			if s.serveCached(w, req) {
+				return
+			}
+			if level >= admission.LevelShedQueries {
+				s.writeShed(w, rt.class, "no cached answer under shed-queries degradation")
+				return
+			}
+		case rt.class == admission.Query && level >= admission.LevelShedQueries:
+			s.writeShed(w, rt.class, "queries shed under sustained overload (ladder level "+level.String()+")")
+			return
+		}
+		release, err := s.adm.Acquire(req.Context(), rt.class, rt.weight)
+		if err != nil {
+			if errors.Is(err, admission.ErrShed) {
+				s.writeShed(w, rt.class, err.Error())
+				return
+			}
+			// The caller gave up while queued.
+			writeError(w, statusClientClosedRequest, err)
+			return
+		}
+		defer release()
+		rt.handler(w, req)
+	}
+}
+
+// evalStatus maps an evaluation or refresh error to its HTTP status and
+// whether the response should carry Retry-After. The client closing the
+// request is 499; the server running out of time or budget is 503 —
+// with Retry-After only for deadline pressure, since a budget violation
+// will not succeed on retry.
+func evalStatus(err error) (status int, retryAfter bool) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest, false
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, true
+	case errors.Is(err, dwc.ErrBudgetExceeded):
+		return http.StatusServiceUnavailable, false
+	}
+	return http.StatusInternalServerError, false
+}
+
+// writeEvalError answers a failed evaluation with the evalStatus
+// mapping applied.
+func writeEvalError(w http.ResponseWriter, err error) {
+	status, retry := evalStatus(err)
+	if retry {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, status, err)
+}
+
+// queryContext derives the evaluation context of one query request:
+// the -query-timeout deadline plus the -query-budget row budget. The
+// returned cancel must be called when the evaluation finishes.
+func (s *server) queryContext(req *http.Request) (context.Context, context.CancelFunc) {
+	ctx := req.Context()
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.QueryTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+	}
+	if s.cfg.QueryBudget > 0 {
+		ctx = dwc.WithBudget(ctx, dwc.Budget{Scanned: s.cfg.QueryBudget, Emitted: s.cfg.QueryBudget})
+	}
+	return ctx, cancel
+}
+
+// answerCacheSize bounds the stale-answer cache; entries are evicted
+// FIFO, which is enough for a degradation stopgap (the cache exists to
+// keep answering the popular queries during an overload, not to be a
+// query cache).
+const answerCacheSize = 256
+
+// cachedAnswer is one stored query answer: the full response body of a
+// fresh, explain-free 200, plus when it was computed.
+type cachedAnswer struct {
+	body map[string]any
+	at   time.Time
+}
+
+// answerCache is the bounded stale-answer store behind the ladder's
+// LevelStale rung.
+type answerCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]cachedAnswer
+	order   []string // insertion order for FIFO eviction
+}
+
+func newAnswerCache(max int) *answerCache {
+	return &answerCache{max: max, entries: make(map[string]cachedAnswer)}
+}
+
+// put stores the answer for a query string, evicting the oldest entry
+// past capacity.
+func (c *answerCache) put(key string, body map[string]any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; !exists {
+		for len(c.order) >= c.max {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, oldest)
+		}
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = cachedAnswer{body: body, at: time.Now()}
+}
+
+// get returns the stored answer and its age.
+func (c *answerCache) get(key string) (map[string]any, time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, 0, false
+	}
+	return e.body, time.Since(e.at), true
+}
+
+// serveCached answers a query from the stale-answer cache, marking the
+// response with X-DW-Staleness: cache=<seconds>. Reports whether a
+// cached answer was served.
+func (s *server) serveCached(w http.ResponseWriter, req *http.Request) bool {
+	src := req.URL.Query().Get("q")
+	if src == "" {
+		return false
+	}
+	body, age, ok := s.qcache.get(src)
+	if !ok {
+		return false
+	}
+	s.reg.Counter("dw_stale_answers_total",
+		"Queries answered from the stale-answer cache under degradation.", nil).Inc()
+	hdr := "cache=" + strconv.FormatFloat(age.Seconds(), 'f', 3, 64)
+	if rest := s.stalenessHeader(); rest != "" {
+		hdr += ", " + rest
+	}
+	w.Header().Set("X-DW-Staleness", hdr)
+	writeJSON(w, http.StatusOK, body)
+	return true
+}

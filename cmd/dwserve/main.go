@@ -45,6 +45,7 @@ import (
 	"time"
 
 	dwc "dwcomplement"
+	"dwcomplement/internal/admission"
 	"dwcomplement/internal/obs"
 	"dwcomplement/internal/remote"
 )
@@ -77,6 +78,10 @@ func main() {
 	checkpointEvery := fs.Int("checkpoint-every", 64, "acknowledged updates between checkpoint snapshots")
 	traceSample := fs.Float64("trace-sample", 0.01, "probability of tracing a request or report end to end (0 disables)")
 	traceBuffer := fs.Int("trace-buffer", 4096, "finished spans retained in the in-process trace buffer")
+	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-query evaluation deadline (0 disables)")
+	queryBudget := fs.Int64("query-budget", 0, "per-query row budget: max rows scanned or emitted by one evaluation (0 disables)")
+	maxInflight := fs.Int("max-inflight", 64, "weighted concurrent requests admitted before queueing/shedding")
+	maxBody := fs.Int64("max-body", 1<<20, "largest accepted request body in bytes (413 beyond)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	logLevel := fs.String("log-level", "info", "request log level (debug|info|warn|error)")
 	logJSON := fs.Bool("log-json", false, "emit JSON log records instead of text")
@@ -144,6 +149,10 @@ func main() {
 		CheckpointEvery: *checkpointEvery,
 		TraceSample:     *traceSample,
 		TraceBuffer:     *traceBuffer,
+		QueryTimeout:    *queryTimeout,
+		QueryBudget:     *queryBudget,
+		MaxBody:         *maxBody,
+		Admission:       admission.Config{Capacity: *maxInflight},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwserve:", err)
@@ -170,7 +179,11 @@ func main() {
 	// every context (dwlint:goleak).
 	var debugSrv *http.Server
 	if *debugAddr != "" {
-		debugSrv = &http.Server{Addr: *debugAddr, Handler: obs.DebugMux()}
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
 		go func() {
 			srv.log.Info("pprof listener up", "addr", *debugAddr)
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -185,7 +198,16 @@ func main() {
 	// Serve until SIGINT/SIGTERM, then shut down gracefully: stop
 	// admitting (readyz goes 503), drain in-flight requests up to the
 	// deadline, write a final checkpoint, close the journal.
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	// Slowloris hardening: bound the header read, idle keep-alives and
+	// header size — a client trickling bytes must not pin a connection
+	// (and its goroutine) forever.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv.startRemotes(ctx)

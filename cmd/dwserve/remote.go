@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"dwcomplement/internal/admission"
 	"dwcomplement/internal/journal"
 	"dwcomplement/internal/remote"
 	"dwcomplement/internal/source"
@@ -58,6 +59,16 @@ func (s *server) stopRemotes() {
 // re-fetched later instead of being lost; the warehouse serves stale in
 // the meantime.
 func (s *server) applyRemote(n source.Notification) {
+	// Report delivery passes admission like everything else, but through
+	// Wait — the never-shed variant. Under overload it is only deferred
+	// behind the Delivery-priority queue (which outranks every query),
+	// never refused: shedding maintenance would trade bounded staleness
+	// for unbounded divergence. Acquired BEFORE s.mu so the lock order
+	// (admission → mu) matches the HTTP handlers.
+	release, err := s.adm.Wait(context.Background(), admission.Delivery, deliveryWeight)
+	if err == nil {
+		defer release()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Continue the report's trace (source.apply → remote.attempt →

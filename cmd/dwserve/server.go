@@ -18,6 +18,7 @@ import (
 	"time"
 
 	dwc "dwcomplement"
+	"dwcomplement/internal/admission"
 	"dwcomplement/internal/journal"
 	"dwcomplement/internal/obs"
 	"dwcomplement/internal/relation"
@@ -54,6 +55,17 @@ type serverConfig struct {
 
 	TraceSample float64 // root-span sampling probability in [0, 1]
 	TraceBuffer int     // span ring-buffer capacity (default 4096)
+
+	// Overload protection. QueryTimeout bounds one query evaluation's
+	// wall time (0 = no deadline); QueryBudget bounds its scanned and
+	// emitted rows (0 = no budget); MaxBody caps request bodies
+	// (default 1 MiB); Admission shapes the admission controller (zero
+	// value = defaults: capacity 64, bounded queues, 250ms queue
+	// timeout).
+	QueryTimeout time.Duration
+	QueryBudget  int64
+	MaxBody      int64
+	Admission    admission.Config
 }
 
 // maintstatsPath is the persisted maintenance-stats file inside a
@@ -124,6 +136,12 @@ type server struct {
 	refreshWall  time.Duration
 	lastRefresh  refreshSummary
 
+	// Overload protection: the admission controller every non-health
+	// request passes, and the stale-answer cache behind the ladder's
+	// LevelStale rung.
+	adm    *admission.Controller
+	qcache *answerCache
+
 	mInFlight   *obs.Gauge
 	mQueries    *obs.Counter
 	mQueryDur   *obs.Histogram
@@ -167,6 +185,8 @@ func newServer(spec *dwc.Spec, opts dwc.Options, cfg serverConfig) (*server, err
 		remoteSeq: make(map[string]uint64),
 		tracer:    trace.New(trace.Config{Rate: cfg.TraceSample, Capacity: cfg.TraceBuffer}),
 		mstats:    trace.NewMaintStats(0),
+		adm:       admission.New(cfg.Admission),
+		qcache:    newAnswerCache(answerCacheSize),
 	}
 	if cfg.SnapshotDir != "" {
 		if err := s.mstats.Load(maintstatsPath(cfg.SnapshotDir)); err != nil {
@@ -290,6 +310,15 @@ func newServer(spec *dwc.Spec, opts dwc.Options, cfg serverConfig) (*server, err
 	s.reg.GaugeFunc("dw_staleness_seconds",
 		"Seconds since the last successful refresh while degraded; 0 when healthy.", nil,
 		func() float64 { return s.staleness().Seconds() })
+	s.reg.GaugeFunc("dw_admission_in_flight",
+		"Weighted work currently admitted by the admission controller.", nil,
+		func() float64 { return float64(s.adm.InFlight()) })
+	s.reg.GaugeFunc("dw_admission_queue_depth",
+		"Requests waiting in the admission queues across all classes.", nil,
+		func() float64 { return float64(s.adm.Queued()) })
+	s.reg.GaugeFunc("dw_admission_level",
+		"Degradation-ladder level: 0 normal, 1 no-trace, 2 stale, 3 shed-queries.", nil,
+		func() float64 { return float64(s.adm.Level()) })
 	return s, nil
 }
 
@@ -344,51 +373,54 @@ func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // routeDef is one row of the routing table: the ServeMux pattern, the
-// handler, and the banner description. Keeping pattern, handler and
-// documentation in ONE table (instead of a handler map plus a separately
-// maintained banner list) is what guarantees every route — /readyz and
-// /metrics included — goes through the obs middleware exactly once and
-// shows up in the startup banner; TestRouteCoverage locks this in.
+// handler, the banner description, and the admission class + weight the
+// request is admitted under. Keeping pattern, handler, documentation and
+// admission policy in ONE table (instead of a handler map plus separately
+// maintained lists) is what guarantees every route — /readyz and
+// /metrics included — goes through the obs and admission middleware
+// exactly once and shows up in the startup banner; TestRouteCoverage
+// locks this in.
 type routeDef struct {
 	pattern string
 	handler http.HandlerFunc
 	doc     string
+	class   admission.Class
+	weight  int
 }
 
-// routes returns the complete routing table in banner order.
+// routes returns the complete routing table in banner order. Probes and
+// metrics are Health (never queued, never shed); updates are Delivery
+// (maintenance outranks queries); reads are Query, with reconstruction
+// weighted heavier because W⁻¹ recomputes a whole base relation;
+// diagnostics are Trace, the first class the ladder sheds.
 func (s *server) routes() []routeDef {
 	metrics := obs.MetricsHandler(s.reg)
 	return []routeDef{
-		{"GET /healthz", s.handleHealth, "server and warehouse status (liveness)"},
-		{"GET /readyz", s.handleReady, "readiness: snapshot loaded, journal replayed, not draining"},
-		{"GET /schema", s.handleSchema, "database and view definitions"},
-		{"GET /complement", s.handleComplement, "complement entries and inverses"},
-		{"GET /relations", s.handleRelations, "warehouse relation sizes"},
-		{"GET /relations/{name}", s.handleRelation, "one materialized relation"},
-		{"GET /query", s.handleQuery, "translate + answer a source query (&explain=1 stats, =2 plan tree)"},
-		{"POST /update", s.handleUpdate, "apply update ops (insert R(...)/delete R(...))"},
-		{"GET /reconstruct/{base}", s.handleReconstruct, "recompute a base relation via W⁻¹"},
-		{"GET /stats", s.handleStats, "cumulative evaluation, refresh and maintenance counters"},
-		{"GET /traces", s.handleTraces, "recent sampled traces (&limit=N)"},
-		{"GET /traces/{id}", s.handleTrace, "one trace's spans as JSON plus a rendered tree"},
-		{"GET /metrics", metrics.ServeHTTP, "Prometheus text exposition"},
+		{"GET /healthz", s.handleHealth, "server and warehouse status (liveness)", admission.Health, 1},
+		{"GET /readyz", s.handleReady, "readiness: snapshot loaded, journal replayed, not draining", admission.Health, 1},
+		{"GET /schema", s.handleSchema, "database and view definitions", admission.Query, 1},
+		{"GET /complement", s.handleComplement, "complement entries and inverses", admission.Query, 1},
+		{"GET /relations", s.handleRelations, "warehouse relation sizes", admission.Query, 1},
+		{"GET /relations/{name}", s.handleRelation, "one materialized relation", admission.Query, 1},
+		{"GET /query", s.handleQuery, "translate + answer a source query (&explain=1 stats, =2 plan tree)", admission.Query, 1},
+		{"POST /update", s.handleUpdate, "apply update ops (insert R(...)/delete R(...))", admission.Delivery, deliveryWeight},
+		{"GET /reconstruct/{base}", s.handleReconstruct, "recompute a base relation via W⁻¹", admission.Query, 2},
+		{"GET /stats", s.handleStats, "cumulative evaluation, refresh and maintenance counters", admission.Trace, 1},
+		{"GET /traces", s.handleTraces, "recent sampled traces (&limit=N)", admission.Trace, 1},
+		{"GET /traces/{id}", s.handleTrace, "one trace's spans as JSON plus a rendered tree", admission.Trace, 1},
+		{"GET /metrics", metrics.ServeHTTP, "Prometheus text exposition", admission.Health, 1},
 	}
 }
 
 // handler returns the HTTP routing table with every handler wrapped in
-// the obs middleware exactly once.
+// the obs middleware exactly once, admission control inside it — so
+// shed responses are themselves observed per route.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, r := range s.routes() {
-		mux.HandleFunc(r.pattern, s.instrument(r.pattern, r.handler))
+		mux.HandleFunc(r.pattern, s.instrument(r.pattern, s.admitted(r)))
 	}
 	return mux
-}
-
-// canceled reports whether err stems from the request's context, so the
-// handler can answer 499 instead of pretending the server failed.
-func canceled(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // jsonValue shapes a relation.Value for JSON: numbers, strings, bools and
@@ -602,6 +634,11 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	case "2":
 		explain = 2
 	}
+	// The ladder's first rung: explain output is diagnostics, so it is
+	// stripped (not refused — the answer still matters) under pressure.
+	if s.adm.Level() >= admission.LevelNoTrace {
+		explain = 0
+	}
 	q, err := dwc.ParseExpr(src)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -617,8 +654,12 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	}
 	// The evaluation span (child of the request span) carries the query,
 	// its cardinality and the compact executed-plan signature, so a trace
-	// shows WHAT ran, not just how long it took.
-	qctx, sp := trace.StartSpan(req.Context(), "query.eval")
+	// shows WHAT ran, not just how long it took. The context adds the
+	// -query-timeout deadline and -query-budget row budget; both abort
+	// the evaluation at the next operator boundary.
+	ectx, cancel := s.queryContext(req)
+	defer cancel()
+	qctx, sp := trace.StartSpan(ectx, "query.eval")
 	defer sp.End()
 	sp.SetAttr("query", q.String())
 	rows, err := dwc.EvalExpr(qctx, qHat, s.w)
@@ -626,11 +667,11 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		sp.SetAttr("outcome", "error")
 		s.queries.Add(1)
 		s.mQueries.Inc()
-		if canceled(err) {
-			writeError(w, statusClientClosedRequest, err)
-			return
+		if errors.Is(err, dwc.ErrBudgetExceeded) {
+			s.reg.Counter("dw_query_budget_exceeded_total",
+				"Queries aborted for exceeding the per-query row budget.", nil).Inc()
 		}
-		writeError(w, http.StatusInternalServerError, err)
+		writeEvalError(w, err)
 		return
 	}
 	stats := rows.Stats()
@@ -660,13 +701,30 @@ func (s *server) handleQuery(w http.ResponseWriter, req *http.Request) {
 			body["plan"] = plan
 			body["planText"] = dwc.RenderPlan(plan, true)
 		}
+	} else {
+		// Plain answers feed the stale-answer cache, the degradation
+		// ladder's LevelStale stopgap.
+		s.qcache.put(src, body)
 	}
 	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
+	limit := s.cfg.MaxBody
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	// MaxBytesReader (unlike a bare LimitReader) distinguishes "body too
+	// large" from a short read, so oversized updates get an honest 413
+	// instead of a confusing parse error.
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, limit))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("update body exceeds -max-body=%d: %w", limit, err))
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -688,12 +746,15 @@ func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 	stats, err := s.maintain.RefreshContext(rctx, s.w, u)
 	if err != nil {
 		sp.SetAttr("outcome", "error")
-		if canceled(err) {
-			writeError(w, statusClientClosedRequest, err)
+		// Cancellation (499) and deadline pressure (503 + Retry-After)
+		// left the state untouched by the atomic refresh and are the
+		// caller's to retry — neither marks the warehouse degraded.
+		if status, _ := evalStatus(err); status != http.StatusInternalServerError {
+			writeEvalError(w, err)
 			return
 		}
-		// The atomic refresh left the state untouched; reads now serve
-		// stale until an update succeeds again.
+		// A real refresh failure: reads now serve stale until an update
+		// succeeds again.
 		s.degraded.Store(true)
 		writeError(w, http.StatusInternalServerError, err)
 		return

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	dwc "dwcomplement"
+	"dwcomplement/internal/admission"
 	"dwcomplement/internal/catalog"
 	"dwcomplement/internal/remote"
 	"dwcomplement/internal/source"
@@ -54,18 +55,64 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 // bound.
 const trimInterval = 30 * time.Second
 
+// sourceHandlerConfig shapes newSourceHandler. Zero fields take the
+// documented defaults: unbounded retention, 1 MiB bodies, a default
+// admission controller.
+type sourceHandlerConfig struct {
+	Retain    int   // max reports retained for resync (0 = unbounded)
+	MaxBody   int64 // largest accepted /apply body (default 1 MiB)
+	Admission admission.Config
+}
+
+// applyStatus maps a failed /apply to its HTTP status and whether the
+// response should carry Retry-After: overload conditions (the
+// integrator's pending buffer full, admission shed) are 429 and worth
+// retrying; an oversized body is 413; anything else is the 422 a
+// malformed or foreign transaction deserves.
+func applyStatus(err error) (status int, retryAfter bool) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, source.ErrBackpressure), errors.Is(err, admission.ErrShed):
+		return http.StatusTooManyRequests, true
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge, false
+	}
+	return http.StatusUnprocessableEntity, false
+}
+
 // newSourceHandler mounts the wire reporting channel plus the local
-// transaction endpoint, retaining at most retain reports for resync
-// (0 = unbounded). Split out of main for tests.
-func newSourceHandler(src *source.Source, db *catalog.Database, retain int) (http.Handler, *remote.SourceServer) {
+// transaction endpoint. Split out of main for tests.
+func newSourceHandler(src *source.Source, db *catalog.Database, cfg sourceHandlerConfig) (http.Handler, *remote.SourceServer) {
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 1 << 20
+	}
+	adm := admission.New(cfg.Admission)
 	srv := remote.NewSourceServer(src)
-	srv.SetMaxRetain(retain)
+	srv.SetMaxRetain(cfg.Retain)
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.HandleFunc("POST /apply", func(w http.ResponseWriter, r *http.Request) {
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		// Local transactions are Delivery class: they feed the reporting
+		// channel, so they outrank any diagnostics but still shed (429 +
+		// Retry-After, the transaction never applied) when the source is
+		// saturated — the submitting application owns the retry.
+		release, aerr := adm.Acquire(r.Context(), admission.Delivery, 1)
+		if aerr != nil {
+			status, retry := applyStatus(aerr)
+			if retry {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeJSON(w, status, map[string]string{"error": aerr.Error()})
+			return
+		}
+		defer release()
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cfg.MaxBody))
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			status, _ := applyStatus(err)
+			if status == http.StatusUnprocessableEntity {
+				status = http.StatusBadRequest // short read, not a parsed-but-refused transaction
+			}
+			writeJSON(w, status, map[string]string{"error": err.Error()})
 			return
 		}
 		u, err := dwc.ParseUpdateOps(db, string(body))
@@ -82,7 +129,11 @@ func newSourceHandler(src *source.Source, db *catalog.Database, retain int) (htt
 		}
 		seq, err := src.ApplyContext(ctx, u)
 		if err != nil {
-			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			status, retry := applyStatus(err)
+			if retry {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeJSON(w, status, map[string]string{"error": err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"seq": seq, "changes": u.Size()})
@@ -100,6 +151,8 @@ func main() {
 	retain := fs.Int("retain", 65536, "max reports retained for resync (oldest trimmed past the cap; 0 = unbounded)")
 	traceSample := fs.Float64("trace-sample", 0.01, "probability of tracing a transaction's report lineage (0 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "graceful shutdown deadline")
+	maxBody := fs.Int64("max-body", 1<<20, "largest accepted /apply body in bytes (413 beyond)")
+	maxInflight := fs.Int("max-inflight", 64, "concurrent /apply transactions admitted before queueing/shedding")
 	_ = fs.Parse(os.Args[1:])
 
 	if *specPath == "" || *name == "" || *owns == "" {
@@ -134,8 +187,20 @@ func main() {
 
 	fmt.Printf("dwsource: source %q owns %s (sealed=%v, retain=%d)\nlistening on %s\n",
 		*name, strings.Join(rels, ", "), !*unsealed, *retain, *addr)
-	handler, rsrv := newSourceHandler(src, spec.DB, *retain)
-	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	handler, rsrv := newSourceHandler(src, spec.DB, sourceHandlerConfig{
+		Retain:    *retain,
+		MaxBody:   *maxBody,
+		Admission: admission.Config{Capacity: *maxInflight},
+	})
+	// Slowloris hardening, mirroring dwserve: bound the header read,
+	// idle keep-alives and header size.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// The server's retained log is the single serving copy; the Source's

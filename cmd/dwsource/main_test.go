@@ -2,12 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	dwc "dwcomplement"
+	"dwcomplement/internal/admission"
 	"dwcomplement/internal/remote"
 	"dwcomplement/internal/source"
 	"dwcomplement/internal/trace"
@@ -31,7 +34,7 @@ func TestApplyAndReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	handler, _ := newSourceHandler(src, spec.DB, 0)
+	handler, _ := newSourceHandler(src, spec.DB, sourceHandlerConfig{})
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
 
@@ -110,7 +113,7 @@ func TestApplyJoinsCallerTrace(t *testing.T) {
 	}
 	tr := trace.New(trace.Config{Rate: 0, Seed: 7}) // only the caller samples
 	src.SetTracer(tr)
-	handler, _ := newSourceHandler(src, spec.DB, 0)
+	handler, _ := newSourceHandler(src, spec.DB, sourceHandlerConfig{})
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
 
@@ -149,5 +152,62 @@ func TestApplyJoinsCallerTrace(t *testing.T) {
 	spans, ok := tr.Store().Trace(sc.TraceID)
 	if !ok || len(spans) != 1 || spans[0].Name != "source.apply" {
 		t.Fatalf("source store = %v, want one source.apply span", spans)
+	}
+}
+
+// TestApplyBodyTooLarge: a transaction body past -max-body is refused
+// with 413, not a parse error.
+func TestApplyBodyTooLarge(t *testing.T) {
+	spec, err := dwc.ParseSpec(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := source.NewSource("sales", spec.DB, true, "Sale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, _ := newSourceHandler(src, spec.DB, sourceHandlerConfig{MaxBody: 64})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	big := "insert Sale('" + strings.Repeat("x", 256) + "', 'Mary')"
+	resp, err := http.Post(ts.URL+"/apply", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized apply = %d, want 413", resp.StatusCode)
+	}
+	// A small transaction still goes through.
+	ok, err := http.Post(ts.URL+"/apply", "text/plain", strings.NewReader(`insert Sale('TV', 'Mary')`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("small apply = %d, want 200", ok.StatusCode)
+	}
+}
+
+// TestApplyStatusMapping: overload conditions answer 429 + Retry-After
+// (the transaction is retryable), oversized bodies 413, the rest 422.
+func TestApplyStatusMapping(t *testing.T) {
+	tests := []struct {
+		err    error
+		status int
+		retry  bool
+	}{
+		{source.ErrBackpressure, http.StatusTooManyRequests, true},
+		{fmt.Errorf("wrapped: %w", source.ErrBackpressure), http.StatusTooManyRequests, true},
+		{admission.ErrShed, http.StatusTooManyRequests, true},
+		{&http.MaxBytesError{Limit: 64}, http.StatusRequestEntityTooLarge, false},
+		{errors.New("foreign relation"), http.StatusUnprocessableEntity, false},
+	}
+	for _, tt := range tests {
+		status, retry := applyStatus(tt.err)
+		if status != tt.status || retry != tt.retry {
+			t.Errorf("applyStatus(%v) = (%d, %v), want (%d, %v)", tt.err, status, retry, tt.status, tt.retry)
+		}
 	}
 }

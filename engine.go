@@ -65,7 +65,21 @@ var (
 	ErrUnknownRelation = algebra.ErrUnknownRelation
 	// ErrSchemaMismatch reports set operations over unequal attribute sets.
 	ErrSchemaMismatch = relation.ErrSchemaMismatch
+	// ErrBudgetExceeded reports an evaluation aborted because it scanned
+	// or emitted more rows than the Budget on its context allows.
+	ErrBudgetExceeded = algebra.ErrBudgetExceeded
 )
+
+// Budget bounds the physical work (rows scanned / rows emitted) of one
+// evaluation; attach it to a context with WithBudget and every Answer,
+// EvalExpr or ExplainAnalyze call on that context enforces it.
+type Budget = algebra.Budget
+
+// WithBudget returns a context carrying b; evaluations on the returned
+// context abort with ErrBudgetExceeded once they exceed it.
+func WithBudget(ctx context.Context, b Budget) context.Context {
+	return algebra.WithBudget(ctx, b)
+}
 
 // Answer answers a source query from the warehouse: q is translated
 // against the view definitions (Theorem 3.1) and the translated query is

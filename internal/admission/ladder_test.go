@@ -1,0 +1,164 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic ladder tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func testLadder() (*Ladder, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := NewLadder(LadderConfig{
+		High:  0.9,
+		Low:   0.5,
+		Climb: 100 * time.Millisecond,
+		Cool:  time.Second,
+		Now:   clk.now,
+	})
+	return l, clk
+}
+
+// TestLadderClimbsUnderSustainedPressure: short spikes do nothing;
+// sustained pressure climbs one rung per streak, stopping at LevelStale.
+func TestLadderClimbsUnderSustainedPressure(t *testing.T) {
+	l, clk := testLadder()
+	// A short spike: below the climb duration, no change.
+	l.Observe(1.5, false)
+	clk.advance(50 * time.Millisecond)
+	l.Observe(1.5, false)
+	if got := l.Level(); got != LevelNormal {
+		t.Fatalf("level after short spike = %v, want normal", got)
+	}
+	// Pressure falls into the middle band: the streak resets.
+	l.Observe(0.7, false)
+	clk.advance(60 * time.Millisecond)
+	l.Observe(1.5, false)
+	if got := l.Level(); got != LevelNormal {
+		t.Fatalf("level after reset spike = %v, want normal", got)
+	}
+	// Sustained overload: one rung per full climb window.
+	clk.advance(110 * time.Millisecond)
+	l.Observe(1.5, false)
+	if got := l.Level(); got != LevelNoTrace {
+		t.Fatalf("level = %v, want no-trace", got)
+	}
+	clk.advance(110 * time.Millisecond)
+	l.Observe(1.5, false)
+	if got := l.Level(); got != LevelStale {
+		t.Fatalf("level = %v, want stale", got)
+	}
+	// Pressure alone must never reach shed-queries.
+	for i := 0; i < 10; i++ {
+		clk.advance(time.Second)
+		l.Observe(4.0, false)
+	}
+	if got := l.Level(); got != LevelStale {
+		t.Fatalf("level under pure pressure = %v, want stale (never shed-queries)", got)
+	}
+}
+
+// TestLadderShedQueriesNeedsStalls: the last rung requires a sustained
+// stall streak at LevelStale, and any quiet sample resets the streak.
+func TestLadderShedQueriesNeedsStalls(t *testing.T) {
+	l, clk := testLadder()
+	// Drive to LevelStale via pressure.
+	l.Observe(1.5, false)
+	clk.advance(110 * time.Millisecond)
+	l.Observe(1.5, false)
+	clk.advance(110 * time.Millisecond)
+	l.Observe(1.5, false)
+	if got := l.Level(); got != LevelStale {
+		t.Fatalf("setup level = %v, want stale", got)
+	}
+	// A single stall does not climb.
+	l.Observe(1.5, true)
+	if got := l.Level(); got != LevelStale {
+		t.Fatalf("level after one stall = %v, want stale", got)
+	}
+	// A calm sample resets the stall streak.
+	l.Observe(0.3, false)
+	clk.advance(110 * time.Millisecond)
+	l.Observe(1.5, true)
+	if got := l.Level(); got != LevelStale {
+		t.Fatalf("level after reset stall = %v, want stale", got)
+	}
+	// Sustained stalls climb to shed-queries.
+	clk.advance(110 * time.Millisecond)
+	l.Observe(1.5, true)
+	if got := l.Level(); got != LevelShedQueries {
+		t.Fatalf("level after sustained stalls = %v, want shed-queries", got)
+	}
+}
+
+// TestLadderCoolsDown: recovery steps down one rung per cool window and
+// is slower than escalation.
+func TestLadderCoolsDown(t *testing.T) {
+	l, clk := testLadder()
+	l.Observe(1.5, false)
+	clk.advance(110 * time.Millisecond)
+	l.Observe(1.5, false)
+	clk.advance(110 * time.Millisecond)
+	l.Observe(1.5, false)
+	if got := l.Level(); got != LevelStale {
+		t.Fatalf("setup level = %v, want stale", got)
+	}
+	// Low pressure, but not yet for a full cool window.
+	l.Observe(0.1, false)
+	clk.advance(500 * time.Millisecond)
+	l.Observe(0.1, false)
+	if got := l.Level(); got != LevelStale {
+		t.Fatalf("level before cool window = %v, want stale", got)
+	}
+	clk.advance(600 * time.Millisecond)
+	l.Observe(0.1, false)
+	if got := l.Level(); got != LevelNoTrace {
+		t.Fatalf("level after one cool window = %v, want no-trace", got)
+	}
+	clk.advance(1100 * time.Millisecond)
+	l.Observe(0.1, false)
+	if got := l.Level(); got != LevelNormal {
+		t.Fatalf("level after two cool windows = %v, want normal", got)
+	}
+}
+
+// TestLadderMiddleBandFreezes: pressure inside the hysteresis band
+// makes no progress in either direction.
+func TestLadderMiddleBandFreezes(t *testing.T) {
+	l, clk := testLadder()
+	l.Observe(1.5, false)
+	clk.advance(110 * time.Millisecond)
+	l.Observe(1.5, false)
+	if got := l.Level(); got != LevelNoTrace {
+		t.Fatalf("setup level = %v, want no-trace", got)
+	}
+	for i := 0; i < 10; i++ {
+		clk.advance(time.Second)
+		l.Observe(0.7, false)
+	}
+	if got := l.Level(); got != LevelNoTrace {
+		t.Fatalf("level after middle-band dwell = %v, want no-trace (frozen)", got)
+	}
+}
+
+// TestLevelString covers the labels used by metrics and headers.
+func TestLevelString(t *testing.T) {
+	want := map[Level]string{
+		LevelNormal:      "normal",
+		LevelNoTrace:     "no-trace",
+		LevelStale:       "stale",
+		LevelShedQueries: "shed-queries",
+	}
+	for lvl, s := range want {
+		if lvl.String() != s {
+			t.Errorf("Level(%d).String() = %q, want %q", lvl, lvl.String(), s)
+		}
+	}
+	if got := Level(99).String(); got != "unknown" {
+		t.Errorf("unknown level label = %q", got)
+	}
+}

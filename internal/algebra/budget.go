@@ -1,0 +1,87 @@
+package algebra
+
+// Per-query resource budgets. A budget rides the context.Context into
+// NewEvalContext, so the evaluation engine needs no new parameters and
+// callers that never set one pay a single pointer check. Budgets bound
+// the physical work of one evaluation — rows scanned and rows emitted
+// across all operators — which is the quantity a server can reason
+// about when it admits a query: wall-clock deadlines catch slow
+// queries, budgets catch *large* ones before they have produced
+// gigabytes of intermediate state.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrBudgetExceeded is wrapped by an evaluation that scanned or emitted
+// more rows than its context's Budget allows. Servers map it to 503:
+// the query was admitted but proved too expensive to finish.
+var ErrBudgetExceeded = errors.New("algebra: evaluation budget exceeded")
+
+// Budget bounds the physical work of one evaluation. Zero fields are
+// unlimited; the zero Budget disables enforcement entirely.
+type Budget struct {
+	// Scanned bounds the total rows read by all operators.
+	Scanned int64
+	// Emitted bounds the total rows produced by all operators, which is
+	// what bounds intermediate-result memory.
+	Emitted int64
+}
+
+// limited reports whether the budget enforces anything.
+func (b Budget) limited() bool { return b.Scanned > 0 || b.Emitted > 0 }
+
+type budgetKey struct{}
+
+// WithBudget returns a context carrying b; NewEvalContext picks it up.
+// A zero budget returns ctx unchanged.
+func WithBudget(ctx context.Context, b Budget) context.Context {
+	if !b.limited() {
+		return ctx
+	}
+	return context.WithValue(ctx, budgetKey{}, b)
+}
+
+// BudgetFromContext returns the budget carried by ctx, if any.
+func BudgetFromContext(ctx context.Context) (Budget, bool) {
+	if ctx == nil {
+		return Budget{}, false
+	}
+	b, ok := ctx.Value(budgetKey{}).(Budget)
+	return b, ok
+}
+
+// checkBudgetLocked compares the accumulated totals against the budget
+// and latches the over-budget flag. Caller holds ec.mu. The flag is
+// read lock-free by Err at every operator boundary, so one operator
+// past the limit stops the evaluation before the next operator starts.
+func (ec *EvalContext) checkBudgetLocked() {
+	if !ec.budget.limited() || ec.overBudget.Load() {
+		return
+	}
+	if ec.budget.Scanned > 0 && ec.stats.Scanned > ec.budget.Scanned {
+		ec.budgetErr = fmt.Errorf("scanned %d rows (budget %d): %w",
+			ec.stats.Scanned, ec.budget.Scanned, ErrBudgetExceeded)
+		ec.overBudget.Store(true)
+		return
+	}
+	if ec.budget.Emitted > 0 && ec.stats.Emitted > ec.budget.Emitted {
+		ec.budgetErr = fmt.Errorf("emitted %d rows (budget %d): %w",
+			ec.stats.Emitted, ec.budget.Emitted, ErrBudgetExceeded)
+		ec.overBudget.Store(true)
+	}
+}
+
+// budgetError returns the latched budget violation, or nil. It checks
+// the atomic flag before taking the lock so the un-tripped fast path
+// costs one load.
+func (ec *EvalContext) budgetError() error {
+	if ec == nil || !ec.overBudget.Load() {
+		return nil
+	}
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return ec.budgetErr
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dwcomplement/internal/relation"
@@ -126,21 +127,29 @@ const (
 // The context is safe for concurrent use; the maintainer's parallel
 // propagation records into one context from several goroutines.
 type EvalContext struct {
-	ctx       context.Context
-	mu        sync.Mutex
-	stats     EvalStats
-	roots     []*PlanNode
-	planNodes int
-	truncated bool
+	ctx        context.Context
+	budget     Budget      // set once at construction, read-only after
+	overBudget atomic.Bool // latched by checkBudgetLocked, read by Err
+	mu         sync.Mutex
+	stats      EvalStats
+	roots      []*PlanNode
+	planNodes  int
+	truncated  bool
+	budgetErr  error // the violation detail, written under mu
 }
 
 // NewEvalContext returns an evaluation context carrying ctx (nil means
-// context.Background()).
+// context.Background()). A Budget attached to ctx via WithBudget is
+// enforced on the accumulated totals at every operator boundary.
 func NewEvalContext(ctx context.Context) *EvalContext {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &EvalContext{ctx: ctx}
+	ec := &EvalContext{ctx: ctx}
+	if b, ok := BudgetFromContext(ctx); ok {
+		ec.budget = b
+	}
+	return ec
 }
 
 // Context returns the carried context; the nil EvalContext carries
@@ -153,11 +162,18 @@ func (ec *EvalContext) Context() context.Context {
 }
 
 // Err returns nil while the evaluation may continue, and the carried
-// context's error wrapped for callers once it is canceled or timed out.
-// errors.Is(err, context.Canceled / context.DeadlineExceeded) works on
-// the result.
+// context's error wrapped for callers once it is canceled or timed out,
+// or the budget violation once the context's Budget is exhausted.
+// errors.Is(err, context.Canceled / context.DeadlineExceeded /
+// ErrBudgetExceeded) works on the result.
 func (ec *EvalContext) Err() error {
-	if ec == nil || ec.ctx == nil {
+	if ec == nil {
+		return nil
+	}
+	if err := ec.budgetError(); err != nil {
+		return err
+	}
+	if ec.ctx == nil {
 		return nil
 	}
 	if err := ec.ctx.Err(); err != nil {
@@ -307,6 +323,7 @@ func (ec *EvalContext) finishNode(op string, n *PlanNode, s relation.OpStats, wa
 	ec.stats.IndexHits += s.IndexHits
 	ec.stats.IndexBuilds += s.IndexBuilds
 	ec.stats.Batches += s.Batches
+	ec.checkBudgetLocked()
 	if len(ec.stats.Ops) < maxOpRecords {
 		ec.stats.Ops = append(ec.stats.Ops, OpStat{
 			Op:          op,
@@ -355,6 +372,12 @@ func opName(e Expr) string {
 func EvalCtx(ec *EvalContext, e Expr, st State) (*relation.Relation, error) {
 	out, n, err := evalCtxNode(ec, e, st)
 	if err != nil {
+		return nil, err
+	}
+	// The boundary check runs before each operator, so a root operator
+	// that trips the budget needs this final budget-only check (budget
+	// only: a context canceled after a complete answer stays an answer).
+	if err := ec.budgetError(); err != nil {
 		return nil, err
 	}
 	ec.addRoot(n)
@@ -486,6 +509,9 @@ func evalBothCtx(ec *EvalContext, l, r Expr, st State, pn *PlanNode) (*relation.
 func EvalRestricted(ec *EvalContext, e Expr, st State, probe *relation.Relation) (*relation.Relation, error) {
 	out, n, err := evalRestrictedCtxNode(ec, e, st, probe)
 	if err != nil {
+		return nil, err
+	}
+	if err := ec.budgetError(); err != nil {
 		return nil, err
 	}
 	ec.addRoot(n)

@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunSpikePhases: the burst phase runs more workers than the
+// baseline phases, and every call lands in the report.
+func TestRunSpikePhases(t *testing.T) {
+	var peak atomic.Int64
+	var inflight atomic.Int64
+	rep := RunSpike(context.Background(), SpikeConfig{
+		Seed:     1,
+		Baseline: 2,
+		Peak:     8,
+		Warmup:   30 * time.Millisecond,
+		Burst:    50 * time.Millisecond,
+		Cooldown: 30 * time.Millisecond,
+	}, func(ctx context.Context, worker int) string {
+		n := inflight.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inflight.Add(-1)
+		return "ok"
+	})
+	if rep.Calls == 0 {
+		t.Fatal("no calls recorded")
+	}
+	if got := rep.Stats("ok").Count; got != rep.Calls {
+		t.Fatalf("ok count %d != total calls %d", got, rep.Calls)
+	}
+	if rep.BurstCalls == 0 || rep.BurstCalls >= rep.Calls {
+		t.Fatalf("burst calls %d out of range (total %d)", rep.BurstCalls, rep.Calls)
+	}
+	if p := peak.Load(); p < 3 {
+		t.Fatalf("peak concurrency %d, want >2 during burst", p)
+	}
+	if rep.Wall <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+}
+
+// TestRunSpikeLabels: per-label aggregation and quantiles.
+func TestRunSpikeLabels(t *testing.T) {
+	var n atomic.Int64
+	rep := RunSpike(context.Background(), SpikeConfig{
+		Seed:  2,
+		Peak:  2,
+		Burst: 30 * time.Millisecond,
+	}, func(ctx context.Context, worker int) string {
+		time.Sleep(time.Millisecond)
+		if n.Add(1)%2 == 0 {
+			return "shed"
+		}
+		return "ok"
+	})
+	ok, shed := rep.Stats("ok"), rep.Stats("shed")
+	if ok.Count == 0 || shed.Count == 0 {
+		t.Fatalf("labels not split: ok=%d shed=%d", ok.Count, shed.Count)
+	}
+	if ok.Count+shed.Count != rep.Calls {
+		t.Fatalf("label counts %d+%d != total %d", ok.Count, shed.Count, rep.Calls)
+	}
+	if q := ok.Quantile(0.5); q <= 0 {
+		t.Fatalf("median latency = %v, want > 0", q)
+	}
+	if lo, hi := ok.Quantile(0), ok.Quantile(1); hi < lo {
+		t.Fatalf("quantiles unordered: p0=%v p100=%v", lo, hi)
+	}
+	if got := rep.Stats("missing").Quantile(0.99); got != 0 {
+		t.Fatalf("missing label quantile = %v, want 0", got)
+	}
+}
+
+// TestRunSpikeCancel: canceling the context ends the spike early.
+func TestRunSpikeCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	rep := RunSpike(ctx, SpikeConfig{
+		Seed:  3,
+		Peak:  2,
+		Burst: 10 * time.Second, // would run far too long without cancel
+	}, func(ctx context.Context, worker int) string {
+		time.Sleep(time.Millisecond)
+		return "ok"
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("spike ran %v after cancel", elapsed)
+	}
+	if rep.Calls == 0 {
+		t.Fatal("no calls before cancel")
+	}
+}
