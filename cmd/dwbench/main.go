@@ -287,7 +287,7 @@ func compareReports(cur benchReport, baselinePath string, tolerance float64, sel
 func experiments() []experiment {
 	exps := []experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(),
-		e8(), e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(), e18(), e19(),
+		e8(), e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(), e18(), e19(), e20(),
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// E1..E9 sort before E10 numerically.

@@ -32,8 +32,8 @@ func TestAllExperimentsQuick(t *testing.T) {
 
 func TestExperimentInventory(t *testing.T) {
 	exps := experiments()
-	if len(exps) != 19 {
-		t.Fatalf("%d experiments, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("%d experiments, want 20", len(exps))
 	}
 	for i, e := range exps {
 		want := i + 1

@@ -22,6 +22,8 @@
 //	                          "update R set x = 1 where y > 2") incrementally
 //	                          and print the new warehouse state
 //	snapshot                  persist the warehouse state (-save file)
+//	promote <url>             fenced failover: make the dwserve replica at
+//	                          <url> the leader for the next epoch (no -spec)
 //	repl                      interactive session (query/insert/delete/show)
 //	specify                   print the full Section 5 specification document
 //	verify                    check reconstruction + injectivity on random states
@@ -69,7 +71,7 @@ func run(args []string, out io.Writer) error {
 	stateFile := fs.String("state", "", "load the warehouse state from this snapshot instead of materializing the spec's data")
 	saveFile := fs.String("save", "", "persist the warehouse state to this snapshot after the command")
 	fs.Usage = func() {
-		fmt.Fprintln(out, "usage: dwctl -spec file.dw [-prop22] [-prefix C_] [-state snap] [-save snap] <vet|check|dump|complement|translate|maintain|snapshot|specify|verify|reconstruct|export|repl> [args]")
+		fmt.Fprintln(out, "usage: dwctl -spec file.dw [-prop22] [-prefix C_] [-state snap] [-save snap] <vet|check|dump|complement|translate|maintain|snapshot|promote|specify|verify|reconstruct|export|repl> [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -96,6 +98,15 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("vet needs a spec: dwctl vet file.dw or dwctl -spec file.dw vet")
 		}
 		return runVet(path, opts, out)
+	}
+
+	// promote also dispatches before the spec parse: it talks to a running
+	// dwserve replica over HTTP and needs no spec at all.
+	if fs.NArg() > 0 && fs.Arg(0) == "promote" {
+		if fs.NArg() < 2 {
+			return fmt.Errorf("promote needs a replica URL: dwctl promote http://replica:8080")
+		}
+		return runPromote(fs.Arg(1), out)
 	}
 
 	if *specPath == "" || fs.NArg() == 0 {

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// runPromote performs a fenced failover against a running dwserve
+// replica: read its current epoch from /replica/status, then ask it to
+// take over the next term. The epoch is named explicitly in the POST so
+// a concurrent promotion of another replica (or a retry of this one)
+// loses the race with a 409 instead of silently double-promoting.
+func runPromote(target string, out io.Writer) error {
+	base := strings.TrimRight(target, "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	httpc := &http.Client{Timeout: 10 * time.Second}
+
+	resp, err := httpc.Get(base + "/replica/status")
+	if err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	var status struct {
+		Role  string `json:"role"`
+		Epoch uint64 `json:"epoch"`
+		LSN   uint64 `json:"lsn"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("promote: bad status from %s: %w", base, err)
+	}
+	if status.Role == "leader" {
+		return fmt.Errorf("promote: %s is already the leader at epoch %d", base, status.Epoch)
+	}
+	next := status.Epoch + 1
+	fmt.Fprintf(out, "promote: %s is a %s at epoch %d, LSN %d; requesting epoch %d\n",
+		base, status.Role, status.Epoch, status.LSN, next)
+
+	resp, err = httpc.Post(fmt.Sprintf("%s/promote?epoch=%d", base, next), "", nil)
+	if err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("promote: %s refused (%d): %s", base, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	fmt.Fprintf(out, "promote: %s is now the leader at epoch %d\n", base, next)
+	return nil
+}

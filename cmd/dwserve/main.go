@@ -94,11 +94,19 @@ func main() {
 		remoteSources = append(remoteSources, v)
 		return nil
 	})
+	follow := fs.String("follow", "", "run as a read-only replica streaming from this leader URL (mutually exclusive with -source)")
+	replicaRetain := fs.Int("replica-retain", 1024, "journal records retained in memory for follower streaming")
 	_ = fs.Parse(os.Args[1:])
 
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "dwserve: -spec is required")
 		fs.Usage()
+		os.Exit(2)
+	}
+	if *follow != "" && len(remoteSources) > 0 {
+		// A follower's only input is the leader's stream — the leader owns
+		// all source attachment and maintenance.
+		fmt.Fprintln(os.Stderr, "dwserve: -follow and -source are mutually exclusive (the leader owns the sources)")
 		os.Exit(2)
 	}
 	raw, err := os.ReadFile(*specPath)
@@ -153,6 +161,7 @@ func main() {
 		QueryBudget:     *queryBudget,
 		MaxBody:         *maxBody,
 		Admission:       admission.Config{Capacity: *maxInflight},
+		ReplicaRetain:   *replicaRetain,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwserve:", err)
@@ -210,7 +219,12 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv.startRemotes(ctx)
+	if *follow != "" {
+		srv.StartFollower(ctx, *follow)
+		srv.log.Info("following", "leader", *follow)
+	} else {
+		srv.startRemotes(ctx)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {

@@ -106,14 +106,21 @@ func (s *server) applyRemote(n source.Notification) {
 	// record is not durable — but unlike HTTP updates, remote reports
 	// are re-fetchable: after a crash the client rewinds to the
 	// checkpointed watermark and the source's retained log refills the
-	// hole. Degraded is still flagged so operators see it.
+	// hole. Degraded is still flagged so operators see it. The record
+	// carries its replication coordinates so followers receive remote
+	// reports through the same stream as HTTP updates.
+	rec := journal.Record{Source: n.Source, Seq: n.Seq, Update: n.Update, Epoch: s.epoch, LSN: s.lsn + 1}
 	if s.jw != nil {
-		if err := s.jw.AppendContext(ctx, journal.Record{Source: n.Source, Seq: n.Seq, Update: n.Update}); err != nil {
+		if err := s.jw.AppendContext(ctx, rec); err != nil {
 			s.degraded.Store(true)
 			s.log.Error("remote journal append failed", "source", n.Source, "seq", n.Seq, "err", err)
 		}
 	}
 	s.remoteSeq[n.Source] = n.Seq
+	s.lsn++
+	if err := s.rlog.Append(rec); err != nil {
+		s.log.Error("replication log append failed", "source", n.Source, "err", err)
+	}
 	s.refreshes++
 	s.sinceCkpt++
 	s.mRefreshes.Inc()
@@ -167,7 +174,8 @@ func (s *server) remoteHealth() ([]remote.Health, bool) {
 
 // stalenessHeader builds the X-DW-Staleness value: the warehouse's own
 // staleness first (when degraded), then name=seconds for every remote
-// source whose report stream is stale. Empty when everything is fresh.
+// source whose report stream is stale, then leader=seconds on a replica
+// whose leader link is stale. Empty when everything is fresh.
 func (s *server) stalenessHeader() string {
 	var parts []string
 	if st := s.staleness(); st > 0 {
@@ -177,6 +185,14 @@ func (s *server) stalenessHeader() string {
 	for _, h := range hs {
 		if h.StalenessSec > 0 {
 			parts = append(parts, h.Source+"="+strconv.FormatFloat(h.StalenessSec, 'f', 3, 64))
+		}
+	}
+	s.mu.RLock()
+	f := s.follower
+	s.mu.RUnlock()
+	if f != nil {
+		if h := f.client.Health(); h.StalenessSec > 0 {
+			parts = append(parts, "leader="+strconv.FormatFloat(h.StalenessSec, 'f', 3, 64))
 		}
 	}
 	return strings.Join(parts, ", ")

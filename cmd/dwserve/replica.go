@@ -1,0 +1,520 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"time"
+
+	dwc "dwcomplement"
+	"dwcomplement/internal/remote"
+	"dwcomplement/internal/replica"
+	"dwcomplement/internal/snapshot"
+)
+
+// Replication wiring: the leader-side endpoints (checkpoint shipping,
+// journal streaming, promotion, status) and the follower-side loop
+// that bootstraps from a shipped snapshot and replays the stream
+// through the normal maintenance path. The paper's update-independence
+// property is what makes this exact: a warehouse state plus the suffix
+// of reported updates determines the next state, so a follower holding
+// checkpoint + stream reconstructs the leader bit for bit.
+
+// maxStreamWait caps the ?wait long-poll of /replica/stream;
+// maxStreamBatch caps one response's record count so a far-behind
+// follower pages instead of receiving the whole retained log at once.
+const (
+	maxStreamWait  = 30 * time.Second
+	maxStreamBatch = 256
+)
+
+// followPollWait is the long-poll the follower loop requests, and
+// followRetryPause the idle pause after a failed round.
+const (
+	followPollWait   = 2 * time.Second
+	followRetryPause = 100 * time.Millisecond
+)
+
+// followerState is the running follower machinery: the stream client
+// and the lifetime of its loop goroutine.
+type followerState struct {
+	client *replica.Client
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// roleView derives the externally reported role: a follower whose
+// leader link is quarantined (breaker open) or fenced is a candidate —
+// alive and serving reads, waiting for a promotion or a repoint.
+func (s *server) roleView() string {
+	s.mu.RLock()
+	role, f := s.role, s.follower
+	s.mu.RUnlock()
+	if role == roleFollower && f != nil {
+		switch f.client.Health().State {
+		case "quarantined", "fenced":
+			return roleCandidate
+		}
+	}
+	return role
+}
+
+// replicaLag is how far this follower trails a healthy leader: zero
+// while caught up, else the age of the last caught-up instant.
+func (s *server) replicaLag() time.Duration {
+	base := s.lagBaseNano.Load()
+	if base == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, base))
+}
+
+// observeLag records the replica-lag gauge: caught up resets the base
+// (lag 0), behind reports its age. The exemplar trace ID links a lag
+// sample to the apply round that produced it.
+func (s *server) observeLag(caughtUp bool, traceID string) {
+	if s.mReplLag == nil {
+		return
+	}
+	if caughtUp {
+		s.lagBaseNano.Store(0)
+		s.mReplLag.SetWithExemplar(0, traceID)
+		return
+	}
+	if s.lagBaseNano.Load() == 0 {
+		s.lagBaseNano.Store(time.Now().UnixNano())
+	}
+	s.mReplLag.SetWithExemplar(s.replicaLag().Seconds(), traceID)
+}
+
+// handleReplicaSnapshot ships the current checkpoint: the warehouse
+// state plus every watermark, with the replication coordinates folded
+// into the marks under their reserved keys. A follower that applies
+// this body and streams from LSN+1 onward reconstructs the leader.
+func (s *server) handleReplicaSnapshot(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	marks := map[string]uint64{httpSource: s.seq}
+	for src, seq := range s.remoteSeq {
+		marks[src] = seq
+	}
+	w.Header().Set(replica.HeaderEpoch, strconv.FormatUint(s.epoch, 10))
+	w.Header().Set(replica.HeaderLSN, strconv.FormatUint(s.lsn, 10))
+	w.Header().Set(replica.HeaderRole, s.role)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := snapshot.SaveMarks(w, s.w.State(), replica.WithMetaMarks(marks, s.epoch, s.lsn)); err != nil {
+		// Headers are gone; all we can do is cut the stream (the client
+		// sees a short body and retries) and log.
+		s.log.Error("snapshot shipping failed", "err", err)
+	}
+}
+
+// handleReplicaStream serves retained journal records with LSN ≥ from
+// as a bare sequence of journal frames. ?wait=ms long-polls when the
+// follower is caught up. 410 Gone tells the follower its position was
+// trimmed (re-bootstrap); 416 tells it the position is past this
+// replica's tip (divergent history after a failover; re-bootstrap).
+func (s *server) handleReplicaStream(w http.ResponseWriter, req *http.Request) {
+	from, err := strconv.ParseUint(req.URL.Query().Get("from"), 10, 64)
+	if err != nil && req.URL.Query().Get("from") != "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad from %q", req.URL.Query().Get("from")))
+		return
+	}
+	var wait time.Duration
+	if v := req.URL.Query().Get("wait"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q", v))
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > maxStreamWait {
+			wait = maxStreamWait
+		}
+	}
+	entries, tip, epoch, ferr := s.rlog.From(from, maxStreamBatch)
+	if ferr == nil && len(entries) == 0 && wait > 0 {
+		s.rlog.Wait(req.Context(), max(from, 1), wait)
+		entries, tip, epoch, ferr = s.rlog.From(from, maxStreamBatch)
+	}
+	switch {
+	case errors.Is(ferr, replica.ErrTrimmed):
+		writeError(w, http.StatusGone, ferr)
+		return
+	case errors.Is(ferr, replica.ErrFuture):
+		writeError(w, http.StatusRequestedRangeNotSatisfiable, ferr)
+		return
+	case ferr != nil:
+		writeError(w, http.StatusInternalServerError, ferr)
+		return
+	}
+	w.Header().Set(replica.HeaderEpoch, strconv.FormatUint(epoch, 10))
+	w.Header().Set(replica.HeaderTip, strconv.FormatUint(tip, 10))
+	w.Header().Set(replica.HeaderRole, s.roleView())
+	w.Header().Set("Content-Type", "application/octet-stream")
+	for _, e := range entries {
+		if _, err := w.Write(e.Frame); err != nil {
+			return // connection cut; the follower resumes from its watermark
+		}
+	}
+}
+
+// handleReplicaStatus reports the replication view: role, coordinates,
+// log tip, and (on a follower) the leader link's health.
+func (s *server) handleReplicaStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	epoch, lsn, seq, f := s.epoch, s.lsn, s.seq, s.follower
+	s.mu.RUnlock()
+	body := map[string]any{
+		"role":   s.roleView(),
+		"epoch":  epoch,
+		"lsn":    lsn,
+		"seq":    seq,
+		"tip":    s.rlog.Tip(),
+		"sealed": s.w.Sealed(),
+	}
+	if f != nil {
+		body["leader"] = f.client.Health()
+		body["replicaLagSec"] = s.replicaLag().Seconds()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handlePromote performs a fenced takeover: the replica adopts a new,
+// strictly higher epoch, durably checkpoints it BEFORE acknowledging
+// (so a crash right after the 200 still recovers as the epoch-N
+// leader), resets the replication log at its applied LSN, unseals the
+// warehouse and stops following. ?epoch=N names the term explicitly
+// (defaults to current+1); an epoch at or below the current one is the
+// double-promotion / replayed-promotion case and is refused with 409.
+func (s *server) handlePromote(w http.ResponseWriter, req *http.Request) {
+	var newEpoch uint64
+	if v := req.URL.Query().Get("epoch"); v != "" {
+		e, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad epoch %q", v))
+			return
+		}
+		newEpoch = e
+	}
+	s.mu.Lock()
+	if s.role == roleLeader {
+		cur := s.epoch
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, fmt.Errorf("already leader at epoch %d", cur))
+		return
+	}
+	if newEpoch == 0 {
+		newEpoch = s.epoch + 1
+	}
+	if newEpoch <= s.epoch {
+		err := fmt.Errorf("promote to epoch %d refused, current epoch is %d: %w",
+			newEpoch, s.epoch, replica.ErrStaleEpoch)
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	prevRole, prevEpoch := s.role, s.epoch
+	s.role, s.epoch = roleLeader, newEpoch
+	s.w.Unseal()
+	if err := s.checkpointLocked(); err != nil {
+		// Not durable, not promoted: revert so a retry (or a promotion of
+		// a different replica) starts from a clean state.
+		s.role, s.epoch = prevRole, prevEpoch
+		s.w.Seal()
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("promotion checkpoint failed: %w", err))
+		return
+	}
+	// The new term starts an empty retained log at the applied LSN:
+	// followers at exactly this LSN stream straight on; anyone behind
+	// gets ErrTrimmed and re-bootstraps from the new lineage's snapshot.
+	s.rlog.Reset(s.lsn, newEpoch)
+	f := s.follower
+	s.follower = nil
+	lsn := s.lsn
+	s.mu.Unlock()
+	if f != nil {
+		// The loop exits on its canceled context; any in-flight apply
+		// re-checks the role under mu and aborts.
+		f.cancel()
+	}
+	s.log.Info("promoted to leader", "epoch", newEpoch, "lsn", lsn)
+	writeJSON(w, http.StatusOK, map[string]any{"role": roleLeader, "epoch": newEpoch, "lsn": lsn})
+}
+
+// handleRepoint re-points a follower at a new leader (after a
+// failover), preserving the fencing floor and resume cursor: the new
+// stream is consumed from the same applied LSN, and ErrFuture from the
+// new leader (a divergent suffix) triggers a clean re-bootstrap.
+func (s *server) handleRepoint(w http.ResponseWriter, req *http.Request) {
+	leader := req.URL.Query().Get("leader")
+	if leader == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing leader parameter"))
+		return
+	}
+	s.mu.Lock()
+	if s.role != roleFollower {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, errors.New("not a follower (demotion is not supported; restart with -follow)"))
+		return
+	}
+	old := s.follower
+	s.mu.Unlock()
+	if old != nil {
+		old.cancel()
+		<-old.done
+	}
+	s.startFollowing(leader)
+	s.log.Info("repointed", "leader", leader)
+	writeJSON(w, http.StatusOK, map[string]any{"role": roleFollower, "leader": leader})
+}
+
+// StartFollower switches the server into follower mode before the
+// listener starts: the warehouse is sealed (mutating routes answer 409
+// ErrReadOnlyReplica), the lag gauge registered, and the stream loop
+// started against the leader. ctx bounds the loop and every restart a
+// later repoint performs.
+func (s *server) StartFollower(ctx context.Context, leaderURL string) {
+	s.mReplLag = s.reg.ObservedGauge("dw_replica_lag_seconds",
+		"Follower catch-up lag behind the leader's replication tip.", nil)
+	s.mu.Lock()
+	s.followCtx = ctx
+	s.role = roleFollower
+	s.w.Seal()
+	s.mu.Unlock()
+	s.startFollowing(leaderURL)
+}
+
+// startFollowing builds a stream client for leaderURL and starts the
+// follower loop. The client inherits the current epoch as its fencing
+// floor and the applied LSN as its cursor.
+func (s *server) startFollowing(leaderURL string) {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(leaderURL))
+	c := replica.NewClient(leaderURL, s.spec.DB, remote.Config{Seed: int64(h.Sum64())})
+	if s.followTransport != nil {
+		c.SetTransport(s.followTransport)
+	}
+	s.mu.Lock()
+	c.SetMinEpoch(s.epoch)
+	c.SetCursor(s.lsn)
+	fctx, cancel := context.WithCancel(s.followCtx)
+	f := &followerState{client: c, cancel: cancel, done: make(chan struct{})}
+	s.follower = f
+	s.mu.Unlock()
+	go s.followLoop(fctx, f)
+}
+
+// stopFollower stops the follower loop and waits for it to exit; a
+// no-op on a leader.
+func (s *server) stopFollower() {
+	s.mu.Lock()
+	f := s.follower
+	s.follower = nil
+	s.mu.Unlock()
+	if f != nil {
+		f.cancel()
+		<-f.done
+	}
+}
+
+// followLoop is the follower's life: bootstrap from a shipped
+// checkpoint when there is no usable local position, then long-poll
+// the stream and apply each batch. Trimmed and divergent positions
+// re-bootstrap; transport failures ride the client's breaker (the
+// candidate signal); a fenced leader is left alone until a repoint or
+// promotion arrives.
+func (s *server) followLoop(ctx context.Context, f *followerState) {
+	defer close(f.done)
+	c := f.client
+	s.mu.RLock()
+	needBootstrap := s.lsn == 0
+	s.mu.RUnlock()
+	for ctx.Err() == nil {
+		if needBootstrap {
+			if err := s.bootstrapFollower(ctx, c); err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				s.log.Warn("follower bootstrap failed", "leader", c.Base(), "err", err)
+				s.observeLag(false, "")
+				sleepCtx(ctx, followRetryPause)
+				continue
+			}
+			needBootstrap = false
+		}
+		s.mu.RLock()
+		from := s.lsn + 1
+		s.mu.RUnlock()
+		batch, err := c.FetchBatch(ctx, from, followPollWait)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case errors.Is(err, replica.ErrTrimmed), errors.Is(err, replica.ErrFuture):
+			// Behind the retained window, or holding a divergent suffix
+			// from a deposed leader: either way the stream cannot continue
+			// from here — re-ship the snapshot.
+			needBootstrap = true
+			continue
+		case err != nil:
+			// Unreachable (breaker counts toward quarantine → candidate)
+			// or fenced; lag keeps growing until contact resumes.
+			s.observeLag(false, "")
+			sleepCtx(ctx, followRetryPause)
+			continue
+		}
+		s.applyBatch(ctx, c, batch)
+	}
+}
+
+// bootstrapFollower ships the leader's checkpoint and installs it:
+// state, watermarks and coordinates all move together, and the result
+// is durably checkpointed locally so a follower crash recovers without
+// re-shipping.
+func (s *server) bootstrapFollower(ctx context.Context, c *replica.Client) error {
+	ship, err := c.FetchSnapshot(ctx)
+	if err != nil {
+		return err
+	}
+	if err := dwc.VerifySnapshot(ship.State, s.comp.Resolver()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.role != roleFollower {
+		return nil // promoted while the shipment was in flight
+	}
+	s.w.LoadState(ship.State)
+	s.seq = ship.Marks[httpSource]
+	s.remoteSeq = make(map[string]uint64)
+	for src, seq := range ship.Marks {
+		if src != httpSource {
+			s.remoteSeq[src] = seq
+		}
+	}
+	if ship.Epoch > s.epoch {
+		s.epoch = ship.Epoch
+	}
+	s.lsn = ship.LSN
+	c.SetMinEpoch(s.epoch)
+	c.SetCursor(s.lsn)
+	s.rlog.Reset(s.lsn, s.epoch)
+	if err := s.checkpointLocked(); err != nil {
+		s.degraded.Store(true)
+		s.log.Error("post-bootstrap checkpoint failed", "err", err)
+	}
+	s.degraded.Store(false)
+	s.lastGoodNano.Store(time.Now().UnixNano())
+	s.log.Info("bootstrapped from leader checkpoint", "leader", c.Base(), "epoch", s.epoch, "lsn", s.lsn)
+	return nil
+}
+
+// applyBatch replays one stream batch through the maintenance path.
+// Exactly-once is the composition of two checks: records are consumed
+// in LSN order (resume cursor), and a record only refreshes when its
+// Seq is exactly its source's watermark + 1 — overlap from bootstrap
+// races, retries, torn streams and repoints is skipped, gaps abort the
+// batch so the stream is re-requested.
+func (s *server) applyBatch(ctx context.Context, c *replica.Client, b *replica.Batch) {
+	actx, sp := s.tracer.Start(ctx, "replica.apply")
+	defer sp.End()
+	traceID := ""
+	if sp.Recording() {
+		traceID = sp.Context().TraceID.String()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.role != roleFollower {
+		return // promoted while the fetch was in flight
+	}
+	// A higher response epoch is a legitimate new term on the same
+	// lineage (our leader was itself promoted): adopt it and raise the
+	// fencing floor so the deposed term can never serve us again.
+	if b.Epoch > s.epoch {
+		s.epoch = b.Epoch
+		c.SetMinEpoch(b.Epoch)
+	}
+	applied := 0
+	for _, rec := range b.Records {
+		if ctx.Err() != nil {
+			return
+		}
+		if rec.LSN <= s.lsn {
+			continue // overlap with already-applied stream
+		}
+		if rec.LSN != s.lsn+1 {
+			break // gap: refetch from the cursor
+		}
+		watermark := s.seq
+		if rec.Source != httpSource {
+			watermark = s.remoteSeq[rec.Source]
+		}
+		if rec.Seq <= watermark {
+			// Already covered by the shipped checkpoint: advance the
+			// cursor without re-applying — the exactly-once dedup.
+			s.lsn = rec.LSN
+			continue
+		}
+		// The refresh needs the warehouse writable; mu is held, so no
+		// reader or handler observes the unsealed window.
+		s.w.Unseal()
+		stats, err := s.maintain.RefreshContext(actx, s.w, rec.Update)
+		s.w.Seal()
+		if err != nil {
+			sp.SetAttr("outcome", "error")
+			s.degraded.Store(true)
+			s.log.Error("replica refresh failed; serving stale", "source", rec.Source, "seq", rec.Seq, "err", err)
+			return
+		}
+		// Journal locally with the leader's coordinates, so recovery
+		// resumes the stream from the right LSN. Like remote reports, a
+		// failed append only degrades: the record is re-fetchable.
+		if s.jw != nil {
+			if err := s.jw.AppendContext(actx, rec); err != nil {
+				s.degraded.Store(true)
+				s.log.Error("replica journal append failed", "seq", rec.Seq, "err", err)
+			}
+		}
+		if rec.Source == httpSource {
+			s.seq = rec.Seq
+		} else {
+			s.remoteSeq[rec.Source] = rec.Seq
+		}
+		s.lsn = rec.LSN
+		s.refreshes++
+		s.sinceCkpt++
+		applied++
+		s.mRefreshes.Inc()
+		s.mRefreshDur.Observe(stats.Wall.Seconds())
+		s.observeMaintenance(stats, -1)
+		if s.cfg.SnapshotDir != "" && s.sinceCkpt >= s.cfg.CheckpointEvery {
+			if err := s.checkpointLocked(); err != nil {
+				s.degraded.Store(true)
+				s.log.Error("replica checkpoint failed", "err", err)
+				return
+			}
+		}
+	}
+	sp.SetAttrInt("applied", int64(applied))
+	sp.SetAttrInt("lsn", int64(s.lsn))
+	c.SetCursor(s.lsn)
+	s.observeLag(s.lsn >= b.Tip && !b.Torn, traceID)
+	if applied > 0 {
+		s.degraded.Store(false)
+		s.lastGoodNano.Store(time.Now().UnixNano())
+	}
+}
+
+// sleepCtx pauses for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -23,8 +23,10 @@ import (
 	"dwcomplement/internal/obs"
 	"dwcomplement/internal/relation"
 	"dwcomplement/internal/remote"
+	"dwcomplement/internal/replica"
 	"dwcomplement/internal/snapshot"
 	"dwcomplement/internal/trace"
+	"dwcomplement/internal/warehouse"
 )
 
 // statusClientClosedRequest is the nginx-style status reported when the
@@ -66,6 +68,11 @@ type serverConfig struct {
 	QueryBudget  int64
 	MaxBody      int64
 	Admission    admission.Config
+
+	// ReplicaRetain bounds the in-memory replication log served to
+	// followers (default 1024 records); a follower further behind than
+	// the retained window re-bootstraps from a shipped checkpoint.
+	ReplicaRetain int
 }
 
 // maintstatsPath is the persisted maintenance-stats file inside a
@@ -109,6 +116,29 @@ type server struct {
 	remotes   map[string]*remote.Client
 	remoteSeq map[string]uint64
 
+	// Replication (internal/replica). role decides what the server
+	// accepts: a leader commits updates and owns maintenance; a follower
+	// applies the leader's stream and answers mutating routes with 409.
+	// epoch and lsn are the replication coordinates of the last committed
+	// record, guarded by mu alongside seq; rlog is the retained
+	// replication log streamed to followers. follower holds the stream
+	// client and its loop when running with -follow; followCtx is the
+	// parent context repoints restart the loop under.
+	role      string
+	epoch     uint64
+	lsn       uint64
+	rlog      *replica.Log
+	follower  *followerState
+	followCtx context.Context
+	// followTransport, when set before StartFollower, is installed on
+	// every stream client the follower builds — the chaos tests inject
+	// fault and partition transports here.
+	followTransport http.RoundTripper
+
+	// lagBaseNano is the last instant this follower was fully caught up
+	// with a healthy leader; the replica-lag gauge reports its age.
+	lagBaseNano atomic.Int64
+
 	log *slog.Logger
 	reg *obs.Registry
 
@@ -150,7 +180,17 @@ type server struct {
 	mRestricted *obs.Counter
 	mFullRecon  *obs.Counter
 	mRefreshLag *obs.Histogram
+	mReplLag    *obs.ObservedGauge
 }
+
+// Replica roles as reported by /readyz and /replica/status. The role
+// field only ever holds leader or follower; candidate is derived — a
+// follower whose leader link is quarantined or fenced (see roleView).
+const (
+	roleLeader    = "leader"
+	roleFollower  = "follower"
+	roleCandidate = "candidate"
+)
 
 // checkpointPath is the marked snapshot inside a -snapshot-dir.
 func checkpointPath(dir string) string { return filepath.Join(dir, "state.snap") }
@@ -179,6 +219,7 @@ func newServer(spec *dwc.Spec, opts dwc.Options, cfg serverConfig) (*server, err
 		w:         w,
 		snapshot:  cfg.SavePath,
 		journalOK: true,
+		role:      roleLeader,
 		log:       obs.NopLogger(),
 		reg:       obs.NewRegistry(),
 		remotes:   make(map[string]*remote.Client),
@@ -205,12 +246,17 @@ func newServer(spec *dwc.Spec, opts dwc.Options, cfg serverConfig) (*server, err
 				return nil, verr
 			}
 			w.LoadState(ms)
-			s.seq = marks[httpSource]
-			for src, seq := range marks {
+			// The marks map carries the per-source watermarks plus the
+			// reserved "~" replication coordinates — split them so meta
+			// marks never pollute the source watermark map.
+			sources, epoch, lsn := replica.SplitMetaMarks(marks)
+			s.seq = sources[httpSource]
+			for src, seq := range sources {
 				if src != httpSource {
 					s.remoteSeq[src] = seq
 				}
 			}
+			s.epoch, s.lsn = epoch, lsn
 			loaded = true
 		case os.IsNotExist(err):
 			// first boot in this directory
@@ -244,6 +290,15 @@ func newServer(spec *dwc.Spec, opts dwc.Options, cfg serverConfig) (*server, err
 		// A torn tail reported by Replay is a crash mid-append of an
 		// unacknowledged update: safe to drop (Open truncates it).
 		_, _, err := journal.Replay(cfg.JournalPath, spec.DB, func(rec journal.Record) error {
+			// Every journaled record was acknowledged, so its replication
+			// coordinates are durable facts even when the refresh below is
+			// deduplicated by the checkpoint watermark.
+			if rec.Epoch > s.epoch {
+				s.epoch = rec.Epoch
+			}
+			if rec.LSN > s.lsn {
+				s.lsn = rec.LSN
+			}
 			// Records are keyed by their origin: the HTTP API's own
 			// sequence, or a remote source's watermark.
 			applied := s.seq
@@ -277,6 +332,11 @@ func newServer(spec *dwc.Spec, opts dwc.Options, cfg serverConfig) (*server, err
 		}
 		s.jw = jw
 	}
+	// The replication log resumes at the recovered coordinates: retained
+	// records start at s.lsn+1, so followers that were caught up before a
+	// restart stream straight through it.
+	s.rlog = replica.NewLog(cfg.ReplicaRetain)
+	s.rlog.Reset(s.lsn, s.epoch)
 	s.lastGoodNano.Store(time.Now().UnixNano())
 	s.mInFlight = s.reg.Gauge("dw_http_in_flight_requests",
 		"HTTP requests currently being served.", nil)
@@ -408,6 +468,11 @@ func (s *server) routes() []routeDef {
 		{"GET /stats", s.handleStats, "cumulative evaluation, refresh and maintenance counters", admission.Trace, 1},
 		{"GET /traces", s.handleTraces, "recent sampled traces (&limit=N)", admission.Trace, 1},
 		{"GET /traces/{id}", s.handleTrace, "one trace's spans as JSON plus a rendered tree", admission.Trace, 1},
+		{"GET /replica/snapshot", s.handleReplicaSnapshot, "ship the current checkpoint to a bootstrapping follower", admission.Delivery, deliveryWeight},
+		{"GET /replica/stream", s.handleReplicaStream, "stream journal records from ?from=LSN (&wait=ms long-polls)", admission.Delivery, 1},
+		{"GET /replica/status", s.handleReplicaStatus, "replication role, epoch and log positions", admission.Health, 1},
+		{"POST /promote", s.handlePromote, "promote this replica to leader (?epoch=N fences older terms)", admission.Health, 1},
+		{"POST /replica/repoint", s.handleRepoint, "re-point this follower at ?leader=URL", admission.Health, 1},
 		{"GET /metrics", metrics.ServeHTTP, "Prometheus text exposition", admission.Health, 1},
 	}
 }
@@ -530,6 +595,9 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // stale), so load balancers should keep routing to it.
 func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	sources, sourcesDegraded := s.remoteHealth()
+	s.mu.RLock()
+	epoch, lsn, f := s.epoch, s.lsn, s.follower
+	s.mu.RUnlock()
 	body := map[string]any{
 		"snapshotLoaded":  s.snapshotLoaded,
 		"journalReplayed": s.journalOK,
@@ -537,6 +605,15 @@ func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		"draining":        s.draining.Load(),
 		"degraded":        s.degraded.Load() || sourcesDegraded,
 		"stalenessSec":    s.staleness().Seconds(),
+		"role":            s.roleView(),
+		"epoch":           epoch,
+		"lsn":             lsn,
+	}
+	if f != nil {
+		// The leader link's health (breaker state, staleness, cursor) and
+		// this replica's catch-up lag behind the leader's tip.
+		body["leader"] = f.client.Health()
+		body["replicaLagSec"] = s.replicaLag().Seconds()
 	}
 	if len(sources) > 0 {
 		perSource := map[string]remote.Health{}
@@ -735,6 +812,13 @@ func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Followers are read-only: every mutation flows through the leader,
+	// arrives on the replication stream, and is applied by the follower
+	// loop — a direct write here would fork the lineage.
+	if s.role != roleLeader {
+		writeError(w, http.StatusConflict, warehouse.ErrReadOnlyReplica)
+		return
+	}
 	// The refresh span parents the maintainer's per-target refresh.target
 	// spans; journal.append lands next to it under the request span.
 	rctx, sp := trace.StartSpan(req.Context(), "refresh")
@@ -763,9 +847,11 @@ func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 	// Journal at commit: the record is fsync'd before the 200, so an
 	// acknowledged update survives any crash (replayed from the last
 	// checkpoint's watermark). A failed refresh was never appended, which
-	// keeps replay exactly the sequence of acknowledged updates.
+	// keeps replay exactly the sequence of acknowledged updates. The
+	// record carries its replication coordinates — epoch and the next LSN
+	// — so followers stream it bit-identical to how recovery replays it.
+	rec := journal.Record{Source: httpSource, Seq: s.seq + 1, Update: u, Epoch: s.epoch, LSN: s.lsn + 1}
 	if s.jw != nil {
-		rec := journal.Record{Source: httpSource, Seq: s.seq + 1, Update: u}
 		if jerr := s.jw.AppendContext(req.Context(), rec); jerr != nil {
 			s.degraded.Store(true)
 			writeError(w, http.StatusInternalServerError,
@@ -774,7 +860,13 @@ func (s *server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	s.seq++
+	s.lsn++
 	s.sinceCkpt++
+	if err := s.rlog.Append(rec); err != nil {
+		// LSNs are assigned under mu, so this cannot misalign; log rather
+		// than fail the acknowledged update.
+		s.log.Error("replication log append failed", "err", err)
+	}
 	s.mRefreshes.Inc()
 	s.mRefreshDur.Observe(stats.Wall.Seconds())
 	s.mRestricted.Add(stats.RestrictedLookups)
@@ -959,6 +1051,10 @@ func (s *server) checkpointLocked() error {
 	for src, seq := range s.remoteSeq {
 		marks[src] = seq
 	}
+	// The replication coordinates ride the marks map under reserved "~"
+	// keys, so a checkpoint pins the epoch and LSN it was cut at — the
+	// durability promote relies on for fencing.
+	marks = replica.WithMetaMarks(marks, s.epoch, s.lsn)
 	if err := snapshot.SaveFileMarks(checkpointPath(s.cfg.SnapshotDir), s.w.State(), marks); err != nil {
 		return err
 	}
@@ -979,10 +1075,12 @@ func (s *server) checkpointLocked() error {
 func (s *server) beginDrain() { s.draining.Store(true) }
 
 // shutdown finishes a graceful stop after the HTTP listener has
-// drained: stop the remote poll loops, write a final checkpoint (so the
-// next boot replays nothing) and release the journal.
+// drained: stop the remote poll loops and the follower stream loop,
+// write a final checkpoint (so the next boot replays nothing) and
+// release the journal.
 func (s *server) shutdown() error {
 	s.stopRemotes()
+	s.stopFollower()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := s.checkpointLocked()

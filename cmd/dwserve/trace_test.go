@@ -74,6 +74,16 @@ func TestRouteCoverage(t *testing.T) {
 			var out map[string]any
 			postText(t, ts.URL+"/update", "insert Sale('Radio', 'Paula')", &out)
 		},
+		// Both answer 4xx on a leader — the status doesn't matter for
+		// coverage, only that the request flows through the middleware.
+		"POST /promote": func() {
+			var out map[string]any
+			postText(t, ts.URL+"/promote", "", &out)
+		},
+		"POST /replica/repoint": func() {
+			var out map[string]any
+			postText(t, ts.URL+"/replica/repoint", "", &out)
+		},
 	}
 	for _, r := range routes {
 		if fn, ok := reqs[r.pattern]; ok {

@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Partition is an http.RoundTripper gate that simulates a network
+// partition: while cut, round trips fail immediately with a transport
+// error (the same shape as a refused connection — no response, no
+// server-side effect); while healed they pass through untouched. Cuts
+// can be global or per-host, so a test can isolate one replica from
+// its leader while the rest of the cluster keeps talking. Unlike
+// FaultyTransport's probabilistic faults, a Partition is deterministic
+// and test-driven: Cut and Heal are explicit events in the failure
+// script of a replication soak.
+type Partition struct {
+	mu    sync.Mutex
+	next  http.RoundTripper
+	cut   bool
+	hosts map[string]bool // per-host cuts, keyed by URL.Host
+	stats PartitionStats
+}
+
+// PartitionStats counts what a Partition did to its traffic.
+type PartitionStats struct {
+	Requests int // round trips attempted through the gate
+	Refused  int // failed because the link was cut
+}
+
+// NewPartition wraps next (nil = http.DefaultTransport) with a healed
+// partition gate.
+func NewPartition(next http.RoundTripper) *Partition {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Partition{next: next, hosts: make(map[string]bool)}
+}
+
+// Cut severs every link through this gate.
+func (p *Partition) Cut() {
+	p.mu.Lock()
+	p.cut = true
+	p.mu.Unlock()
+}
+
+// Heal restores every link (including per-host cuts).
+func (p *Partition) Heal() {
+	p.mu.Lock()
+	p.cut = false
+	p.hosts = make(map[string]bool)
+	p.mu.Unlock()
+}
+
+// CutHost severs only links to the given host ("host:port" as it
+// appears in request URLs).
+func (p *Partition) CutHost(host string) {
+	p.mu.Lock()
+	p.hosts[host] = true
+	p.mu.Unlock()
+}
+
+// HealHost restores links to the given host.
+func (p *Partition) HealHost(host string) {
+	p.mu.Lock()
+	delete(p.hosts, host)
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the gate's counters.
+func (p *Partition) Stats() PartitionStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// RoundTrip implements http.RoundTripper.
+func (p *Partition) RoundTrip(req *http.Request) (*http.Response, error) {
+	p.mu.Lock()
+	p.stats.Requests++
+	refused := p.cut || p.hosts[req.URL.Host]
+	if refused {
+		p.stats.Refused++
+	}
+	next := p.next
+	p.mu.Unlock()
+	if refused {
+		return nil, fmt.Errorf("chaos: partition: %s unreachable", req.URL.Host)
+	}
+	return next.RoundTrip(req)
+}

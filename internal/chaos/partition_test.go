@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+func TestPartitionCutHeal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	p := NewPartition(nil)
+	client := &http.Client{Transport: p}
+
+	get := func() error {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		return nil
+	}
+
+	if err := get(); err != nil {
+		t.Fatalf("healed gate refused: %v", err)
+	}
+	p.Cut()
+	if err := get(); err == nil {
+		t.Fatal("cut gate delivered")
+	}
+	p.Heal()
+	if err := get(); err != nil {
+		t.Fatalf("re-healed gate refused: %v", err)
+	}
+	st := p.Stats()
+	if st.Requests != 3 || st.Refused != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPartitionPerHost(t *testing.T) {
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer b.Close()
+	p := NewPartition(nil)
+	client := &http.Client{Transport: p}
+
+	aHost, _ := url.Parse(a.URL)
+	p.CutHost(aHost.Host)
+
+	if resp, err := client.Get(a.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("cut host delivered")
+	}
+	resp, err := client.Get(b.URL)
+	if err != nil {
+		t.Fatalf("uncut host refused: %v", err)
+	}
+	resp.Body.Close()
+
+	p.HealHost(aHost.Host)
+	resp, err = client.Get(a.URL)
+	if err != nil {
+		t.Fatalf("healed host refused: %v", err)
+	}
+	resp.Body.Close()
+}

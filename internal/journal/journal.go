@@ -13,13 +13,21 @@
 //	repeated records:
 //	    uint32 payload length (big endian)
 //	    uint32 CRC32/IEEE of payload
-//	    payload: gob(wireRecord{Source, Seq, Ins, Del})
+//	    payload: gob(wireRecord{Source, Seq, Epoch, LSN, Ins, Del})
 //
 // A torn tail — a record cut short by a crash mid-append — is detected
 // by the length prefix and tolerated: replay stops cleanly before it
 // and the next append truncates it away. A checksum mismatch or an
 // implausible length earlier in the file means real corruption and
 // fails replay with ErrCorrupt.
+//
+// The same frame format doubles as the replication wire format: a
+// leader ships journal records to followers as a bare sequence of
+// frames (no magic), read incrementally by StreamReader. Epoch and LSN
+// are the replication coordinates — the leadership term a record was
+// committed under and its position in the leader's log; both are zero
+// on journals written before replication existed, which gob decodes
+// compatibly in both directions.
 package journal
 
 import (
@@ -56,19 +64,29 @@ const maxRecord = 1 << 28
 var ErrCorrupt = errors.New("journal: corrupt record")
 
 // Record is one journaled notification: the reporting source, its
-// per-source sequence number, and the update it reported.
+// per-source sequence number, and the update it reported. Epoch and
+// LSN position the record in a replicated deployment — the leadership
+// term it was committed under and its slot in the leader's replication
+// log; both stay zero on standalone servers and on journals written
+// before replication existed.
 type Record struct {
 	Source string
 	Seq    uint64
+	Epoch  uint64
+	LSN    uint64
 	Update *catalog.Update
 }
 
 // wireRecord is the gob shape of a Record; relations ride on the
 // snapshot package's wire codec so values round-trip identically in
-// both durability formats.
+// both durability formats. Epoch/LSN were added for replication: gob
+// decodes records missing them to zero and ignores them when a newer
+// file meets an older reader, so the format needs no version bump.
 type wireRecord struct {
 	Source string
 	Seq    uint64
+	Epoch  uint64
+	LSN    uint64
 	Ins    map[string]snapshot.WireRelation
 	Del    map[string]snapshot.WireRelation
 }
@@ -138,7 +156,7 @@ func FromWireUpdate(db *catalog.Database, ins, del map[string]snapshot.WireRelat
 }
 
 func toWire(rec Record) wireRecord {
-	w := wireRecord{Source: rec.Source, Seq: rec.Seq}
+	w := wireRecord{Source: rec.Source, Seq: rec.Seq, Epoch: rec.Epoch, LSN: rec.LSN}
 	w.Ins, w.Del = ToWireUpdate(rec.Update)
 	return w
 }
@@ -148,7 +166,30 @@ func fromWire(w wireRecord, db *catalog.Database) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	return Record{Source: w.Source, Seq: w.Seq, Update: u}, nil
+	return Record{Source: w.Source, Seq: w.Seq, Epoch: w.Epoch, LSN: w.LSN, Update: u}, nil
+}
+
+// EncodeRecord frames one record onto w exactly as Append does on disk:
+// length prefix, CRC32, gob payload. It is the encode half of the
+// replication stream — a leader frames log entries onto an HTTP
+// response body and a follower decodes them with StreamReader, so a
+// record crosses the network bit-identical to how it crosses a crash.
+func EncodeRecord(w io.Writer, rec Record) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(toWire(rec)); err != nil {
+		return fmt.Errorf("journal: encode: %w", err)
+	}
+	if payload.Len() > maxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds limit", payload.Len())
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
 }
 
 // Writer appends records to a journal file with write-ahead semantics:
@@ -170,11 +211,11 @@ func Open(path string) (*Writer, error) {
 		return nil, err
 	}
 	end, err := scan(f, nil, nil)
-	if err != nil && !errors.Is(err, errTorn) {
+	if err != nil && !errors.Is(err, ErrTorn) {
 		f.Close()
 		return nil, err
 	}
-	if errors.Is(err, errTorn) {
+	if errors.Is(err, ErrTorn) {
 		if terr := f.Truncate(end); terr != nil {
 			f.Close()
 			return nil, terr
@@ -219,23 +260,17 @@ func (w *Writer) AppendContext(ctx context.Context, rec Record) error {
 	if err := chaos.Point("journal.append"); err != nil {
 		return err
 	}
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(toWire(rec)); err != nil {
-		return fmt.Errorf("journal: encode: %w", err)
+	var frame bytes.Buffer
+	if err := EncodeRecord(&frame, rec); err != nil {
+		return err
 	}
-	if payload.Len() > maxRecord {
-		return fmt.Errorf("journal: record of %d bytes exceeds limit", payload.Len())
-	}
-	sp.SetAttrInt("bytes", int64(payload.Len()+8))
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
-	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	sp.SetAttrInt("bytes", int64(frame.Len()))
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return fmt.Errorf("journal: writer is closed")
 	}
-	if _, err := w.f.Write(append(hdr[:], payload.Bytes()...)); err != nil {
+	if _, err := w.f.Write(frame.Bytes()); err != nil {
 		return err
 	}
 	if err := chaos.Point("journal.sync"); err != nil {
@@ -290,13 +325,81 @@ func (w *Writer) Close() error {
 	return err
 }
 
-// errTorn is scan's internal signal for a torn tail; Replay converts it
-// into a (count, torn=true, nil) result, Open truncates it away.
-var errTorn = errors.New("journal: torn tail")
+// ErrTorn reports a record cut short mid-frame: the benign truncation
+// signature of a crash during append, or of a network connection cut
+// during a replication stream. The bytes before it are trustworthy —
+// recovery resumes from the last complete record, it never applies a
+// partial one. (Replay converts a torn tail into a (count, torn=true,
+// nil) result and Open truncates it away; StreamReader surfaces it to
+// the follower, which resumes from its durable watermark.)
+var ErrTorn = errors.New("journal: torn record")
+
+// readFrame reads one length-prefixed, checksummed frame and returns
+// its payload: io.EOF at a clean record boundary, ErrTorn when the
+// frame is cut short, ErrCorrupt on a checksum or length violation.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF // clean boundary
+		}
+		return nil, fmt.Errorf("%w: partial length prefix", ErrTorn)
+	}
+	length := binary.BigEndian.Uint32(hdr[0:4])
+	wantCRC := binary.BigEndian.Uint32(hdr[4:8])
+	if length > maxRecord {
+		return nil, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: record cut short", ErrTorn)
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// decodeRecord decodes one frame payload against db.
+func decodeRecord(payload []byte, db *catalog.Database) (Record, error) {
+	var wrec wireRecord
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wrec); err != nil {
+		return Record{}, fmt.Errorf("%w: undecodable record: %v", ErrCorrupt, err)
+	}
+	return fromWire(wrec, db)
+}
+
+// StreamReader decodes a bare sequence of journal frames (no magic) one
+// record at a time — the decode half of the replication stream. Next
+// returns io.EOF at a clean frame boundary, an error wrapping ErrTorn
+// when the stream was cut mid-record (every record returned before it
+// is complete and checksum-valid — a follower applies those and
+// re-requests from its watermark), and ErrCorrupt on a checksum
+// mismatch.
+type StreamReader struct {
+	r  io.Reader
+	db *catalog.Database
+}
+
+// NewStreamReader reads journal frames from r, decoding updates against
+// db.
+func NewStreamReader(r io.Reader, db *catalog.Database) *StreamReader {
+	return &StreamReader{r: r, db: db}
+}
+
+// Next returns the next complete record, io.EOF at a clean end of
+// stream, or ErrTorn/ErrCorrupt.
+func (s *StreamReader) Next() (Record, error) {
+	payload, err := readFrame(s.r)
+	if err != nil {
+		return Record{}, err
+	}
+	return decodeRecord(payload, s.db)
+}
 
 // scan walks the journal from the start, calling fn for each complete,
 // checksum-valid record (fn may be nil). It returns the offset just
-// past the last valid record; a torn tail is reported as errTorn with
+// past the last valid record; a torn tail is reported as ErrTorn with
 // the offset still pointing at the clean boundary.
 func scan(f io.ReadSeeker, db *catalog.Database, fn func(Record) error) (int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
@@ -308,40 +411,27 @@ func scan(f io.ReadSeeker, db *catalog.Database, fn func(Record) error) (int64, 
 		if errors.Is(err, io.EOF) {
 			return 0, nil // empty file: fresh journal
 		}
-		return 0, errTorn
+		return 0, ErrTorn
 	}
 	if mg != magic {
 		return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	end := r.n
 	for {
-		var hdr [8]byte
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		payload, err := readFrame(r)
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return end, nil // clean end of journal
 			}
-			return end, errTorn // partial length prefix
-		}
-		length := binary.BigEndian.Uint32(hdr[0:4])
-		wantCRC := binary.BigEndian.Uint32(hdr[4:8])
-		if length > maxRecord {
-			return end, fmt.Errorf("%w: implausible record length %d at offset %d", ErrCorrupt, length, end)
-		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return end, errTorn // record cut short by a crash
-		}
-		if crc32.ChecksumIEEE(payload) != wantCRC {
-			return end, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, end)
+			if errors.Is(err, ErrTorn) {
+				return end, ErrTorn // cut short by a crash
+			}
+			return end, fmt.Errorf("%w at offset %d", err, end)
 		}
 		if fn != nil {
-			var wrec wireRecord
-			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wrec); err != nil {
-				return end, fmt.Errorf("%w: undecodable record at offset %d: %v", ErrCorrupt, end, err)
-			}
-			rec, err := fromWire(wrec, db)
+			rec, err := decodeRecord(payload, db)
 			if err != nil {
-				return end, err
+				return end, fmt.Errorf("%w (offset %d)", err, end)
 			}
 			if err := fn(rec); err != nil {
 				return end, err
@@ -385,7 +475,7 @@ func Replay(path string, db *catalog.Database, fn func(Record) error) (n int, to
 		return fn(rec)
 	}
 	_, err = scan(f, db, wrapped)
-	if errors.Is(err, errTorn) {
+	if errors.Is(err, ErrTorn) {
 		return count, true, nil
 	}
 	return count, false, err

@@ -274,6 +274,13 @@ func propagateTraced(ctx context.Context, name string, def algebra.Expr, vst *Vi
 
 func (m *Maintainer) refresh(ctx context.Context, ec *algebra.EvalContext, w *warehouse.Warehouse, u *catalog.Update) (RefreshStats, error) {
 	stats := RefreshStats{Changed: make(map[string]int)}
+	// Fail before any delta work: a sealed warehouse (read-only replica)
+	// would refuse the commit loop below anyway, and checking here keeps
+	// the refusal all-or-nothing — no partially staged refresh, and the
+	// typed error surfaces before any evaluation cost is paid.
+	if w.Sealed() {
+		return stats, warehouse.ErrReadOnlyReplica
+	}
 	vst := NewVirtualStateCtx(m.comp, w, ec)
 	nu, err := NormalizeUpdate(u, vst, m.comp)
 	if err != nil {
@@ -391,7 +398,12 @@ func (m *Maintainer) refresh(ctx context.Context, ec *algebra.EvalContext, w *wa
 	}
 	for _, c := range commit {
 		if c.dirty {
-			w.Install(c.name, c.post)
+			if err := w.Install(c.name, c.post); err != nil {
+				// Only a seal flipped since the check above can fail here;
+				// the flip is serialized with refreshes by the caller, so
+				// no earlier install of this loop has happened either.
+				return stats, err
+			}
 		}
 	}
 	stats.RestrictedLookups, stats.FullReconstructions = vst.LookupStats()

@@ -60,6 +60,51 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// ObservedGauge is a float-valued gauge whose samples can carry an
+// exemplar trace ID, the way histogram buckets do: the scrape line
+// links the CURRENT value to the trace that set it. Built for
+// replication lag — when a follower's catch-up lag spikes, the gauge's
+// exemplar leads straight to the apply trace that was running when the
+// lag was measured. Safe for concurrent use.
+type ObservedGauge struct {
+	mu sync.Mutex
+	v  float64
+	ex Exemplar
+}
+
+// Set replaces the value without touching the exemplar.
+func (g *ObservedGauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// SetWithExemplar replaces the value and, when traceID is non-empty,
+// the exemplar linking it to its trace.
+func (g *ObservedGauge) SetWithExemplar(v float64, traceID string) {
+	g.mu.Lock()
+	g.v = v
+	if traceID != "" {
+		g.ex = Exemplar{TraceID: traceID, Value: v}
+	}
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *ObservedGauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Exemplar returns the most recent exemplar (zero value when none was
+// ever recorded).
+func (g *ObservedGauge) Exemplar() Exemplar {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ex
+}
+
 // Exemplar links one observed value to the trace that produced it, in
 // the OpenMetrics sense: scrape output carries the last exemplar per
 // bucket so a latency spike in a dashboard can be followed straight to
@@ -73,8 +118,8 @@ type Exemplar struct {
 // exposed in Prometheus cumulative-bucket form. Safe for concurrent use.
 type Histogram struct {
 	mu        sync.Mutex
-	upper     []float64 // sorted upper bounds; +Inf is implicit
-	counts    []uint64  // per-bucket (non-cumulative) counts
+	upper     []float64  // sorted upper bounds; +Inf is implicit
+	counts    []uint64   // per-bucket (non-cumulative) counts
 	exemplars []Exemplar // lazily allocated, len(upper)+1 (+Inf last)
 	sum       float64
 	count     uint64
@@ -142,6 +187,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindGaugeFunc
+	kindObservedGauge
 	kindHistogram
 )
 
@@ -162,6 +208,7 @@ type series struct {
 	counter *Counter
 	gauge   *Gauge
 	gaugeFn func() float64
+	obsg    *ObservedGauge
 	hist    *Histogram
 }
 
@@ -276,6 +323,15 @@ func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64
 	r.mu.Unlock()
 }
 
+// ObservedGauge returns the exemplar-carrying float gauge for (name,
+// labels), creating it on first use. It renders as TYPE gauge with an
+// OpenMetrics exemplar suffix when one was recorded.
+func (r *Registry) ObservedGauge(name, help string, labels Labels) *ObservedGauge {
+	return r.lookup(name, help, kindObservedGauge, labels, nil, func() *series {
+		return &series{obsg: &ObservedGauge{}}
+	}).obsg
+}
+
 // Histogram returns the histogram for (name, labels), creating it with
 // the given bucket upper bounds (in ascending order; +Inf implicit) on
 // first use. All series of one family share the first registration's
@@ -374,6 +430,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					v = s.gaugeFn()
 				}
 				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ls, formatFloat(v)); err != nil {
+					return err
+				}
+			case kindObservedGauge:
+				suffix := renderExemplar([]Exemplar{s.obsg.Exemplar()}, 0)
+				if _, err := fmt.Fprintf(w, "%s%s %s%s\n", f.name, ls, formatFloat(s.obsg.Value()), suffix); err != nil {
 					return err
 				}
 			case kindHistogram:

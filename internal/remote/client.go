@@ -65,6 +65,12 @@ type Config struct {
 	PollInterval time.Duration
 }
 
+// WithDefaults returns the config with every unset knob at its
+// production default — exported so the replication stream client
+// (internal/replica), which shares this fault-handling machinery, can
+// normalize a Config the same way NewClient does.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.AttemptTimeout <= 0 {
 		c.AttemptTimeout = 2 * time.Second

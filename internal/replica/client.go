@@ -1,0 +1,362 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"dwcomplement/internal/algebra"
+	"dwcomplement/internal/catalog"
+	"dwcomplement/internal/journal"
+	"dwcomplement/internal/remote"
+	"dwcomplement/internal/snapshot"
+)
+
+// Shipment is one shipped checkpoint: the leader's warehouse state,
+// its per-source watermarks, and the replication coordinates it was
+// cut at. Applying it and then streaming from LSN+1 reconstructs the
+// leader exactly.
+type Shipment struct {
+	State algebra.MapState
+	Marks map[string]uint64 // per-source applied watermarks (meta marks split out)
+	Epoch uint64
+	LSN   uint64
+}
+
+// Batch is one stream response: the leader's current epoch and tip
+// plus the decoded records. Torn marks a response body cut mid-record
+// — Records holds the complete, checksum-valid prefix (safe to apply;
+// the partial record was never decoded) and the follower re-requests
+// from its watermark.
+type Batch struct {
+	Epoch   uint64
+	Tip     uint64
+	Records []journal.Record
+	Torn    bool
+}
+
+// Client streams a leader's checkpoint and journal records, with the
+// same fault-handling machinery as the remote source client: retries
+// with jittered exponential backoff, a circuit breaker that
+// quarantines an unreachable leader, and a Health view dwserve's
+// /readyz surfaces. Resume is by watermark: every fetch names the
+// first LSN the follower still needs, so crashes, retries and torn
+// streams re-request instead of re-applying.
+type Client struct {
+	base    string
+	db      *catalog.Database
+	cfg     remote.Config
+	httpc   *http.Client
+	breaker *remote.Breaker
+	started time.Time
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu          sync.Mutex
+	minEpoch    uint64 // fencing floor: responses below it are rejected
+	cursor      uint64 // last LSN the follower reported applying
+	lastSuccess time.Time
+	lastErr     error
+	consecFails int
+}
+
+// NewClient builds a stream client for the leader at leaderURL,
+// decoding records against db.
+func NewClient(leaderURL string, db *catalog.Database, cfg remote.Config) *Client {
+	cfg = cfg.WithDefaults()
+	return &Client{
+		base:    leaderURL,
+		db:      db,
+		cfg:     cfg,
+		httpc:   &http.Client{},
+		breaker: remote.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		started: time.Now(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// SetTransport swaps the underlying HTTP transport (tests inject a
+// chaos.FaultyTransport or a chaos.Partition here).
+func (c *Client) SetTransport(rt http.RoundTripper) { c.httpc.Transport = rt }
+
+// Base returns the leader URL this client streams from.
+func (c *Client) Base() string { return c.base }
+
+// Breaker exposes the client's circuit breaker.
+func (c *Client) Breaker() *remote.Breaker { return c.breaker }
+
+// SetMinEpoch raises the fencing floor: any response whose epoch is
+// below it is rejected with ErrStaleEpoch. The floor never goes down.
+func (c *Client) SetMinEpoch(e uint64) {
+	c.mu.Lock()
+	if e > c.minEpoch {
+		c.minEpoch = e
+	}
+	c.mu.Unlock()
+}
+
+// MinEpoch returns the current fencing floor.
+func (c *Client) MinEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.minEpoch
+}
+
+// SetCursor records the follower's durably applied LSN for the Health
+// view.
+func (c *Client) SetCursor(lsn uint64) {
+	c.mu.Lock()
+	if lsn > c.cursor {
+		c.cursor = lsn
+	}
+	c.mu.Unlock()
+}
+
+// FetchSnapshot ships the leader's current checkpoint, retrying
+// transient failures like every other fetch.
+func (c *Client) FetchSnapshot(ctx context.Context) (*Shipment, error) {
+	var ship *Shipment
+	err := c.retry(ctx, func(actx context.Context) error {
+		req, err := http.NewRequestWithContext(actx, http.MethodGet, c.base+"/replica/snapshot", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			return fmt.Errorf("replica: %s/replica/snapshot: status %d: %s", c.base, resp.StatusCode, body)
+		}
+		if err := c.checkEpoch(resp); err != nil {
+			return err
+		}
+		ms, marks, err := snapshot.LoadMarks(resp.Body)
+		if err != nil {
+			return fmt.Errorf("replica: %s/replica/snapshot: %w", c.base, err)
+		}
+		sources, epoch, lsn := SplitMetaMarks(marks)
+		ship = &Shipment{State: ms, Marks: sources, Epoch: epoch, LSN: lsn}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ship, nil
+}
+
+// FetchBatch streams records with LSN ≥ from, long-polling up to wait
+// on the leader when none are ready. A body cut mid-record returns the
+// complete prefix with Torn set — never a partial record.
+func (c *Client) FetchBatch(ctx context.Context, from uint64, wait time.Duration) (*Batch, error) {
+	var batch *Batch
+	err := c.retry(ctx, func(actx context.Context) error {
+		q := url.Values{}
+		q.Set("from", strconv.FormatUint(from, 10))
+		if wait > 0 {
+			q.Set("wait", strconv.FormatInt(wait.Milliseconds(), 10))
+		}
+		req, err := http.NewRequestWithContext(actx, http.MethodGet, c.base+"/replica/stream?"+q.Encode(), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusGone:
+			return fmt.Errorf("replica: %s: %w", c.base, ErrTrimmed)
+		case http.StatusRequestedRangeNotSatisfiable:
+			return fmt.Errorf("replica: %s: %w", c.base, ErrFuture)
+		default:
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			return fmt.Errorf("replica: %s/replica/stream: status %d: %s", c.base, resp.StatusCode, body)
+		}
+		if err := c.checkEpoch(resp); err != nil {
+			return err
+		}
+		epoch, _ := strconv.ParseUint(resp.Header.Get(HeaderEpoch), 10, 64)
+		tip, _ := strconv.ParseUint(resp.Header.Get(HeaderTip), 10, 64)
+		b := &Batch{Epoch: epoch, Tip: tip}
+		sr := journal.NewStreamReader(resp.Body, c.db)
+		for {
+			rec, err := sr.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if errors.Is(err, journal.ErrTorn) {
+				// The connection was cut mid-record: apply the complete
+				// prefix, resume from the watermark next round.
+				b.Torn = true
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("replica: %s/replica/stream: %w", c.base, err)
+			}
+			b.Records = append(b.Records, rec)
+		}
+		batch = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return batch, nil
+}
+
+// checkEpoch enforces fencing on one response: its epoch header must
+// be at or above the client's floor.
+func (c *Client) checkEpoch(resp *http.Response) error {
+	epoch, err := strconv.ParseUint(resp.Header.Get(HeaderEpoch), 10, 64)
+	if err != nil {
+		return fmt.Errorf("replica: %s: bad %s header %q", c.base, HeaderEpoch, resp.Header.Get(HeaderEpoch))
+	}
+	if min := c.MinEpoch(); epoch < min {
+		return fmt.Errorf("replica: %s serves epoch %d, fenced at %d: %w", c.base, epoch, min, ErrStaleEpoch)
+	}
+	return nil
+}
+
+// retry runs one fetch attempt under the breaker, retrying transient
+// failures with jittered exponential backoff. Protocol verdicts —
+// trimmed, future, stale epoch — arrive over a working transport, so
+// they count as breaker successes but fail the fetch without retrying:
+// no retry can change them.
+func (c *Client) retry(ctx context.Context, fn func(context.Context) error) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !c.breaker.Allow() {
+			c.noteFailure(remote.ErrQuarantined)
+			return remote.ErrQuarantined
+		}
+		actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout+c.cfg.PollWait)
+		err := fn(actx)
+		cancel()
+		if err == nil {
+			c.breaker.Success()
+			c.noteSuccess()
+			return nil
+		}
+		if ctx.Err() != nil {
+			c.breaker.Abandon()
+			return err
+		}
+		if errors.Is(err, ErrTrimmed) || errors.Is(err, ErrFuture) || errors.Is(err, ErrStaleEpoch) {
+			c.breaker.Success()
+			c.noteFailure(err)
+			return err
+		}
+		c.breaker.Failure()
+		c.noteFailure(err)
+		lastErr = err
+		if attempt >= c.cfg.MaxRetries {
+			return lastErr
+		}
+		c.sleep(ctx, c.backoff(attempt))
+	}
+}
+
+// backoff returns the jittered exponential delay before retry #attempt.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase << uint(attempt)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	c.rngMu.Lock()
+	jitter := 0.5 + c.rng.Float64() // ±50%
+	c.rngMu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// sleep waits for d or until ctx is done.
+func (c *Client) sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+func (c *Client) noteSuccess() {
+	c.mu.Lock()
+	c.lastSuccess = time.Now()
+	c.lastErr = nil
+	c.consecFails = 0
+	c.mu.Unlock()
+}
+
+func (c *Client) noteFailure(err error) {
+	c.mu.Lock()
+	c.lastErr = err
+	c.consecFails++
+	c.mu.Unlock()
+}
+
+// Staleness is how long the leader has been unreachable: zero while
+// the last contact succeeded, else the age of the last success (or of
+// the client itself if it never succeeded).
+func (c *Client) Staleness() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastErr == nil {
+		return 0
+	}
+	since := c.lastSuccess
+	if since.IsZero() {
+		since = c.started
+	}
+	return time.Since(since)
+}
+
+// Health reuses the remote package's health shape for the follower's
+// leader link: healthy, degraded (recent failures, circuit closed),
+// quarantined (circuit open — the candidate signal of failover), or
+// fenced (the leader answered from a deposed epoch — re-point). The
+// Source field carries the leader URL; Cursor the applied LSN.
+func (c *Client) Health() remote.Health {
+	c.mu.Lock()
+	lastErr := c.lastErr
+	h := remote.Health{
+		Source:              c.base,
+		Breaker:             c.breaker.State().String(),
+		ConsecutiveFailures: c.consecFails,
+		LastSuccess:         c.lastSuccess,
+		Cursor:              c.cursor,
+	}
+	c.mu.Unlock()
+	if lastErr != nil {
+		h.LastError = lastErr.Error()
+	}
+	switch {
+	case errors.Is(lastErr, ErrStaleEpoch):
+		h.State = "fenced"
+	case c.breaker.State() != remote.BreakerClosed:
+		h.State = "quarantined"
+	case lastErr != nil:
+		h.State = "degraded"
+	default:
+		h.State = "healthy"
+	}
+	h.StalenessSec = c.Staleness().Seconds()
+	return h
+}

@@ -11,6 +11,12 @@
 // crash mid-write leaves the previous snapshot intact). Snapshots also
 // carry per-source applied-sequence watermarks, which tell a recovering
 // integrator where in its journal to resume replay.
+//
+// Mark names beginning with "~" are reserved for replication metadata
+// (the node's epoch and log position, see internal/replica): they ride
+// the same marks map — no format bump — and are split back out by
+// replica.SplitMetaMarks on load, so source names must never start
+// with "~".
 package snapshot
 
 import (

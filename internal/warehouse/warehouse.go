@@ -8,9 +8,11 @@ package warehouse
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dwcomplement/internal/algebra"
@@ -20,12 +22,25 @@ import (
 	"dwcomplement/internal/view"
 )
 
+// ErrReadOnlyReplica reports a mutation attempted against a sealed
+// warehouse: a replica following a leader's journal stream. Only the
+// replication apply path (which holds the seal) may install relations;
+// everything else must be routed to the leader, or it would silently
+// diverge from the replicated state.
+var ErrReadOnlyReplica = errors.New("warehouse: read-only replica (following a leader; write to the leader instead)")
+
 // Warehouse is a materialized, independent warehouse: the views V plus the
 // stored complement relations C, with W⁻¹ available for query translation
 // and base-relation reconstruction.
 type Warehouse struct {
 	comp  *core.Complement
 	state algebra.MapState
+
+	// sealed marks the warehouse read-only: Install (the single commit
+	// primitive every refresh funnels through) refuses with
+	// ErrReadOnlyReplica. A follower holds its warehouse sealed except
+	// inside its own serialized replication apply.
+	sealed atomic.Bool
 }
 
 // New creates an unmaterialized warehouse from a computed complement.
@@ -97,10 +112,31 @@ func (w *Warehouse) State() algebra.MapState { return w.state }
 // primitive of the atomic refresh: package maintain applies every delta
 // to copies first and installs them only once all of them (and all
 // delta consumers) have succeeded, so a failed refresh leaves the
-// warehouse bitwise unchanged.
-func (w *Warehouse) Install(name string, r *relation.Relation) {
+// warehouse bitwise unchanged. A sealed warehouse refuses with
+// ErrReadOnlyReplica — the single-writer guard every mutation path
+// shares, instead of each caller remembering to check a flag.
+func (w *Warehouse) Install(name string, r *relation.Relation) error {
+	if w.sealed.Load() {
+		return ErrReadOnlyReplica
+	}
 	w.state[name] = r
+	return nil
 }
+
+// Seal marks the warehouse read-only: every Install fails with
+// ErrReadOnlyReplica until Unseal. The flag does not protect the state
+// from concurrent access — callers still serialize as before — it
+// protects it from the wrong WRITER: a follower's local update path
+// cannot silently diverge from the leader's stream.
+func (w *Warehouse) Seal() { w.sealed.Store(true) }
+
+// Unseal lifts the read-only seal. The replication apply path brackets
+// each replayed refresh with Unseal/Seal while holding the same lock
+// that serializes every reader and writer of the warehouse.
+func (w *Warehouse) Unseal() { w.sealed.Store(false) }
+
+// Sealed reports whether the warehouse is read-only.
+func (w *Warehouse) Sealed() bool { return w.sealed.Load() }
 
 // Names returns the materialized relation names in sorted order.
 func (w *Warehouse) Names() []string {
